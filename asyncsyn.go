@@ -1,0 +1,414 @@
+// Package asyncsyn synthesizes speed-independent asynchronous control
+// circuits from Signal Transition Graph (STG) specifications.
+//
+// It implements the modular partitioning synthesis method of Puri and Gu
+// (DAC 1994): the STG's state graph is partitioned, per output signal,
+// into a small modular state graph; complete state coding (CSC) is
+// enforced on each module by solving a small boolean satisfiability
+// formula; and the resulting state-signal assignments are propagated back
+// and integrated into one circuit. Two reference methods are included for
+// comparison — the direct whole-graph SAT formulation of Vanbekbergen et
+// al. and a Lavagno-Moon-style iterative state-assignment flow — together
+// with a two-level logic minimizer that reports implementation area as
+// the literal count of prime-irredundant covers.
+//
+// Typical use:
+//
+//	g, err := asyncsyn.ParseSTGString(src)
+//	c, err := asyncsyn.Synthesize(g, asyncsyn.Options{})
+//	for _, f := range c.Functions {
+//	    fmt.Println(f)
+//	}
+package asyncsyn
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"asyncsyn/internal/core"
+	"asyncsyn/internal/csc"
+	"asyncsyn/internal/dot"
+	"asyncsyn/internal/lavagno"
+	"asyncsyn/internal/logic"
+	"asyncsyn/internal/sg"
+	"asyncsyn/internal/stg"
+)
+
+// STG is a parsed or programmatically built signal transition graph.
+type STG struct {
+	g *stg.G
+}
+
+// ParseSTG reads an STG in the astg/SIS ".g" format.
+func ParseSTG(r io.Reader) (*STG, error) {
+	g, err := stg.Parse(r)
+	if err != nil {
+		return nil, err
+	}
+	return &STG{g: g}, nil
+}
+
+// ParseSTGString parses a ".g" source held in a string.
+func ParseSTGString(src string) (*STG, error) {
+	g, err := stg.ParseString(src)
+	if err != nil {
+		return nil, err
+	}
+	return &STG{g: g}, nil
+}
+
+// Name returns the model name.
+func (s *STG) Name() string { return s.g.Name }
+
+// Format renders the STG back in ".g" format.
+func (s *STG) Format() string { return stg.Format(s.g) }
+
+// Signals returns the signal names in declaration order.
+func (s *STG) Signals() []string { return s.g.SignalNames() }
+
+// Validate checks structural well-formedness.
+func (s *STG) Validate() error { return s.g.Validate() }
+
+// DOT renders the STG in Graphviz format.
+func (s *STG) DOT() string { return dot.STG(s.g) }
+
+// Method selects the synthesis algorithm.
+type Method int
+
+const (
+	// Modular is the paper's modular partitioning method (default).
+	Modular Method = iota
+	// Direct is the whole-graph SAT formulation (Vanbekbergen et al.,
+	// "no decomposition" in the paper's Table 1).
+	Direct
+	// Lavagno is the iterative whole-graph state-assignment baseline in
+	// the spirit of Lavagno-Moon (DAC'92).
+	Lavagno
+)
+
+func (m Method) String() string {
+	switch m {
+	case Modular:
+		return "modular"
+	case Direct:
+		return "direct"
+	case Lavagno:
+		return "lavagno"
+	}
+	return fmt.Sprintf("Method(%d)", int(m))
+}
+
+// Engine selects the SAT engine.
+type Engine int
+
+const (
+	// DPLL is the complete branch-and-bound solver (default).
+	DPLL Engine = iota
+	// WalkSAT is the incomplete local-search solver.
+	WalkSAT
+	// BDD solves the constraints with a binary decision diagram and
+	// returns the minimum-excitation model — the paper's closing pointer
+	// to a BDD-based approach with further area reduction. Falls back to
+	// DPLL when the diagram exceeds its node budget.
+	BDD
+)
+
+// Options configures Synthesize.
+type Options struct {
+	Method Method
+	Engine Engine
+	// MaxBacktracks bounds each SAT search (default 2,000,000); exceeding
+	// it aborts the run with Circuit.Aborted set, mirroring the paper's
+	// "SAT Backtrack Limit" table entries.
+	MaxBacktracks int64
+	// ExpandXor switches the CSC separation constraints to the paper's
+	// non-auxiliary CNF expansion (exponential in the signal count); used
+	// for clause-growth experiments.
+	ExpandXor bool
+	// FullSupport derives every logic function over all signals instead
+	// of the per-output input set (ablation of the support restriction).
+	FullSupport bool
+	// ExactMinimize uses the exact minimum-literal two-level minimizer
+	// (espresso's exact strategy, the paper's -S1) instead of the
+	// heuristic loop; it falls back per function when primes explode.
+	ExactMinimize bool
+	// MaxStates caps state graph generation (default 100,000).
+	MaxStates int
+	// TokenBound is the per-place token bound (default 1: safe nets).
+	TokenBound int
+}
+
+// FormulaStat describes one SAT instance solved during synthesis.
+type FormulaStat struct {
+	Output   string // output whose modular graph produced it ("" = global)
+	Signals  int    // state signals attempted
+	Vars     int
+	Clauses  int
+	Literals int
+	Status   string // "SAT", "UNSAT", "BACKTRACK-LIMIT"
+	Time     time.Duration
+}
+
+// Function is a synthesized next-state logic function in two-level
+// sum-of-products form over its support signals.
+type Function struct {
+	Name   string
+	Inputs []string
+
+	cover logic.Cover
+}
+
+// Literals returns the unfactored literal count (the paper's area unit).
+func (f Function) Literals() int { return f.cover.Literals() }
+
+// SOP renders the cover as a sum-of-products expression.
+func (f Function) SOP() string { return f.cover.Format(f.Inputs) }
+
+// String renders the function as an equation.
+func (f Function) String() string { return fmt.Sprintf("%s = %s", f.Name, f.SOP()) }
+
+// Cubes returns the cover in PLA-style rows over Inputs.
+func (f Function) Cubes() []string {
+	out := make([]string, len(f.cover))
+	for i, c := range f.cover {
+		out[i] = c.String()
+	}
+	return out
+}
+
+// Eval evaluates the function for an assignment of its inputs.
+func (f Function) Eval(values map[string]bool) bool {
+	var m uint64
+	for i, name := range f.Inputs {
+		if values[name] {
+			m |= 1 << i
+		}
+	}
+	return f.cover.Eval(m)
+}
+
+// ModuleReport describes one per-output modular pass.
+type ModuleReport struct {
+	Output       string
+	InputSet     []string
+	MergedStates int
+	Conflicts    int
+	NewSignals   int
+}
+
+// Circuit is the result of synthesis.
+type Circuit struct {
+	Name   string
+	Method Method
+
+	InitialStates  int
+	InitialSignals int
+	FinalStates    int
+	FinalSignals   int
+	StateSignals   int
+
+	// Area is the total literal count of all non-input functions.
+	Area int
+	// Aborted is set when a SAT backtrack limit was exhausted; the
+	// remaining fields describe the partial run.
+	Aborted bool
+	// CPU is the wall-clock synthesis time.
+	CPU time.Duration
+
+	Functions []Function
+	Modules   []ModuleReport // modular method only
+	Formulas  []FormulaStat
+
+	// initialLevels records the reset level of every signal (including
+	// inserted state signals) for closed-loop verification.
+	initialLevels map[string]bool
+}
+
+// Function returns the function driving the named signal.
+func (c *Circuit) Function(name string) (Function, bool) {
+	for _, f := range c.Functions {
+		if f.Name == name {
+			return f, true
+		}
+	}
+	return Function{}, false
+}
+
+// Synthesize derives a speed-independent circuit from an STG with the
+// selected method. A non-nil error reports an invalid or unsupported
+// specification; a backtrack-limit abort is reported via Circuit.Aborted
+// instead (partial statistics are still returned).
+func Synthesize(s *STG, opt Options) (*Circuit, error) {
+	start := time.Now()
+	switch opt.Method {
+	case Modular:
+		return synthesizeModular(s, opt, start)
+	case Direct, Lavagno:
+		return synthesizeWholeGraph(s, opt, start)
+	default:
+		return nil, fmt.Errorf("asyncsyn: unknown method %v", opt.Method)
+	}
+}
+
+func sgOptions(opt Options) sg.Options {
+	return sg.Options{Bound: opt.TokenBound, MaxStates: opt.MaxStates}
+}
+
+func synthesizeModular(s *STG, opt Options, start time.Time) (*Circuit, error) {
+	res, err := core.Synthesize(s.g, core.Options{
+		SAT: core.SATOptions{
+			Engine:        cscEngine(opt.Engine),
+			Encoding:      csc.Options{ExpandXor: opt.ExpandXor},
+			MaxBacktracks: opt.MaxBacktracks,
+		},
+		StateGraph:  sgOptions(opt),
+		FullSupport: opt.FullSupport,
+		ExactLogic:  opt.ExactMinimize,
+	})
+	if err != nil {
+		return nil, err
+	}
+	c := &Circuit{
+		Name: res.Name, Method: Modular,
+		InitialStates: res.InitialStates, InitialSignals: res.InitialSignals,
+		FinalStates: res.FinalStates, FinalSignals: res.FinalSignals,
+		StateSignals: res.Inserted, Area: res.Area,
+		Aborted: res.Aborted, CPU: time.Since(start),
+	}
+	if res.FinalSignals > 0 {
+		c.StateSignals = res.FinalSignals - res.InitialSignals
+	}
+	for _, o := range res.Outputs {
+		c.Modules = append(c.Modules, ModuleReport{
+			Output: o.Output, InputSet: o.InputSet,
+			MergedStates: o.MergedStates, Conflicts: o.Ncsc, NewSignals: o.NewSignals,
+		})
+		for _, f := range o.Formulas {
+			c.Formulas = append(c.Formulas, formulaStat(o.Output, f))
+		}
+	}
+	for _, f := range res.Fallback {
+		c.Formulas = append(c.Formulas, formulaStat("", f))
+	}
+	for _, f := range res.Functions {
+		c.Functions = append(c.Functions, newFunction(f))
+	}
+	c.initialLevels = initialLevelsOf(res.Expanded)
+	return c, nil
+}
+
+func synthesizeWholeGraph(s *STG, opt Options, start time.Time) (*Circuit, error) {
+	full, err := sg.FromSTG(s.g, sgOptions(opt))
+	if err != nil {
+		return nil, err
+	}
+	c := &Circuit{
+		Name: s.g.Name, Method: opt.Method,
+		InitialStates: full.NumStates(), InitialSignals: len(full.Base),
+	}
+	var formulas []csc.FormulaStats
+	var inserted int
+	var aborted bool
+	switch opt.Method {
+	case Direct:
+		dr, err := csc.Solve(full, csc.SolveOptions{
+			Engine:        cscEngine(opt.Engine),
+			Encoding:      csc.Options{ExpandXor: opt.ExpandXor},
+			MaxBacktracks: opt.MaxBacktracks,
+		})
+		if dr != nil {
+			formulas, inserted, aborted = dr.Formulas, dr.Inserted, dr.Aborted
+		}
+		if err != nil {
+			return nil, err
+		}
+	case Lavagno:
+		lr, err := lavagno.Solve(full, lavagno.Options{MaxBacktracks: opt.MaxBacktracks})
+		if lr != nil {
+			formulas, inserted, aborted = lr.Formulas, lr.Inserted, lr.Aborted
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	for _, f := range formulas {
+		c.Formulas = append(c.Formulas, formulaStat("", f))
+	}
+	c.StateSignals = inserted
+	if aborted {
+		c.Aborted = true
+		c.CPU = time.Since(start)
+		return c, nil
+	}
+
+	coreOpt := core.Options{SAT: core.SATOptions{
+		Engine:        cscEngine(opt.Engine),
+		Encoding:      csc.Options{ExpandXor: opt.ExpandXor},
+		MaxBacktracks: opt.MaxBacktracks,
+	}, ExactLogic: opt.ExactMinimize}
+	expanded, _, fallback, expAborted, err := core.ExpandToCSC(full, coreOpt)
+	for _, f := range fallback {
+		c.Formulas = append(c.Formulas, formulaStat("", f))
+	}
+	if err != nil {
+		return nil, err
+	}
+	if expAborted {
+		c.Aborted = true
+		c.CPU = time.Since(start)
+		return c, nil
+	}
+	c.FinalStates = expanded.NumStates()
+	c.FinalSignals = len(expanded.Base)
+	c.StateSignals = c.FinalSignals - c.InitialSignals
+
+	fns, err := core.DeriveLogic(expanded, full, nil, nil, coreOpt)
+	if err != nil {
+		return nil, err
+	}
+	for _, f := range fns {
+		nf := newFunction(f)
+		c.Functions = append(c.Functions, nf)
+		c.Area += nf.Literals()
+	}
+	c.initialLevels = initialLevelsOf(expanded)
+	c.CPU = time.Since(start)
+	return c, nil
+}
+
+// initialLevelsOf extracts the reset code of the final state graph.
+func initialLevelsOf(g *sg.Graph) map[string]bool {
+	if g == nil {
+		return nil
+	}
+	levels := make(map[string]bool, len(g.Base))
+	code := g.States[g.Initial].Code
+	for i, b := range g.Base {
+		levels[b.Name] = code&(1<<i) != 0
+	}
+	return levels
+}
+
+func cscEngine(e Engine) csc.Engine {
+	switch e {
+	case WalkSAT:
+		return csc.WalkSAT
+	case BDD:
+		return csc.BDD
+	default:
+		return csc.DPLL
+	}
+}
+
+func formulaStat(output string, f csc.FormulaStats) FormulaStat {
+	return FormulaStat{
+		Output: output, Signals: f.Signals, Vars: f.Vars,
+		Clauses: f.Clauses, Literals: f.Literals,
+		Status: f.Status.String(), Time: f.SolveTime,
+	}
+}
+
+func newFunction(f core.Function) Function {
+	return Function{Name: f.Name, Inputs: f.Vars, cover: f.Cover}
+}

@@ -1,0 +1,172 @@
+package asyncsyn
+
+// Benchmark harness for the paper's evaluation:
+//
+//   - BenchmarkTable1Modular / Direct / Lavagno regenerate the CPU-time
+//     columns of Table 1, one sub-benchmark per STG row.
+//   - BenchmarkClauseReduction measures the in-text mmu0 claim: building
+//     (not solving) the direct whole-graph formula vs all modular
+//     formulas.
+//   - BenchmarkStateGraph isolates the reachability + coding substrate.
+//   - BenchmarkAblation* quantify the design choices DESIGN.md calls
+//     out: the per-output support restriction, the paper-style expanded
+//     encoding, and the local-search SAT engine.
+//
+// Run with: go test -bench=. -benchmem
+
+import (
+	"testing"
+
+	"asyncsyn/internal/bench"
+	"asyncsyn/internal/csc"
+	"asyncsyn/internal/sg"
+)
+
+func benchSynth(b *testing.B, name string, opt Options) {
+	src, err := bench.Source(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g, err := ParseSTGString(src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		c, err := Synthesize(g, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(c.Area), "literals")
+			b.ReportMetric(float64(c.FinalStates), "states")
+			b.ReportMetric(float64(c.StateSignals), "statesigs")
+			if c.Aborted {
+				b.ReportMetric(1, "aborted")
+			}
+		}
+	}
+}
+
+// fastRows are the rows every method completes quickly; bigRows need a
+// meaningful budget and separate direct/lavagno handling.
+var fastRows = []string{
+	"sbuf-ram-write", "vbe4a", "nak-pa", "pe-rcv-ifc-fc", "ram-read-sbuf",
+	"alex-nonfc", "sbuf-send-pkt2", "sbuf-send-ctl", "atod", "pa",
+	"alloc-outbound", "wrdata", "fifo", "sbuf-read-ctl", "nouse",
+	"vbe-ex2", "nousc-ser", "sendr-done", "vbe-ex1",
+}
+
+var bigRows = []string{"mr0", "mr1", "mmu0", "mmu1"}
+
+func BenchmarkTable1Modular(b *testing.B) {
+	for _, name := range append(append([]string{}, bigRows...), fastRows...) {
+		b.Run(name, func(b *testing.B) { benchSynth(b, name, Options{Method: Modular}) })
+	}
+}
+
+func BenchmarkTable1Direct(b *testing.B) {
+	// The paper's direct method aborts at the backtrack limit on the
+	// large rows; a bounded budget keeps the same behaviour observable.
+	for _, name := range append(append([]string{}, bigRows...), fastRows...) {
+		b.Run(name, func(b *testing.B) {
+			benchSynth(b, name, Options{Method: Direct, MaxBacktracks: 300000})
+		})
+	}
+}
+
+func BenchmarkTable1Lavagno(b *testing.B) {
+	for _, name := range append(append([]string{}, bigRows...), fastRows...) {
+		b.Run(name, func(b *testing.B) {
+			benchSynth(b, name, Options{Method: Lavagno, MaxBacktracks: 300000})
+		})
+	}
+}
+
+// BenchmarkClauseReduction reproduces the in-text mmu0 claim at the
+// formula level: encode (do not solve) the direct whole-graph CSC
+// formula and every modular formula, reporting their sizes.
+func BenchmarkClauseReduction(b *testing.B) {
+	spec, err := bench.Load("mmu0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	full, err := sg.FromSTG(spec, sg.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	conf := sg.Analyze(full)
+	m := conf.LowerBound
+	if m < 1 {
+		m = 1
+	}
+	b.Run("direct-encode", func(b *testing.B) {
+		var clauses int
+		for i := 0; i < b.N; i++ {
+			enc, err := csc.Encode(full, conf, m, csc.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			clauses = enc.F.NumClauses()
+		}
+		b.ReportMetric(float64(clauses), "clauses")
+	})
+	b.Run("modular-encode", func(b *testing.B) {
+		var maxClauses int
+		for i := 0; i < b.N; i++ {
+			spec, _ := bench.Load("mmu0")
+			c, err := Synthesize(&STG{g: spec}, Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			maxClauses = 0
+			for _, f := range c.Formulas {
+				if f.Clauses > maxClauses {
+					maxClauses = f.Clauses
+				}
+			}
+		}
+		b.ReportMetric(float64(maxClauses), "maxclauses")
+	})
+}
+
+// BenchmarkStateGraph isolates state graph generation (reachability +
+// consistent coding) on the largest benchmark.
+func BenchmarkStateGraph(b *testing.B) {
+	for _, name := range []string{"mr0", "mmu0", "nak-pa", "fifo"} {
+		spec, err := bench.Load(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := sg.FromSTG(spec, sg.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationSupport compares the per-output support restriction
+// (the paper's area mechanism) against full-support derivation.
+func BenchmarkAblationSupport(b *testing.B) {
+	b.Run("restricted", func(b *testing.B) { benchSynth(b, "sbuf-ram-write", Options{}) })
+	b.Run("full", func(b *testing.B) { benchSynth(b, "sbuf-ram-write", Options{FullSupport: true}) })
+}
+
+// BenchmarkAblationEncoding compares the Tseitin separation encoding
+// with the paper-style expanded CNF.
+func BenchmarkAblationEncoding(b *testing.B) {
+	b.Run("tseitin", func(b *testing.B) { benchSynth(b, "nak-pa", Options{}) })
+	b.Run("expandxor", func(b *testing.B) { benchSynth(b, "nak-pa", Options{ExpandXor: true}) })
+}
+
+// BenchmarkAblationEngine compares the complete CDCL engine with the
+// WalkSAT local-search engine on a mid-size row.
+func BenchmarkAblationEngine(b *testing.B) {
+	b.Run("dpll", func(b *testing.B) { benchSynth(b, "sbuf-send-ctl", Options{}) })
+	b.Run("walksat", func(b *testing.B) { benchSynth(b, "sbuf-send-ctl", Options{Engine: WalkSAT}) })
+}

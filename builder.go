@@ -1,0 +1,59 @@
+package asyncsyn
+
+import "asyncsyn/internal/stg"
+
+// Builder constructs STGs programmatically, as an alternative to the ".g"
+// text format. Methods chain; errors are collected and reported by Build.
+//
+//	g, err := asyncsyn.NewSTG("latch").
+//	    Inputs("r").Outputs("a").
+//	    Cycle("r+", "a+", "r-", "a-").
+//	    Token("a-", "r+").
+//	    Build()
+type Builder struct {
+	b *stg.Builder
+}
+
+// NewSTG starts building an STG with the given model name.
+func NewSTG(name string) *Builder { return &Builder{b: stg.NewBuilder(name)} }
+
+// Inputs declares input signals.
+func (b *Builder) Inputs(names ...string) *Builder { b.b.Inputs(names...); return b }
+
+// Outputs declares output signals.
+func (b *Builder) Outputs(names ...string) *Builder { b.b.Outputs(names...); return b }
+
+// Internals declares internal (non-observable, non-input) signals.
+func (b *Builder) Internals(names ...string) *Builder { b.b.Internals(names...); return b }
+
+// Arc adds a causal arc from transition `from` (e.g. "req+") to each
+// transition in `to`.
+func (b *Builder) Arc(from string, to ...string) *Builder { b.b.Arc(from, to...); return b }
+
+// Chain adds the arc sequence e1→e2→…→en.
+func (b *Builder) Chain(edges ...string) *Builder { b.b.Chain(edges...); return b }
+
+// Cycle adds the arcs e1→e2→…→en→e1.
+func (b *Builder) Cycle(edges ...string) *Builder { b.b.Cycle(edges...); return b }
+
+// Place adds an explicit place with the given fanin and fanout
+// transitions (used for choice and merge structures).
+func (b *Builder) Place(name string, from, to []string) *Builder {
+	b.b.Place(name, from, to)
+	return b
+}
+
+// Token marks the implicit place on the arc from→to with an initial token.
+func (b *Builder) Token(from, to string) *Builder { b.b.Token(from, to); return b }
+
+// TokenAt marks the named explicit place with an initial token.
+func (b *Builder) TokenAt(place string) *Builder { b.b.TokenAt(place); return b }
+
+// Build validates the STG and returns it.
+func (b *Builder) Build() (*STG, error) {
+	g, err := b.b.Build()
+	if err != nil {
+		return nil, err
+	}
+	return &STG{g: g}, nil
+}

@@ -1,0 +1,156 @@
+// Command modsyn synthesizes a speed-independent circuit from an STG
+// specification in the astg ".g" format.
+//
+// Usage:
+//
+//	modsyn [-method modular|direct|lavagno] [-engine dpll|walksat]
+//	       [-expandxor] [-fullsupport] [-v] file.g
+//	modsyn -bench name        # synthesize an embedded benchmark
+//
+// It prints the synthesized logic equations and the statistics the
+// paper's Table 1 reports: initial/final state and signal counts, the
+// two-level implementation area in literals, and the CPU time.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"asyncsyn"
+	"asyncsyn/internal/bench"
+)
+
+func main() {
+	method := flag.String("method", "modular", "synthesis method: modular, direct or lavagno")
+	engine := flag.String("engine", "dpll", "constraint engine: dpll, walksat or bdd")
+	expandXor := flag.Bool("expandxor", false, "use the paper-style expanded CNF for separation constraints")
+	fullSupport := flag.Bool("fullsupport", false, "derive logic over all signals (disable input-set support restriction)")
+	benchName := flag.String("bench", "", "synthesize the named embedded benchmark instead of a file")
+	maxBT := flag.Int64("maxbacktracks", 0, "SAT backtrack budget per formula (0 = default)")
+	verbose := flag.Bool("v", false, "print per-output module reports and SAT formula statistics")
+	exact := flag.Bool("exact", false, "exact minimum-literal two-level minimization")
+	pla := flag.Bool("pla", false, "print each function in Berkeley PLA format")
+	verilog := flag.Bool("verilog", false, "print the circuit as a structural Verilog module")
+	dotSTG := flag.Bool("dot", false, "print the STG in Graphviz DOT format and exit")
+	verify := flag.Bool("verify", false, "closed-loop-simulate the circuit against the specification")
+	flag.Parse()
+
+	opt := asyncsyn.Options{
+		ExpandXor:     *expandXor,
+		FullSupport:   *fullSupport,
+		ExactMinimize: *exact,
+		MaxBacktracks: *maxBT,
+	}
+	switch *method {
+	case "modular":
+		opt.Method = asyncsyn.Modular
+	case "direct":
+		opt.Method = asyncsyn.Direct
+	case "lavagno":
+		opt.Method = asyncsyn.Lavagno
+	default:
+		fatalf("unknown method %q", *method)
+	}
+	switch *engine {
+	case "dpll":
+		opt.Engine = asyncsyn.DPLL
+	case "walksat":
+		opt.Engine = asyncsyn.WalkSAT
+	case "bdd":
+		opt.Engine = asyncsyn.BDD
+	default:
+		fatalf("unknown engine %q", *engine)
+	}
+
+	var (
+		g   *asyncsyn.STG
+		err error
+	)
+	switch {
+	case *benchName != "":
+		src, serr := bench.Source(*benchName)
+		if serr != nil {
+			fatalf("%v (available: %v)", serr, bench.Available())
+		}
+		g, err = asyncsyn.ParseSTGString(src)
+	case flag.NArg() == 1:
+		f, ferr := os.Open(flag.Arg(0))
+		if ferr != nil {
+			fatalf("%v", ferr)
+		}
+		defer f.Close()
+		g, err = asyncsyn.ParseSTG(f)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fatalf("parse: %v", err)
+	}
+	if *dotSTG {
+		fmt.Print(g.DOT())
+		return
+	}
+
+	c, err := asyncsyn.Synthesize(g, opt)
+	if err != nil {
+		fatalf("synthesize: %v", err)
+	}
+	fmt.Printf("model %s  (method %s)\n", c.Name, c.Method)
+	if c.Aborted {
+		fmt.Printf("ABORTED: SAT backtrack limit exceeded after %v\n", c.CPU)
+		os.Exit(1)
+	}
+	fmt.Printf("states  %4d -> %4d\n", c.InitialStates, c.FinalStates)
+	fmt.Printf("signals %4d -> %4d  (%d state signals inserted)\n",
+		c.InitialSignals, c.FinalSignals, c.StateSignals)
+	fmt.Printf("area    %4d literals (prime-irredundant two-level covers)\n", c.Area)
+	fmt.Printf("cpu     %v\n\n", c.CPU)
+	for _, f := range c.Functions {
+		fmt.Printf("  %s\n", f)
+	}
+	if *pla {
+		fmt.Println()
+		for _, f := range c.Functions {
+			fmt.Print(f.PLA())
+		}
+	}
+	if *verilog {
+		fmt.Println()
+		fmt.Print(c.Verilog())
+	}
+	if *verify {
+		if bad := c.Verify(g, 200000, 0); len(bad) != 0 {
+			fmt.Println("\nconformance VIOLATIONS:")
+			for _, v := range bad {
+				fmt.Printf("  %s\n", v)
+			}
+			os.Exit(1)
+		}
+		fmt.Println("\nconformance check passed (exhaustive closed-loop simulation)")
+	}
+	if *verbose {
+		if len(c.Modules) > 0 {
+			fmt.Println("\nper-output modules:")
+			for _, m := range c.Modules {
+				fmt.Printf("  %-10s merged %4d states, %3d conflicts, +%d signals, inputs %v\n",
+					m.Output, m.MergedStates, m.Conflicts, m.NewSignals, m.InputSet)
+			}
+		}
+		fmt.Println("\nSAT formulas:")
+		for _, f := range c.Formulas {
+			out := f.Output
+			if out == "" {
+				out = "(global)"
+			}
+			fmt.Printf("  %-10s m=%d  %5d vars %7d clauses  %s  %v\n",
+				out, f.Signals, f.Vars, f.Clauses, f.Status, f.Time)
+		}
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "modsyn: "+format+"\n", args...)
+	os.Exit(1)
+}

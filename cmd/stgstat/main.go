@@ -1,0 +1,74 @@
+// Command stgstat prints structural and state graph statistics of an STG
+// specification: signal counts, reachable states, CSC/USC conflicts and
+// the state-signal lower bound — the inputs to the paper's Table 1.
+//
+// Usage:
+//
+//	stgstat file.g...
+//	stgstat -bench            # all embedded benchmarks
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"asyncsyn/internal/bench"
+	"asyncsyn/internal/sg"
+	"asyncsyn/internal/stg"
+)
+
+func main() {
+	all := flag.Bool("bench", false, "report every embedded benchmark")
+	flag.Parse()
+
+	fmt.Printf("%-18s %7s %7s %7s %8s %6s %6s %4s  %-14s %s\n",
+		"model", "inputs", "outputs", "places", "states", "csc", "usc", "lb", "class", "persistent")
+	if *all {
+		for _, name := range bench.Available() {
+			g, err := bench.Load(name)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "stgstat: %v\n", err)
+				continue
+			}
+			report(g)
+		}
+		return
+	}
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	for _, path := range flag.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "stgstat: %v\n", err)
+			os.Exit(1)
+		}
+		g, err := stg.Parse(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "stgstat: %s: %v\n", path, err)
+			os.Exit(1)
+		}
+		report(g)
+	}
+}
+
+func report(g *stg.G) {
+	st := g.Stat()
+	graph, err := sg.FromSTG(g, sg.Options{})
+	if err != nil {
+		fmt.Printf("%-18s %7d %7d %7d  error: %v\n", g.Name, st.Inputs, st.Outputs+st.Internals, st.Places, err)
+		return
+	}
+	conf := sg.Analyze(graph)
+	persistent := "yes"
+	if !graph.OutputPersistent() {
+		persistent = "NO"
+	}
+	fmt.Printf("%-18s %7d %7d %7d %8d %6d %6d %4d  %-14s %s\n",
+		g.Name, st.Inputs, st.Outputs+st.Internals, st.Places,
+		graph.NumStates(), conf.N(), len(conf.USC), conf.LowerBound,
+		g.Classify(), persistent)
+}

@@ -1,0 +1,86 @@
+package asyncsyn_test
+
+import (
+	"fmt"
+	"log"
+
+	"asyncsyn"
+)
+
+// The canonical two-pulse converter: output b pulses twice per input
+// cycle, which violates complete state coding and forces the insertion
+// of a state signal.
+const twoPulse = `
+.model twopulse
+.inputs a
+.outputs b
+.graph
+a+ b+
+b+ b-
+b- a-
+a- b+/2
+b+/2 b-/2
+b-/2 a+
+.marking { <b-/2,a+> }
+.end
+`
+
+func ExampleSynthesize() {
+	g, err := asyncsyn.ParseSTGString(twoPulse)
+	if err != nil {
+		log.Fatal(err)
+	}
+	c, err := asyncsyn.Synthesize(g, asyncsyn.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("signals %d -> %d\n", c.InitialSignals, c.FinalSignals)
+	for _, f := range c.Functions {
+		fmt.Println(f)
+	}
+	// Output:
+	// signals 2 -> 3
+	// b = a' csc0' + a csc0
+	// csc0 = b' csc0 + a' b
+}
+
+func ExampleNewSTG() {
+	g, err := asyncsyn.NewSTG("latch").
+		Inputs("r").Outputs("a").
+		Cycle("r+", "a+", "r-", "a-").
+		Token("a-", "r+").
+		Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	c, err := asyncsyn.Synthesize(g, asyncsyn.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(c.Functions[0])
+	// Output:
+	// a = r
+}
+
+func ExampleCircuit_Verify() {
+	g, _ := asyncsyn.ParseSTGString(twoPulse)
+	c, err := asyncsyn.Synthesize(g, asyncsyn.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	violations := c.Verify(g, 10000, 0)
+	fmt.Printf("violations: %d\n", len(violations))
+	// Output:
+	// violations: 0
+}
+
+func ExampleFunction_Eval() {
+	g, _ := asyncsyn.ParseSTGString(twoPulse)
+	c, _ := asyncsyn.Synthesize(g, asyncsyn.Options{})
+	f, _ := c.Function("b")
+	fmt.Println(f.Eval(map[string]bool{"a": false, "csc0": false}))
+	fmt.Println(f.Eval(map[string]bool{"a": true, "csc0": false}))
+	// Output:
+	// true
+	// false
+}

@@ -1,0 +1,60 @@
+// Scaling: sweep the parametric handshake family (k concurrent slave
+// handshakes re-run in two phases — the structure of the mr/mmu
+// benchmarks) and watch the three methods diverge as the state graph
+// grows. This regenerates the paper's central "orders of magnitude"
+// trend as a curve rather than a table.
+//
+//	go run ./examples/scaling
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"asyncsyn"
+	"asyncsyn/internal/stg"
+)
+
+func main() {
+	fmt.Printf("%3s %8s | %12s %12s | %12s %12s | %12s\n",
+		"k", "states", "modular-cpu", "mod-area", "direct-cpu", "dir-area", "lavagno-cpu")
+	for k := 1; k <= 4; k++ {
+		spec, err := stg.Handshakes("", k, 2)
+		if err != nil {
+			log.Fatal(err)
+		}
+		src := stg.Format(spec)
+
+		parse := func() *asyncsyn.STG {
+			g, err := asyncsyn.ParseSTGString(src)
+			if err != nil {
+				log.Fatal(err)
+			}
+			return g
+		}
+		mod, err := asyncsyn.Synthesize(parse(), asyncsyn.Options{MaxBacktracks: 300000})
+		if err != nil {
+			log.Fatal(err)
+		}
+		dir, err := asyncsyn.Synthesize(parse(), asyncsyn.Options{Method: asyncsyn.Direct, MaxBacktracks: 300000})
+		if err != nil {
+			log.Fatal(err)
+		}
+		lav, err := asyncsyn.Synthesize(parse(), asyncsyn.Options{Method: asyncsyn.Lavagno, MaxBacktracks: 300000})
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		cell := func(c *asyncsyn.Circuit) (string, string) {
+			if c.Aborted {
+				return "abort", "-"
+			}
+			return fmt.Sprintf("%v", c.CPU.Round(1000*1000)), fmt.Sprint(c.Area)
+		}
+		mc, ma := cell(mod)
+		dc, da := cell(dir)
+		lc, _ := cell(lav)
+		fmt.Printf("%3d %8d | %12s %12s | %12s %12s | %12s\n",
+			k, mod.InitialStates, mc, ma, dc, da, lc)
+	}
+}

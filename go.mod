@@ -1,0 +1,3 @@
+module asyncsyn
+
+go 1.22

@@ -1,0 +1,321 @@
+// Package bdd implements reduced ordered binary decision diagrams with
+// the operations needed by the BDD-based CSC constraint solver: ite,
+// conjunction/disjunction, satisfying-assignment extraction, model
+// counting and minimum-cost model extraction. The paper's conclusion
+// points to a BDD-based constraint satisfaction approach (Puri & Gu,
+// HLSS'94) as the way the implementation area was reduced further; the
+// concrete lever reproduced here is MinCostSat, which picks — among all
+// satisfying phase assignments — one with the fewest excited states, a
+// global optimum the greedy SAT post-pass can only approximate.
+package bdd
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Node is a BDD node reference. 0 and 1 are the terminal constants.
+type Node int32
+
+const (
+	// False is the 0 terminal.
+	False Node = 0
+	// True is the 1 terminal.
+	True Node = 1
+)
+
+type nodeData struct {
+	level  int32 // variable index; terminals use a sentinel
+	lo, hi Node
+}
+
+// ErrNodeLimit is returned when an operation would exceed the pool's
+// node budget; callers fall back to the SAT engine.
+var ErrNodeLimit = errors.New("bdd: node limit exceeded")
+
+// Pool owns the node table and operation caches.
+type Pool struct {
+	nodes  []nodeData
+	unique map[nodeData]Node
+	iteC   map[[3]Node]Node
+	limit  int
+}
+
+const termLevel = int32(1) << 30
+
+// New returns a pool bounded to limit nodes (0 means one million).
+func New(limit int) *Pool {
+	if limit == 0 {
+		limit = 1 << 20
+	}
+	p := &Pool{
+		unique: make(map[nodeData]Node),
+		iteC:   make(map[[3]Node]Node),
+		limit:  limit,
+	}
+	p.nodes = append(p.nodes,
+		nodeData{level: termLevel}, // False
+		nodeData{level: termLevel}, // True
+	)
+	return p
+}
+
+// Size returns the number of live nodes in the pool.
+func (p *Pool) Size() int { return len(p.nodes) }
+
+func (p *Pool) level(n Node) int32 { return p.nodes[n].level }
+
+func (p *Pool) mk(level int32, lo, hi Node) (Node, error) {
+	if lo == hi {
+		return lo, nil
+	}
+	key := nodeData{level: level, lo: lo, hi: hi}
+	if n, ok := p.unique[key]; ok {
+		return n, nil
+	}
+	if len(p.nodes) >= p.limit {
+		return 0, ErrNodeLimit
+	}
+	n := Node(len(p.nodes))
+	p.nodes = append(p.nodes, key)
+	p.unique[key] = n
+	return n, nil
+}
+
+// Var returns the BDD of variable v.
+func (p *Pool) Var(v int) (Node, error) {
+	return p.mk(int32(v), False, True)
+}
+
+// NVar returns the BDD of ¬v.
+func (p *Pool) NVar(v int) (Node, error) {
+	return p.mk(int32(v), True, False)
+}
+
+// Ite computes if-then-else(f, g, h).
+func (p *Pool) Ite(f, g, h Node) (Node, error) {
+	switch {
+	case f == True:
+		return g, nil
+	case f == False:
+		return h, nil
+	case g == h:
+		return g, nil
+	case g == True && h == False:
+		return f, nil
+	}
+	key := [3]Node{f, g, h}
+	if n, ok := p.iteC[key]; ok {
+		return n, nil
+	}
+	top := p.level(f)
+	if l := p.level(g); l < top {
+		top = l
+	}
+	if l := p.level(h); l < top {
+		top = l
+	}
+	cof := func(n Node, branch bool) Node {
+		if p.level(n) != top {
+			return n
+		}
+		if branch {
+			return p.nodes[n].hi
+		}
+		return p.nodes[n].lo
+	}
+	hiRes, err := p.Ite(cof(f, true), cof(g, true), cof(h, true))
+	if err != nil {
+		return 0, err
+	}
+	loRes, err := p.Ite(cof(f, false), cof(g, false), cof(h, false))
+	if err != nil {
+		return 0, err
+	}
+	n, err := p.mk(top, loRes, hiRes)
+	if err != nil {
+		return 0, err
+	}
+	p.iteC[key] = n
+	return n, nil
+}
+
+// And computes f ∧ g.
+func (p *Pool) And(f, g Node) (Node, error) { return p.Ite(f, g, False) }
+
+// Or computes f ∨ g.
+func (p *Pool) Or(f, g Node) (Node, error) { return p.Ite(f, True, g) }
+
+// Not computes ¬f.
+func (p *Pool) Not(f Node) (Node, error) { return p.Ite(f, False, True) }
+
+// Xor computes f ⊕ g.
+func (p *Pool) Xor(f, g Node) (Node, error) {
+	ng, err := p.Not(g)
+	if err != nil {
+		return 0, err
+	}
+	return p.Ite(f, ng, g)
+}
+
+// AndN conjoins a list of functions.
+func (p *Pool) AndN(fs ...Node) (Node, error) {
+	acc := True
+	for _, f := range fs {
+		var err error
+		acc, err = p.And(acc, f)
+		if err != nil {
+			return 0, err
+		}
+		if acc == False {
+			return False, nil
+		}
+	}
+	return acc, nil
+}
+
+// Eval evaluates f under a full assignment (indexed by variable).
+func (p *Pool) Eval(f Node, assign []bool) bool {
+	for f != True && f != False {
+		nd := p.nodes[f]
+		if assign[nd.level] {
+			f = nd.hi
+		} else {
+			f = nd.lo
+		}
+	}
+	return f == True
+}
+
+// SatCount returns the model count of f over variables 0..numVars-1.
+func (p *Pool) SatCount(f Node, numVars int) float64 {
+	memo := make(map[Node]float64)
+	var frac func(n Node) float64 // fraction of assignments satisfying n
+	frac = func(n Node) float64 {
+		switch n {
+		case False:
+			return 0
+		case True:
+			return 1
+		}
+		if c, ok := memo[n]; ok {
+			return c
+		}
+		nd := p.nodes[n]
+		c := 0.5*frac(nd.lo) + 0.5*frac(nd.hi)
+		memo[n] = c
+		return c
+	}
+	return frac(f) * math.Pow(2, float64(numVars))
+}
+
+// AnySat returns one satisfying assignment over numVars variables
+// (unconstrained variables default to false). ok is false for the False
+// function.
+func (p *Pool) AnySat(f Node, numVars int) (assign []bool, ok bool) {
+	if f == False {
+		return nil, false
+	}
+	assign = make([]bool, numVars)
+	for f != True {
+		nd := p.nodes[f]
+		if nd.lo != False {
+			f = nd.lo
+		} else {
+			assign[nd.level] = true
+			f = nd.hi
+		}
+	}
+	return assign, true
+}
+
+// MinCostSat returns a satisfying assignment minimising the total cost
+// of true variables (cost[v] ≥ 0; variables beyond len(cost) cost 0).
+// Unconstrained variables are set false. This is a linear-time dynamic
+// program over the BDD: the global optimum, not a greedy approximation.
+func (p *Pool) MinCostSat(f Node, numVars int, cost []float64) (assign []bool, total float64, ok bool) {
+	if f == False {
+		return nil, 0, false
+	}
+	costOf := func(v int32) float64 {
+		if int(v) < len(cost) {
+			return cost[v]
+		}
+		return 0
+	}
+	type entry struct {
+		cost float64
+		hi   bool
+	}
+	memo := make(map[Node]entry)
+	var best func(n Node) float64
+	best = func(n Node) float64 {
+		switch n {
+		case False:
+			return math.Inf(1)
+		case True:
+			return 0
+		}
+		if e, ok := memo[n]; ok {
+			return e.cost
+		}
+		nd := p.nodes[n]
+		lo := best(nd.lo)
+		hi := best(nd.hi) + costOf(nd.level)
+		e := entry{cost: lo, hi: false}
+		if hi < lo {
+			e = entry{cost: hi, hi: true}
+		}
+		memo[n] = e
+		return e.cost
+	}
+	total = best(f)
+	assign = make([]bool, numVars)
+	for f != True {
+		e := memo[f]
+		nd := p.nodes[f]
+		if e.hi {
+			assign[nd.level] = true
+			f = nd.hi
+		} else {
+			f = nd.lo
+		}
+	}
+	return assign, total, true
+}
+
+// Clause builds the BDD of a disjunction of literals given as
+// (variable, negated) pairs.
+func (p *Pool) Clause(lits [][2]int) (Node, error) {
+	acc := False
+	for _, l := range lits {
+		var lit Node
+		var err error
+		if l[1] != 0 {
+			lit, err = p.NVar(l[0])
+		} else {
+			lit, err = p.Var(l[0])
+		}
+		if err != nil {
+			return 0, err
+		}
+		acc, err = p.Or(acc, lit)
+		if err != nil {
+			return 0, err
+		}
+	}
+	return acc, nil
+}
+
+// String renders a small BDD for debugging.
+func (p *Pool) String(f Node) string {
+	if f == True {
+		return "1"
+	}
+	if f == False {
+		return "0"
+	}
+	nd := p.nodes[f]
+	return fmt.Sprintf("(x%d ? %s : %s)", nd.level, p.String(nd.hi), p.String(nd.lo))
+}

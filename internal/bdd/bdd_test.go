@@ -1,0 +1,287 @@
+package bdd
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// expr is a random boolean expression tree for cross-checking BDD
+// semantics against direct evaluation.
+type expr struct {
+	op       byte // 'v', '&', '|', '^', '!'
+	v        int
+	lhs, rhs *expr
+}
+
+func randExpr(rng *rand.Rand, vars, depth int) *expr {
+	if depth == 0 || rng.Intn(4) == 0 {
+		return &expr{op: 'v', v: rng.Intn(vars)}
+	}
+	ops := []byte{'&', '|', '^', '!'}
+	op := ops[rng.Intn(len(ops))]
+	e := &expr{op: op, lhs: randExpr(rng, vars, depth-1)}
+	if op != '!' {
+		e.rhs = randExpr(rng, vars, depth-1)
+	}
+	return e
+}
+
+func (e *expr) eval(a []bool) bool {
+	switch e.op {
+	case 'v':
+		return a[e.v]
+	case '&':
+		return e.lhs.eval(a) && e.rhs.eval(a)
+	case '|':
+		return e.lhs.eval(a) || e.rhs.eval(a)
+	case '^':
+		return e.lhs.eval(a) != e.rhs.eval(a)
+	default:
+		return !e.lhs.eval(a)
+	}
+}
+
+func (e *expr) build(t *testing.T, p *Pool) Node {
+	t.Helper()
+	var n Node
+	var err error
+	switch e.op {
+	case 'v':
+		n, err = p.Var(e.v)
+	case '&':
+		n, err = p.And(e.lhs.build(t, p), e.rhs.build(t, p))
+	case '|':
+		n, err = p.Or(e.lhs.build(t, p), e.rhs.build(t, p))
+	case '^':
+		n, err = p.Xor(e.lhs.build(t, p), e.rhs.build(t, p))
+	default:
+		n, err = p.Not(e.lhs.build(t, p))
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestTerminalsAndVar(t *testing.T) {
+	p := New(0)
+	x, err := p.Var(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nx, err := p.NVar(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := make([]bool, 4)
+	if p.Eval(x, a) || !p.Eval(nx, a) {
+		t.Fatalf("var semantics wrong at 0")
+	}
+	a[3] = true
+	if !p.Eval(x, a) || p.Eval(nx, a) {
+		t.Fatalf("var semantics wrong at 1")
+	}
+	// Hash consing: same variable twice yields the same node.
+	x2, _ := p.Var(3)
+	if x != x2 {
+		t.Fatalf("unique table broken")
+	}
+	if p.String(x) == "" || p.String(True) != "1" || p.String(False) != "0" {
+		t.Fatalf("String broken")
+	}
+}
+
+// TestSemanticsRandom cross-checks BDD evaluation against the expression
+// tree on all assignments, and canonical equality: two builds of the
+// same expression give the same node.
+func TestSemanticsRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 100; i++ {
+		vars := 2 + rng.Intn(6)
+		e := randExpr(rng, vars, 4)
+		p := New(0)
+		n := e.build(t, p)
+		n2 := e.build(t, p)
+		if n != n2 {
+			t.Fatalf("canonical form broken")
+		}
+		a := make([]bool, vars)
+		for m := 0; m < 1<<vars; m++ {
+			for v := 0; v < vars; v++ {
+				a[v] = m&(1<<v) != 0
+			}
+			if p.Eval(n, a) != e.eval(a) {
+				t.Fatalf("case %d: eval mismatch at %b", i, m)
+			}
+		}
+	}
+}
+
+func TestSatCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < 50; i++ {
+		vars := 2 + rng.Intn(5)
+		e := randExpr(rng, vars, 3)
+		p := New(0)
+		n := e.build(t, p)
+		want := 0
+		a := make([]bool, vars)
+		for m := 0; m < 1<<vars; m++ {
+			for v := 0; v < vars; v++ {
+				a[v] = m&(1<<v) != 0
+			}
+			if e.eval(a) {
+				want++
+			}
+		}
+		if got := p.SatCount(n, vars); math.Abs(got-float64(want)) > 1e-9 {
+			t.Fatalf("case %d: SatCount = %v, want %d", i, got, want)
+		}
+	}
+}
+
+func TestAnySat(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for i := 0; i < 50; i++ {
+		vars := 3 + rng.Intn(4)
+		e := randExpr(rng, vars, 3)
+		p := New(0)
+		n := e.build(t, p)
+		a, ok := p.AnySat(n, vars)
+		if n == False {
+			if ok {
+				t.Fatalf("AnySat on False")
+			}
+			continue
+		}
+		if !ok || !p.Eval(n, a) {
+			t.Fatalf("AnySat returned a non-model")
+		}
+	}
+}
+
+// TestMinCostSat verifies optimality against exhaustive search.
+func TestMinCostSat(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for i := 0; i < 60; i++ {
+		vars := 2 + rng.Intn(5)
+		e := randExpr(rng, vars, 3)
+		p := New(0)
+		n := e.build(t, p)
+		cost := make([]float64, vars)
+		for v := range cost {
+			cost[v] = float64(rng.Intn(5))
+		}
+		// Exhaustive optimum.
+		best := math.Inf(1)
+		a := make([]bool, vars)
+		for m := 0; m < 1<<vars; m++ {
+			for v := 0; v < vars; v++ {
+				a[v] = m&(1<<v) != 0
+			}
+			if !e.eval(a) {
+				continue
+			}
+			c := 0.0
+			for v := 0; v < vars; v++ {
+				if a[v] {
+					c += cost[v]
+				}
+			}
+			if c < best {
+				best = c
+			}
+		}
+		got, total, ok := p.MinCostSat(n, vars, cost)
+		if math.IsInf(best, 1) {
+			if ok {
+				t.Fatalf("MinCostSat on UNSAT returned a model")
+			}
+			continue
+		}
+		if !ok || !p.Eval(n, got) {
+			t.Fatalf("MinCostSat returned a non-model")
+		}
+		var check float64
+		for v := 0; v < vars; v++ {
+			if got[v] {
+				check += cost[v]
+			}
+		}
+		if math.Abs(total-best) > 1e-9 || math.Abs(check-best) > 1e-9 {
+			t.Fatalf("case %d: MinCostSat cost %v (claims %v), optimum %v", i, check, total, best)
+		}
+	}
+}
+
+func TestClause(t *testing.T) {
+	p := New(0)
+	// (x0 ∨ ¬x2)
+	n, err := p.Clause([][2]int{{0, 0}, {2, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		a    []bool
+		want bool
+	}{
+		{[]bool{false, false, false}, true},
+		{[]bool{false, false, true}, false},
+		{[]bool{true, false, true}, true},
+	}
+	for _, c := range cases {
+		if p.Eval(n, c.a) != c.want {
+			t.Fatalf("clause at %v", c.a)
+		}
+	}
+	empty, err := p.Clause(nil)
+	if err != nil || empty != False {
+		t.Fatalf("empty clause must be False")
+	}
+}
+
+func TestNodeLimit(t *testing.T) {
+	p := New(8) // absurdly small
+	acc := True
+	var err error
+	for v := 0; v < 32 && err == nil; v++ {
+		var x Node
+		x, err = p.Var(v)
+		if err == nil {
+			y, yerr := p.Var((v + 7) % 32)
+			if yerr != nil {
+				err = yerr
+				break
+			}
+			xy, aerr := p.Xor(x, y)
+			if aerr != nil {
+				err = aerr
+				break
+			}
+			acc, err = p.And(acc, xy)
+		}
+	}
+	if !errors.Is(err, ErrNodeLimit) {
+		t.Fatalf("want ErrNodeLimit, got %v", err)
+	}
+}
+
+func TestAndN(t *testing.T) {
+	p := New(0)
+	x0, _ := p.Var(0)
+	x1, _ := p.Var(1)
+	nx0, _ := p.NVar(0)
+	n, err := p.AndN(x0, x1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Eval(n, []bool{true, true}) || p.Eval(n, []bool{true, false}) {
+		t.Fatalf("AndN semantics")
+	}
+	n, err = p.AndN(x0, nx0)
+	if err != nil || n != False {
+		t.Fatalf("contradiction must collapse to False")
+	}
+}

@@ -1,0 +1,131 @@
+// Package bench carries the reconstructed STG benchmark suite used to
+// reproduce the paper's Table 1, together with the numbers the paper
+// reports for each benchmark.
+//
+// The original HP/SIS benchmark files are not redistributable and were
+// unavailable when this suite was built, so every STG here is a
+// reconstruction: it keeps the published name and signal count and uses
+// handshake/fork/choice structures typical of the original controllers,
+// sized so that the reachable state count approaches the published one.
+// The synthesis pipeline exercises the same code paths (state explosion,
+// CSC conflict analysis, SAT growth); EXPERIMENTS.md records the actual
+// counts next to the paper's.
+package bench
+
+import (
+	"embed"
+	"fmt"
+	"sort"
+
+	"asyncsyn/internal/stg"
+)
+
+//go:embed data/*.g
+var dataFS embed.FS
+
+// Paper holds the numbers Table 1 reports for one benchmark and one
+// method. Zero-valued fields mean the paper reports no number (aborted
+// runs, tool errors).
+type Paper struct {
+	Signals int     // final signal count
+	States  int     // final state count (only given for some methods)
+	Area    int     // two-level literals
+	CPU     float64 // seconds on a SPARC-2
+	Note    string  // "backtrack limit", "internal state error", ...
+}
+
+// Entry is one Table 1 row.
+type Entry struct {
+	Name           string
+	InitialStates  int // paper's initial state count
+	InitialSignals int // paper's initial signal count
+	Ours           Paper
+	Vanbekbergen   Paper
+	Lavagno        Paper
+}
+
+// Table1 lists the paper's rows in the paper's order (largest first).
+var Table1 = []Entry{
+	{"mr0", 302, 11, Paper{Signals: 14, States: 469, Area: 41, CPU: 2.80}, Paper{Note: "backtrack limit", CPU: 3600}, Paper{Signals: 13, Area: 86, CPU: 1084.5}},
+	{"mr1", 190, 8, Paper{Signals: 12, States: 373, Area: 55, CPU: 1.73}, Paper{Note: "backtrack limit", CPU: 872.9}, Paper{Signals: 10, Area: 53, CPU: 237.5}},
+	{"mmu0", 174, 8, Paper{Signals: 11, States: 441, Area: 49, CPU: 0.87}, Paper{Note: "backtrack limit", CPU: 406.3}, Paper{Note: "internal state error"}},
+	{"mmu1", 82, 8, Paper{Signals: 10, States: 131, Area: 50, CPU: 0.37}, Paper{Note: "backtrack limit", CPU: 101.3}, Paper{Signals: 10, Area: 37, CPU: 47.8}},
+	{"sbuf-ram-write", 58, 10, Paper{Signals: 12, States: 93, Area: 59, CPU: 0.36}, Paper{Signals: 12, States: 90, Area: 74, CPU: 5.21}, Paper{Signals: 12, Area: 35, CPU: 54.6}},
+	{"vbe4a", 58, 6, Paper{Signals: 8, States: 106, Area: 37, CPU: 0.19}, Paper{Signals: 8, States: 116, Area: 40, CPU: 0.25}, Paper{Signals: 8, Area: 41, CPU: 5.5}},
+	{"nak-pa", 56, 9, Paper{Signals: 10, States: 59, Area: 25, CPU: 0.20}, Paper{Signals: 10, States: 58, Area: 32, CPU: 0.08}, Paper{Signals: 10, Area: 41, CPU: 20.8}},
+	{"pe-rcv-ifc-fc", 46, 8, Paper{Signals: 9, States: 50, Area: 48, CPU: 0.24}, Paper{Signals: 9, States: 53, Area: 50, CPU: 0.13}, Paper{Signals: 9, Area: 62, CPU: 14.3}},
+	{"ram-read-sbuf", 36, 10, Paper{Signals: 11, States: 44, Area: 28, CPU: 0.15}, Paper{Signals: 11, States: 53, Area: 44, CPU: 0.06}, Paper{Signals: 11, Area: 23, CPU: 65.2}},
+	{"alex-nonfc", 24, 6, Paper{Signals: 7, States: 31, Area: 26, CPU: 0.05}, Paper{Signals: 7, States: 28, Area: 22, CPU: 0.03}, Paper{Note: "non-free-choice STG"}},
+	{"sbuf-send-pkt2", 21, 6, Paper{Signals: 7, States: 26, Area: 20, CPU: 0.04}, Paper{Signals: 7, States: 27, Area: 29, CPU: 0.04}, Paper{Signals: 7, Area: 14, CPU: 8.6}},
+	{"sbuf-send-ctl", 20, 6, Paper{Signals: 8, States: 32, Area: 33, CPU: 0.09}, Paper{Signals: 8, States: 28, Area: 35, CPU: 0.03}, Paper{Signals: 8, Area: 43, CPU: 3.4}},
+	{"atod", 20, 6, Paper{Signals: 7, States: 26, Area: 15, CPU: 0.02}, Paper{Signals: 7, States: 24, Area: 16, CPU: 0.01}, Paper{Signals: 7, Area: 19, CPU: 2.9}},
+	{"pa", 18, 4, Paper{Signals: 6, States: 34, Area: 18, CPU: 0.12}, Paper{Signals: 6, States: 31, Area: 22, CPU: 0.06}, Paper{Note: "internal state error"}},
+	{"alloc-outbound", 17, 7, Paper{Signals: 9, States: 29, Area: 33, CPU: 0.09}, Paper{Signals: 9, States: 24, Area: 27, CPU: 0.04}, Paper{Signals: 9, Area: 23, CPU: 2.5}},
+	{"wrdata", 16, 4, Paper{Signals: 5, States: 20, Area: 17, CPU: 0.03}, Paper{Signals: 5, States: 19, Area: 18, CPU: 0.01}, Paper{Signals: 5, Area: 21, CPU: 0.9}},
+	{"fifo", 16, 4, Paper{Signals: 5, States: 23, Area: 15, CPU: 0.03}, Paper{Signals: 5, States: 20, Area: 17, CPU: 0.02}, Paper{Signals: 5, Area: 15, CPU: 0.7}},
+	{"sbuf-read-ctl", 14, 6, Paper{Signals: 7, States: 18, Area: 16, CPU: 0.06}, Paper{Signals: 7, States: 16, Area: 20, CPU: 0.01}, Paper{Signals: 7, Area: 15, CPU: 1.5}},
+	{"nouse", 12, 3, Paper{Signals: 4, States: 16, Area: 12, CPU: 0.01}, Paper{Signals: 4, States: 16, Area: 12, CPU: 0.01}, Paper{Signals: 4, Area: 14, CPU: 0.5}},
+	{"vbe-ex2", 8, 2, Paper{Signals: 4, States: 12, Area: 18, CPU: 0.08}, Paper{Signals: 4, States: 12, Area: 18, CPU: 0.03}, Paper{Signals: 4, Area: 21, CPU: 0.5}},
+	{"nousc-ser", 8, 3, Paper{Signals: 4, States: 10, Area: 9, CPU: 0.02}, Paper{Signals: 4, States: 10, Area: 9, CPU: 0.01}, Paper{Signals: 4, Area: 11, CPU: 0.4}},
+	{"sendr-done", 7, 3, Paper{Signals: 4, States: 10, Area: 8, CPU: 0.02}, Paper{Signals: 4, States: 10, Area: 8, CPU: 0.01}, Paper{Signals: 4, Area: 6, CPU: 0.4}},
+	{"vbe-ex1", 5, 2, Paper{Signals: 3, States: 8, Area: 7, CPU: 0.01}, Paper{Signals: 3, States: 8, Area: 7, CPU: 0.01}, Paper{Signals: 3, Area: 7, CPU: 0.3}},
+}
+
+// Names lists the benchmark names in Table 1 order.
+func Names() []string {
+	out := make([]string, len(Table1))
+	for i, e := range Table1 {
+		out[i] = e.Name
+	}
+	return out
+}
+
+// Find returns the Table 1 entry for a benchmark name.
+func Find(name string) (Entry, bool) {
+	for _, e := range Table1 {
+		if e.Name == name {
+			return e, true
+		}
+	}
+	return Entry{}, false
+}
+
+// Source returns the .g text of a benchmark.
+func Source(name string) (string, error) {
+	b, err := dataFS.ReadFile("data/" + name + ".g")
+	if err != nil {
+		return "", fmt.Errorf("bench: no benchmark %q", name)
+	}
+	return string(b), nil
+}
+
+// Load parses a benchmark by name.
+func Load(name string) (*stg.G, error) {
+	src, err := Source(name)
+	if err != nil {
+		return nil, err
+	}
+	g, err := stg.ParseString(src)
+	if err != nil {
+		return nil, fmt.Errorf("bench %s: %w", name, err)
+	}
+	return g, nil
+}
+
+// Available lists the benchmarks actually present in the embedded data,
+// sorted by name.
+func Available() []string {
+	entries, err := dataFS.ReadDir("data")
+	if err != nil {
+		return nil
+	}
+	var out []string
+	for _, e := range entries {
+		n := e.Name()
+		if len(n) > 2 && n[len(n)-2:] == ".g" {
+			out = append(out, n[:len(n)-2])
+		}
+	}
+	sort.Strings(out)
+	return out
+}

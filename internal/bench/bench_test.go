@@ -1,0 +1,182 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"asyncsyn/internal/sg"
+	"asyncsyn/internal/stg"
+)
+
+func TestTable1Metadata(t *testing.T) {
+	if len(Table1) != 23 {
+		t.Fatalf("Table 1 has %d rows, want 23", len(Table1))
+	}
+	names := Names()
+	if names[0] != "mr0" || names[len(names)-1] != "vbe-ex1" {
+		t.Fatalf("paper order broken: %v", names)
+	}
+	for _, e := range Table1 {
+		if e.InitialStates <= 0 || e.InitialSignals <= 0 {
+			t.Errorf("%s: missing initial numbers", e.Name)
+		}
+		if e.Ours.Signals <= e.InitialSignals && e.Ours.Note == "" {
+			t.Errorf("%s: paper's final signals %d not above initial %d", e.Name, e.Ours.Signals, e.InitialSignals)
+		}
+	}
+	if _, ok := Find("mr0"); !ok {
+		t.Fatalf("Find(mr0) failed")
+	}
+	if _, ok := Find("nonesuch"); ok {
+		t.Fatalf("Find(nonesuch) succeeded")
+	}
+	if _, err := Source("nonesuch"); err == nil {
+		t.Fatalf("Source(nonesuch) succeeded")
+	}
+	if _, err := Load("nonesuch"); err == nil {
+		t.Fatalf("Load(nonesuch) succeeded")
+	}
+}
+
+func TestEveryTableRowHasAFile(t *testing.T) {
+	have := make(map[string]bool)
+	for _, n := range Available() {
+		have[n] = true
+	}
+	for _, e := range Table1 {
+		if !have[e.Name] {
+			t.Errorf("benchmark %s missing from embedded data", e.Name)
+		}
+	}
+	if len(Available()) != len(Table1) {
+		t.Errorf("%d files for %d rows", len(Available()), len(Table1))
+	}
+}
+
+// TestSuiteInvariants: every reconstruction parses, validates, is a safe
+// (1-bounded) live net, has a consistent state assignment, at least one
+// CSC conflict (all Table 1 rows need state signals), and the signal
+// count the paper reports.
+func TestSuiteInvariants(t *testing.T) {
+	for _, name := range Available() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			g, err := Load(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := g.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			entry, ok := Find(name)
+			if !ok {
+				t.Fatalf("no Table 1 row")
+			}
+			if len(g.Signals) != entry.InitialSignals {
+				t.Errorf("%d signals, paper has %d", len(g.Signals), entry.InitialSignals)
+			}
+			if safe, err := g.Net.IsSafe(100000); err != nil || !safe {
+				t.Fatalf("not a safe net: %v", err)
+			}
+			graph, err := sg.FromSTG(g, sg.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			r, err := g.Net.Reach(1, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if dead := g.Net.Live(r); len(dead) != 0 {
+				t.Errorf("dead transitions: %v", dead)
+			}
+			conf := sg.Analyze(graph)
+			if conf.N() == 0 {
+				t.Errorf("no CSC conflicts")
+			}
+			// State count within 40%% of the paper's (reconstruction
+			// tolerance; most are exact).
+			lo := entry.InitialStates * 6 / 10
+			hi := entry.InitialStates * 14 / 10
+			if graph.NumStates() < lo || graph.NumStates() > hi {
+				t.Errorf("states %d outside [%d,%d] (paper %d)",
+					graph.NumStates(), lo, hi, entry.InitialStates)
+			}
+		})
+	}
+}
+
+func TestStructuralLandmarks(t *testing.T) {
+	// pe-rcv-ifc-fc must contain a free choice (a place with two fanout
+	// transitions, both full-place-set-shared).
+	g, err := Load("pe-rcv-ifc-fc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundChoice := false
+	for _, p := range g.Net.Places {
+		if len(p.Post) >= 2 {
+			foundChoice = true
+		}
+	}
+	if !foundChoice {
+		t.Errorf("pe-rcv-ifc-fc has no choice place")
+	}
+
+	// alex-nonfc must contain a NON-free choice: two transitions sharing
+	// a place where one has strictly more input places.
+	g, err = Load("alex-nonfc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundNonFC := false
+	for _, p := range g.Net.Places {
+		if len(p.Post) < 2 {
+			continue
+		}
+		for i := 0; i < len(p.Post); i++ {
+			for j := 0; j < len(p.Post); j++ {
+				ti := g.Net.Transitions[p.Post[i]]
+				tj := g.Net.Transitions[p.Post[j]]
+				if len(ti.Pre) != len(tj.Pre) {
+					foundNonFC = true
+				}
+			}
+		}
+	}
+	if !foundNonFC {
+		t.Errorf("alex-nonfc is free choice")
+	}
+
+	// Every source carries a descriptive comment header.
+	for _, name := range Available() {
+		src, _ := Source(name)
+		if !strings.HasPrefix(strings.TrimSpace(src), "#") {
+			t.Errorf("%s: missing header comment", name)
+		}
+	}
+}
+
+// TestSuiteClasses pins the structural class of the landmark
+// reconstructions: the mr/mmu family are marked graphs (pure
+// concurrency), pe-rcv-ifc-fc is free choice, alex-nonfc is general
+// (non-free-choice) — the properties Table 1's method-applicability
+// notes depend on.
+func TestSuiteClasses(t *testing.T) {
+	want := map[string]stg.Class{
+		"mr0":           stg.MarkedGraph,
+		"mmu0":          stg.MarkedGraph,
+		"mmu1":          stg.MarkedGraph,
+		"fifo":          stg.MarkedGraph,
+		"pe-rcv-ifc-fc": stg.FreeChoice,
+		"alex-nonfc":    stg.General,
+	}
+	for name, cls := range want {
+		g, err := Load(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := g.Classify(); got != cls {
+			t.Errorf("%s: class %v, want %v", name, got, cls)
+		}
+	}
+}

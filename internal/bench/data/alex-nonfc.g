@@ -1,0 +1,33 @@
+# Reconstruction of alex-nonfc: a non-free-choice STG — transitions a+
+# and b+ share input place P while b+ needs the extra place Q (an
+# asymmetric choice), the construct that Table 1 reports as unsupported
+# by the Lavagno flow. Each branch performs its handshake twice.
+.model alex-nonfc
+.inputs a b
+.outputs p q r s
+.graph
+r+ P
+P a+ b+
+Q b+
+a+ p+
+p+ a-
+a- p-
+p- a+/2
+a+/2 p+/2
+p+/2 a-/2
+a-/2 p-/2
+p-/2 M
+b+ q+
+q+ b-
+b- q- Q
+q- b+/2
+b+/2 q+/2
+q+/2 b-/2
+b-/2 q-/2
+q-/2 M
+M s+
+s+ r-
+r- s-
+s- r+
+.marking { <s-,r+> Q }
+.end

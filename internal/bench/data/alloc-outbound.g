@@ -1,0 +1,26 @@
+# Reconstruction of alloc-outbound: outbound buffer allocation with a
+# double grant handshake inside one request cycle.
+.model alloc-outbound
+.inputs req gnt
+.outputs alloc ack free x y
+.graph
+req+ alloc+
+alloc+ gnt+
+gnt+ alloc-
+alloc- gnt-
+gnt- x+
+x+ alloc+/2
+alloc+/2 gnt+/2
+gnt+/2 alloc-/2
+alloc-/2 gnt-/2
+gnt-/2 y+
+y+ ack+
+ack+ req-
+req- free+
+free+ x-
+x- y-
+y- free-
+free- ack-
+ack- req+
+.marking { <ack-,req+> }
+.end

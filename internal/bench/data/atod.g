@@ -1,0 +1,25 @@
+# Reconstruction of atod: an A/D conversion controller that runs the
+# sample handshake twice (acquire, then auto-zero) with a concurrent
+# latch pulse; the re-used sampling codes violate CSC.
+.model atod
+.inputs go cmp
+.outputs sample conv latch done
+.graph
+go+ sample+
+sample+ cmp+
+cmp+ sample-
+sample- cmp-
+cmp- conv+
+conv+ latch+ sample+/2
+sample+/2 cmp+/2
+cmp+/2 sample-/2
+sample-/2 cmp-/2
+cmp-/2 done+
+latch+ done+
+done+ latch-
+latch- conv-
+conv- go-
+go- done-
+done- go+
+.marking { <done-,go+> }
+.end

@@ -1,0 +1,27 @@
+# Reconstruction of mmu0: memory-management unit with three concurrent
+# bank handshakes; bank 1 additionally re-pulses its select line within
+# its branch, re-using the branch codes.
+.model mmu0
+.inputs r t1 t2 t3
+.outputs a s1 s2 s3
+.graph
+r+ s1+ s2+ s3+
+s1+ t1+
+t1+ s1-
+s1- t1-
+t1- s1+/2
+s1+/2 s1-/2
+s2+ t2+
+t2+ s2-
+s2- t2-
+s3+ t3+
+t3+ s3-
+s3- t3-
+s1-/2 a+
+t2- a+
+t3- a+
+a+ r-
+r- a-
+a- r+
+.marking { <a-,r+> }
+.end

@@ -1,0 +1,30 @@
+# Reconstruction of mmu1: memory-management unit cycle with two
+# concurrent bank handshakes plus a translation pulse, and a serial
+# re-run of bank 1 for the dirty-bit update.
+.model mmu1
+.inputs r t1 t2
+.outputs a s1 s2 tr
+.internal v
+.graph
+r+ s1+ s2+ tr+
+s1+ t1+
+t1+ s1-
+s1- t1-
+s2+ t2+
+t2+ s2-
+s2- t2-
+tr+ tr-
+t1- a+
+t2- a+
+tr- a+
+a+ r-
+r- v+
+v+ s1+/2
+s1+/2 t1+/2
+t1+/2 s1-/2
+s1-/2 t1-/2
+t1-/2 v-
+v- a-
+a- r+
+.marking { <a-,r+> }
+.end

@@ -1,0 +1,41 @@
+# Reconstruction of mr0: the largest benchmark. Access phase: three
+# concurrent row handshakes, row 1 followed by a refresh pulse in its
+# branch. Precharge phase: rows 1 and 2 re-run concurrently with a
+# victim/done handshake.
+.model mr0
+.inputs r t1 t2 t3
+.outputs a s1 s2 s3 rf done
+.internal v
+.graph
+r+ s1+ s2+ s3+
+s1+ t1+
+t1+ s1-
+s1- t1-
+t1- rf+
+rf+ rf-
+s2+ t2+
+t2+ s2-
+s2- t2-
+s3+ t3+
+t3+ s3-
+s3- t3-
+rf- a+
+t2- a+
+t3- a+
+a+ r-
+r- s1+/2 s2+/2 v+
+s1+/2 t1+/2
+t1+/2 s1-/2
+s1-/2 t1-/2
+s2+/2 t2+/2
+t2+/2 s2-/2
+s2-/2 t2-/2
+v+ done+
+done+ v-
+v- done-
+t1-/2 a-
+t2-/2 a-
+done- a-
+a- r+
+.marking { <a-,r+> }
+.end

@@ -1,0 +1,33 @@
+# Reconstruction of mr1: memory-refresh controller; three concurrent
+# row handshakes (row 3 with a double select pulse) plus a serial
+# refresh re-run of rows 1 and 2.
+.model mr1
+.inputs r t1 t2 t3
+.outputs a s1 s2 s3
+.graph
+r+ s1+ s2+ s3+
+s1+ t1+
+t1+ s1-
+s1- t1-
+s2+ t2+
+t2+ s2-
+s2- t2-
+s3+ t3+
+t3+ s3-
+s3- t3-
+t3- s3+/2
+s3+/2 s3-/2
+t1- a+
+t2- a+
+s3-/2 a+
+a+ r-
+r- s1+/2
+s1+/2 t1+/2
+t1+/2 s1-/2
+s1-/2 t1-/2
+t1-/2 s2+/2
+s2+/2 s2-/2
+s2-/2 a-
+a- r+
+.marking { <a-,r+> }
+.end

@@ -1,0 +1,17 @@
+# Reconstruction of nousc-ser: a serial controller where the code 100
+# recurs enabling different outputs (a USC/CSC violation in a fully
+# serial cycle).
+.model nousc-ser
+.inputs r
+.outputs a d
+.graph
+r+ a+
+a+ r-
+r- a-
+a- r+/2
+r+/2 d+
+d+ r-/2
+r-/2 d-
+d- r+
+.marking { <d-,r+> }
+.end

@@ -1,0 +1,18 @@
+# Reconstruction of nouse: one input drives two concurrent outputs, then
+# a serial second pulse of each output re-uses earlier codes.
+.model nouse
+.inputs a
+.outputs b c
+.graph
+a+ b+ c+
+b+ a-
+c+ a-
+a- b- c-
+b- c+/2
+c- c+/2
+c+/2 b+/2
+b+/2 b-/2
+b-/2 c-/2
+c-/2 a+
+.marking { <c-/2,a+> }
+.end

@@ -1,0 +1,21 @@
+# Reconstruction of pa: one request drives two strobes, concurrently in
+# the first round and as independent parallel pulses in the second; the
+# all-zero code is visited three ways, forcing two state signals.
+.model pa
+.inputs r
+.outputs a x y
+.graph
+r+ x+ y+
+x+ a+
+y+ a+
+a+ r-
+r- x- y-
+x- a-
+y- a-
+a- x+/2 y+/2
+x+/2 x-/2
+y+/2 y-/2
+x-/2 r+
+y-/2 r+
+.marking { <x-/2,r+> <y-/2,r+> }
+.end

@@ -1,0 +1,31 @@
+# Reconstruction of pe-rcv-ifc-fc: a receive interface with a free
+# choice between a data packet and a control packet; each branch runs a
+# read/done handshake concurrently with its acknowledge pulse.
+.model pe-rcv-ifc-fc
+.inputs req dsel csel done
+.outputs dack cack rd ack
+.graph
+req+ psel
+psel dsel+ csel+
+dsel+ rd+ dack+
+rd+ done+
+done+ rd-
+rd- done-
+dack+ dack-
+done- dsel-
+dack- dsel-
+dsel- pmerge
+csel+ rd+/2 cack+
+rd+/2 done+/2
+done+/2 rd-/2
+rd-/2 done-/2
+cack+ cack-
+done-/2 csel-
+cack- csel-
+csel- pmerge
+pmerge ack+
+ack+ req-
+req- ack-
+ack- req+
+.marking { <ack-,req+> }
+.end

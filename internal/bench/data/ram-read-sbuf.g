@@ -1,0 +1,31 @@
+# Reconstruction of ram-read-sbuf: RAM read into a send buffer; address
+# and write-enable set up concurrently, the chip select runs twice
+# (read, then precharge), and a data-out pulse precedes completion.
+.model ram-read-sbuf
+.inputs req rdone pr
+.outputs ramcs adr lat ack busy wen dout
+.graph
+req+ busy+
+busy+ adr+ wen+
+adr+ ramcs+
+wen+ ramcs+
+ramcs+ rdone+
+rdone+ lat+
+lat+ ramcs- adr- wen-
+ramcs- rdone-
+adr- rdone-
+wen- rdone-
+rdone- ramcs+/2
+ramcs+/2 pr+
+pr+ ramcs-/2
+ramcs-/2 pr-
+pr- dout+
+dout+ dout-
+dout- lat- ack+
+lat- busy-
+ack+ req-
+req- ack-
+busy- ack-
+ack- req+
+.marking { <ack-,req+> }
+.end

@@ -1,0 +1,34 @@
+# Reconstruction of sbuf-ram-write: concurrent address/data setup, a
+# write-enable/chip-select handshake, then a precharge phase in which a
+# second write-enable pulse, the data strobe and the address/data
+# teardown all run concurrently.
+.model sbuf-ram-write
+.inputs req wdone pr
+.outputs adr dat wen ramcs ack busy y
+.graph
+req+ busy+
+busy+ adr+ dat+
+adr+ wen+
+dat+ wen+
+wen+ ramcs+
+ramcs+ wdone+
+wdone+ wen-
+wen- ramcs-
+ramcs- wdone-
+wdone- pr+
+pr+ wen+/2 y+ adr-
+wen+/2 ramcs+/2
+ramcs+/2 wen-/2
+wen-/2 ramcs-/2
+y+ y-
+adr- dat-
+ramcs-/2 pr-
+y- pr-
+dat- pr-
+pr- ack+
+ack+ req-
+req- busy-
+busy- ack-
+ack- req+
+.marking { <ack-,req+> }
+.end

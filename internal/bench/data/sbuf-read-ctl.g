@@ -1,0 +1,22 @@
+# Reconstruction of sbuf-read-ctl: the RAM chip-select handshake runs
+# twice per cycle (read, then precharge), re-using the idle codes.
+.model sbuf-read-ctl
+.inputs req rd pr
+.outputs ramcs ack busy
+.graph
+req+ busy+
+busy+ ramcs+
+ramcs+ rd+
+rd+ ramcs-
+ramcs- rd-
+rd- ack+
+ack+ req-
+req- ramcs+/2
+ramcs+/2 pr+
+pr+ ramcs-/2
+ramcs-/2 pr-
+pr- busy-
+busy- ack-
+ack- req+
+.marking { <ack-,req+> }
+.end

@@ -1,0 +1,25 @@
+# Reconstruction of sbuf-send-ctl: the RAM access handshake runs twice
+# per packet around a send pulse, with the y strobe concurrent to the
+# second access.
+.model sbuf-send-ctl
+.inputs req done
+.outputs ack send ramcs y
+.graph
+req+ ramcs+
+ramcs+ done+
+done+ ramcs-
+ramcs- done-
+done- send+
+send+ y+ ramcs+/2
+ramcs+/2 done+/2
+done+/2 ramcs-/2
+ramcs-/2 done-/2
+y+ send-
+done-/2 send-
+send- ack+
+ack+ req-
+req- y-
+y- ack-
+ack- req+
+.marking { <ack-,req+> }
+.end

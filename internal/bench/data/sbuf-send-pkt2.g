@@ -1,0 +1,22 @@
+# Reconstruction of sbuf-send-pkt2: packet send with the timeout
+# handshake concurrent to the first byte strobe, then a second strobe.
+.model sbuf-send-pkt2
+.inputs req tack
+.outputs treq byte ack last
+.graph
+req+ treq+ byte+
+treq+ tack+
+tack+ treq-
+treq- tack-
+byte+ byte-
+tack- byte+/2
+byte- byte+/2
+byte+/2 byte-/2
+byte-/2 last+
+last+ ack+
+ack+ req-
+req- last-
+last- ack-
+ack- req+
+.marking { <ack-,req+> }
+.end

@@ -1,0 +1,14 @@
+# Reconstruction of sendr-done: request/acknowledge handshake whose
+# completion forks into the ack release and a done pulse.
+.model sendr-done
+.inputs req
+.outputs ack done
+.graph
+req+ ack+
+ack+ req-
+req- ack- done+
+ack- done-
+done+ done-
+done- req+
+.marking { <done-,req+> }
+.end

@@ -1,0 +1,14 @@
+# Reconstruction of vbe-ex1 (Vanbekbergen ICCAD'92 example 1).
+# Two output signals; the code 10 recurs with different enabled
+# transitions, so complete state coding needs a state signal. Both
+# signals are circuit outputs (an abstract specification): a conflict
+# reachable through input-only paths would be unimplementable.
+.model vbe-ex1
+.outputs a b
+.graph
+a+ b+
+b+ a- b-
+a- a+
+b- a+
+.marking { <a-,a+> <b-,a+> }
+.end

@@ -1,0 +1,17 @@
+# Reconstruction of vbe-ex2: an eight-state two-signal cycle whose code
+# 10 is visited four times with alternating behaviour; two state
+# signals are required (as in the paper). Abstract specification with
+# both signals as outputs.
+.model vbe-ex2
+.outputs a b
+.graph
+a+ b+
+b+ b-
+b- a-
+a- a+/2
+a+/2 b+/2
+b+/2 b-/2
+b-/2 a-/2
+a-/2 a+
+.marking { <a-/2,a+> }
+.end

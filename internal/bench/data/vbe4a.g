@@ -1,0 +1,29 @@
+# Reconstruction of vbe4a: two concurrent output handshake pairs run in
+# both phases of an a/b environment cycle; the second run re-uses the
+# first run's codes.
+.model vbe4a
+.inputs a b
+.outputs c d e f
+.graph
+a+ c+ d+
+c+ e+
+e+ c-
+c- e-
+d+ f+
+f+ d-
+d- f-
+e- b+
+f- b+
+b+ c+/2 d+/2
+c+/2 e+/2
+e+/2 c-/2
+c-/2 e-/2
+d+/2 f+/2
+f+/2 d-/2
+d-/2 f-/2
+e-/2 a-
+f-/2 a-
+a- b-
+b- a+
+.marking { <b-,a+> }
+.end

@@ -1,0 +1,40 @@
+package bench
+
+import (
+	"testing"
+
+	"asyncsyn/internal/sg"
+)
+
+// TestSuiteShape reports, for every embedded benchmark, the actual state
+// count, conflict count and lower bound next to the paper's targets. Run
+// with -v while tuning reconstructions.
+func TestSuiteShape(t *testing.T) {
+	for _, name := range Available() {
+		g, err := Load(name)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if err := g.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		graph, err := sg.FromSTG(g, sg.Options{})
+		if err != nil {
+			t.Errorf("%s: state graph: %v", name, err)
+			continue
+		}
+		conf := sg.Analyze(graph)
+		entry, _ := Find(name)
+		t.Logf("%-16s signals %d (paper %d)  states %4d (paper %4d)  csc=%d usc=%d lb=%d",
+			name, len(g.Signals), entry.InitialSignals,
+			graph.NumStates(), entry.InitialStates, conf.N(), len(conf.USC), conf.LowerBound)
+		if conf.N() == 0 {
+			t.Errorf("%s: no CSC conflicts; every Table 1 benchmark needs state signals", name)
+		}
+		if len(g.Signals) != entry.InitialSignals {
+			t.Errorf("%s: %d signals, paper has %d", name, len(g.Signals), entry.InitialSignals)
+		}
+	}
+}

@@ -1,0 +1,238 @@
+package core
+
+import (
+	"testing"
+
+	"asyncsyn/internal/bench"
+	"asyncsyn/internal/sg"
+)
+
+func TestDetermineInputSetInvariants(t *testing.T) {
+	for _, name := range []string{"fifo", "sbuf-read-ctl", "mmu1", "nak-pa"} {
+		spec, err := bench.Load(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		full, err := sg.FromSTG(spec, sg.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, o := range nonInputsByName(full) {
+			is := DetermineInputSet(full, spec, o)
+			if is.Mask&(1<<o) == 0 {
+				t.Errorf("%s/%s: output not in its own input set", name, full.Base[o].Name)
+			}
+			if is.Mask&is.Silenced != 0 {
+				t.Errorf("%s/%s: mask and silenced overlap", name, full.Base[o].Name)
+			}
+			if is.Mask|is.Silenced != full.Active {
+				t.Errorf("%s/%s: mask ∪ silenced ≠ active", name, full.Base[o].Name)
+			}
+			// Immediate inputs always kept.
+			si, _ := spec.SignalIndex(full.Base[o].Name)
+			for _, trig := range spec.ImmediateInputs(si) {
+				gi, _ := full.SignalIndex(spec.Signals[trig].Name)
+				if is.Silenced&(1<<gi) != 0 {
+					t.Errorf("%s/%s: trigger %s silenced", name, full.Base[o].Name, spec.Signals[trig].Name)
+				}
+			}
+			// The paper's guarantee: merging never increases the conflict
+			// count beyond the unmerged graph.
+			n0, _ := outputStats(full, nil, o)
+			if is.Ncsc > n0 {
+				t.Errorf("%s/%s: modular conflicts %d > full-graph %d", name, full.Base[o].Name, is.Ncsc, n0)
+			}
+		}
+	}
+}
+
+func TestDetermineInputSetRemovesSignals(t *testing.T) {
+	// In mmu1, each bank's t-signal is irrelevant to the other bank's
+	// select output; the greedy pass must silence something for at least
+	// one output.
+	spec, err := bench.Load("mmu1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := sg.FromSTG(spec, sg.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	removedAny := false
+	for _, o := range nonInputsByName(full) {
+		is := DetermineInputSet(full, spec, o)
+		if is.Silenced != 0 {
+			removedAny = true
+		}
+	}
+	if !removedAny {
+		t.Fatalf("input-set derivation silenced nothing on mmu1")
+	}
+}
+
+func TestPartitionSATNoConflicts(t *testing.T) {
+	spec := mustParse(t, `
+.model hs
+.inputs r
+.outputs a
+.graph
+r+ a+
+a+ r-
+r- a-
+a- r+
+.marking { <a-,r+> }
+.end
+`)
+	full, err := sg.FromSTG(spec, sg.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, _ := full.SignalIndex("a")
+	is := DetermineInputSet(full, spec, o)
+	pr, err := PartitionSAT(full, is, SATOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.NewSignals != 0 || len(full.StateSigs) != 0 {
+		t.Fatalf("clean output gained signals: %+v", pr)
+	}
+}
+
+func TestPartitionSATInsertsAndPropagates(t *testing.T) {
+	spec := mustParse(t, twoPhase)
+	full, err := sg.FromSTG(spec, sg.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, _ := full.SignalIndex("b")
+	is := DetermineInputSet(full, spec, o)
+	pr, err := PartitionSAT(full, is, SATOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.NewSignals < 1 {
+		t.Fatalf("no signals inserted")
+	}
+	// Propagated phases must respect the edge relation on the FULL graph
+	// (Figure 5's propagation through the cover relation).
+	if bad := full.CheckPhaseConsistency(); len(bad) != 0 {
+		t.Fatalf("propagated phases inconsistent: %v", bad)
+	}
+	// The output's conflicts are gone on the full graph.
+	n, _ := outputStats(full, nil, o)
+	if n != 0 {
+		t.Fatalf("%d output conflicts remain after partition_sat", n)
+	}
+}
+
+// TestOracleSuite is the strongest end-to-end check: for every
+// reconstructed benchmark, the synthesized next-state functions must
+// agree with the implied values of every reachable state of the final
+// expanded state graph. This is precisely the correctness condition for
+// speed-independent implementation.
+func TestOracleSuite(t *testing.T) {
+	for _, name := range bench.Available() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			spec, err := bench.Load(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := Synthesize(spec, Options{})
+			if err != nil {
+				t.Fatalf("synthesize: %v", err)
+			}
+			if res.Aborted {
+				t.Fatalf("aborted")
+			}
+			ex := res.Expanded
+			for _, fn := range res.Functions {
+				sigIdx, ok := ex.SignalIndex(fn.Name)
+				if !ok {
+					t.Fatalf("function %q names no signal", fn.Name)
+				}
+				varIdx := make([]int, len(fn.Vars))
+				for i, v := range fn.Vars {
+					vi, ok := ex.SignalIndex(v)
+					if !ok {
+						t.Fatalf("support var %q missing", v)
+					}
+					varIdx[i] = vi
+				}
+				for s := range ex.States {
+					var m uint64
+					for i, vi := range varIdx {
+						if ex.States[s].Code&(1<<vi) != 0 {
+							m |= 1 << i
+						}
+					}
+					want := ex.ImpliedValue(s, sigIdx) == 1
+					if got := fn.Cover.Eval(m); got != want {
+						t.Fatalf("%s: state %d code %b: function %v, implied %v",
+							fn.Name, s, ex.States[s].Code, got, want)
+					}
+				}
+			}
+			// Every expanded state still has a consistent binary code
+			// (one-signal edges only flip their own bit).
+			for _, e := range ex.Edges {
+				d := ex.States[e.From].Code ^ ex.States[e.To].Code
+				if d == 0 || d&(d-1) != 0 {
+					t.Fatalf("edge flips %b", d)
+				}
+				if e.Sig < 0 || d != 1<<e.Sig {
+					t.Fatalf("edge of %d flips bit pattern %b", e.Sig, d)
+				}
+			}
+		})
+	}
+}
+
+// TestSynthesizeDeterministic: repeated runs produce identical circuits.
+func TestSynthesizeDeterministic(t *testing.T) {
+	spec, err := bench.Load("sbuf-read-ctl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Synthesize(spec, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		spec2, _ := bench.Load("sbuf-read-ctl")
+		b, err := Synthesize(spec2, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Area != b.Area || a.FinalStates != b.FinalStates || a.Inserted != b.Inserted {
+			t.Fatalf("nondeterministic synthesis: %d/%d/%d vs %d/%d/%d",
+				a.Area, a.FinalStates, a.Inserted, b.Area, b.FinalStates, b.Inserted)
+		}
+		for j := range a.Functions {
+			if a.Functions[j].String() != b.Functions[j].String() {
+				t.Fatalf("function %d differs between runs", j)
+			}
+		}
+	}
+}
+
+func TestSynthesizeFullSupportAblation(t *testing.T) {
+	spec, err := bench.Load("sbuf-read-ctl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	restricted, err := Synthesize(spec, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec2, _ := bench.Load("sbuf-read-ctl")
+	full, err := Synthesize(spec2, Options{FullSupport: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The support restriction is one of the paper's area mechanisms; it
+	// must never hurt here.
+	if restricted.Area > full.Area {
+		t.Errorf("restricted support area %d > full support %d", restricted.Area, full.Area)
+	}
+}

@@ -1,0 +1,175 @@
+// Package core implements the paper's contribution: modular partitioning
+// for asynchronous circuit synthesis. For every output signal the
+// complete state graph Σ is reduced to a small modular state graph Σ_o by
+// greedily removing signals that o's logic does not need
+// (determine_input_set, Fig. 2), CSC is satisfied on Σ_o by a small SAT
+// formula (partition_sat, Fig. 4), and the new state-signal assignments
+// are propagated back to Σ through the cover relation (propagate,
+// Fig. 5). After all outputs are processed the state graph is expanded
+// with the state-signal transitions and each output's logic is derived as
+// a prime-irredundant two-level cover (modular_synthesis, Fig. 6).
+package core
+
+import (
+	"sort"
+
+	"asyncsyn/internal/sg"
+	"asyncsyn/internal/stg"
+)
+
+// InputSet is the result of determine_input_set for one output: the
+// minimal signal support found for the output's logic.
+type InputSet struct {
+	Output int // base signal index of the output
+	// Mask marks the base signals kept (always including Output and its
+	// immediate input set).
+	Mask uint64
+	// Silenced marks the base signals removed (Mask's complement over the
+	// graph's active signals).
+	Silenced uint64
+	// StateSigs indexes the already-inserted state signals kept in the
+	// modular graph.
+	StateSigs []int
+	// Ncsc and Lb are the CSC conflict count and state-signal lower bound
+	// of the resulting modular state graph.
+	Ncsc int
+	Lb   int
+}
+
+// DetermineInputSet computes the input signal set of output o (a base
+// signal index of g), following the paper's Figure 2: start from the
+// immediate input set (signals with a direct causal arc to a transition
+// of o in the STG), then greedily remove every other signal whose removal
+// does not increase the CSC conflict count or the state-signal lower
+// bound and does not break any state-signal phase join; finally drop the
+// inserted state signals whose removal does not increase conflicts.
+//
+// The STG is needed only for the trigger relation; spec may be nil, in
+// which case every signal is a removal candidate (the immediate input set
+// is approximated by the signals labelling edges into o-transition
+// predecessor states — a weaker but STG-free criterion is not available,
+// so we simply start from the empty immediate set).
+// keepOutputs retains every non-input signal in each module. Removing an
+// output signal removes its edges — the only places an inserted signal's
+// transitions may complete under the input-properness restriction — and
+// measurably degrades the regularity (and hence the area) of the
+// solutions found on concurrency-heavy graphs.
+const keepOutputs = true
+
+func DetermineInputSet(g *sg.Graph, spec *stg.G, o int) InputSet {
+	is := InputSet{Output: o}
+
+	immediate := make(map[int]bool)
+	if spec != nil {
+		if si, ok := spec.SignalIndex(g.Base[o].Name); ok {
+			for _, t := range spec.ImmediateInputs(si) {
+				name := spec.Signals[t].Name
+				if gi, ok := g.SignalIndex(name); ok {
+					immediate[gi] = true
+				}
+			}
+		}
+	}
+
+	// Baseline conflict stats on the full graph (no merging).
+	nCSC, lb := outputStats(g, nil, o)
+
+	// Candidate removal order: by signal name, inputs considered before
+	// non-inputs so environment signals are shed first when possible.
+	var candidates []int
+	for i := range g.Base {
+		if i == o || immediate[i] || g.Active&(1<<i) == 0 {
+			continue
+		}
+		if !g.Base[i].Input && keepOutputs {
+			continue
+		}
+		candidates = append(candidates, i)
+	}
+	sort.Slice(candidates, func(a, b int) bool {
+		ca, cb := candidates[a], candidates[b]
+		if g.Base[ca].Input != g.Base[cb].Input {
+			return g.Base[ca].Input
+		}
+		return g.Base[ca].Name < g.Base[cb].Name
+	})
+
+	var silenced uint64
+	for _, si := range candidates {
+		try := silenced | 1<<si
+		merged, ok := g.Quotient(try)
+		if !ok {
+			continue // phase join failed: si carries a state-signal edge
+		}
+		n2, lb2 := outputStatsMerged(merged, o)
+		if n2 < 0 {
+			continue // removal created a self-conflicting class
+		}
+		if n2 <= nCSC && lb2 <= lb {
+			silenced = try
+			nCSC, lb = n2, lb2
+		}
+	}
+	is.Silenced = silenced
+	is.Mask = g.Active &^ silenced
+
+	// State-signal pruning: keep only the inserted signals whose removal
+	// would increase the modular conflict count.
+	kept := make([]int, 0, len(g.StateSigs))
+	for k := range g.StateSigs {
+		kept = append(kept, k)
+	}
+	for k := range g.StateSigs {
+		without := make([]int, 0, len(kept))
+		for _, j := range kept {
+			if j != k {
+				without = append(without, j)
+			}
+		}
+		gw := withStateSigs(g, without)
+		merged, ok := gw.Quotient(silenced)
+		if !ok {
+			continue
+		}
+		n2, lb2 := outputStatsMerged(merged, o)
+		if n2 >= 0 && n2 <= nCSC && lb2 <= lb {
+			kept = without
+			nCSC, lb = n2, lb2
+		}
+	}
+	is.StateSigs = kept
+	is.Ncsc, is.Lb = nCSC, lb
+	return is
+}
+
+// withStateSigs returns a shallow working copy of g keeping only the
+// state-signal columns listed in keep.
+func withStateSigs(g *sg.Graph, keep []int) *sg.Graph {
+	c := *g
+	c.StateSigs = make([]sg.StateSignal, 0, len(keep))
+	for _, k := range keep {
+		c.StateSigs = append(c.StateSigs, g.StateSigs[k])
+	}
+	return &c
+}
+
+// outputStats computes (N_csc, L_b) for output o directly on graph g.
+func outputStats(g *sg.Graph, _ []int, o int) (int, int) {
+	conf := sg.OutputConflicts(g, func(s int) (bool, bool) {
+		return g.ImpliedValue(s, o) == 0, g.ImpliedValue(s, o) == 1
+	})
+	return conf.N(), conf.LowerBound
+}
+
+// outputStatsMerged computes (N_csc, L_b) for output o on a merged graph;
+// it returns N_csc = -1 when some merged class implies both values of o
+// (a self-conflict that no state-signal assignment can repair).
+func outputStatsMerged(m *sg.Merged, o int) (int, int) {
+	conf := sg.OutputConflicts(m.Graph, m.ImpliedOf(o))
+	for _, p := range conf.CSC {
+		if p.A == p.B {
+			return -1, 0
+		}
+	}
+	return conf.N(), conf.LowerBound
+}

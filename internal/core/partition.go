@@ -1,0 +1,136 @@
+package core
+
+import (
+	"fmt"
+
+	"asyncsyn/internal/csc"
+	"asyncsyn/internal/sat"
+	"asyncsyn/internal/sg"
+)
+
+// SATOptions configures the constraint-satisfaction side of modular
+// synthesis.
+type SATOptions struct {
+	Engine        csc.Engine
+	Encoding      csc.Options
+	MaxBacktracks int64 // per formula; default 2,000,000
+	MaxSignals    int   // per modular graph; default 6
+	NamePrefix    string
+	BDDNodeLimit  int // BDD engine budget; default one million nodes
+}
+
+// solveOptions adapts SATOptions to the csc attempt interface.
+func (o SATOptions) solveOptions() csc.SolveOptions {
+	return csc.SolveOptions{
+		Engine:        o.Engine,
+		Encoding:      o.Encoding,
+		MaxBacktracks: o.MaxBacktracks,
+		BDDNodeLimit:  o.BDDNodeLimit,
+	}
+}
+
+func (o SATOptions) withDefaults() SATOptions {
+	if o.MaxBacktracks == 0 {
+		o.MaxBacktracks = 2000000
+	}
+	if o.MaxSignals == 0 {
+		o.MaxSignals = 6
+	}
+	if o.NamePrefix == "" {
+		o.NamePrefix = "csc"
+	}
+	return o
+}
+
+// PartitionResult reports one partition_sat invocation.
+type PartitionResult struct {
+	MergedStates int
+	MergedEdges  int
+	Ncsc         int
+	Lb           int
+	NewSignals   int
+	Aborted      bool
+	Formulas     []csc.FormulaStats
+}
+
+// PartitionSAT derives the modular state graph Σ_o for the input set,
+// satisfies its CSC constraints with a small SAT formula (growing the
+// state-signal count from the lower bound on UNSAT, the paper's
+// Figure 4), and propagates the new assignments back to g through the
+// cover relation (Figure 5). The graph g is extended in place.
+func PartitionSAT(g *sg.Graph, is InputSet, opt SATOptions) (*PartitionResult, error) {
+	opt = opt.withDefaults()
+	gw := withStateSigs(g, is.StateSigs)
+	merged, ok := gw.Quotient(is.Silenced)
+	if !ok {
+		return nil, fmt.Errorf("core: inconsistent phase join for output %q's modular graph", g.Base[is.Output].Name)
+	}
+	res := &PartitionResult{
+		MergedStates: merged.Graph.NumStates(),
+		MergedEdges:  len(merged.Graph.Edges),
+	}
+	conf := sg.OutputConflicts(merged.Graph, merged.ImpliedOf(is.Output))
+	res.Ncsc, res.Lb = conf.N(), conf.LowerBound
+	if conf.N() == 0 {
+		return res, nil
+	}
+
+	propagate := func(col []sg.Phase) {
+		phases := make([]sg.Phase, len(g.States))
+		for s := range g.States {
+			phases[s] = col[merged.Cover[s]]
+		}
+		g.StateSigs = append(g.StateSigs, sg.StateSignal{
+			Name:   fmt.Sprintf("%s%d", opt.NamePrefix, len(g.StateSigs)),
+			Phases: phases,
+		})
+	}
+
+	// Joint insertion at the lower bound and one above (Figure 4), then
+	// greedy incremental insertion for the cascaded cases a joint
+	// formula cannot reach.
+	m := conf.LowerBound
+	if m < 1 {
+		m = 1
+	}
+	jointCap := m + 1
+	if jointCap > opt.MaxSignals {
+		jointCap = opt.MaxSignals
+	}
+	for ; m <= jointCap; m++ {
+		cols, stats, err := csc.Attempt(merged.Graph, conf, m, opt.solveOptions())
+		if err != nil {
+			return res, err
+		}
+		res.Formulas = append(res.Formulas, stats)
+		switch stats.Status {
+		case sat.Sat:
+			for _, col := range cols {
+				propagate(col)
+			}
+			res.NewSignals = m
+			return res, nil
+		case sat.BacktrackLimit:
+			res.Aborted = true
+			return res, nil
+		}
+	}
+	implied := merged.ImpliedOf(is.Output)
+	before := len(merged.Graph.StateSigs)
+	inserted, stats, aborted, err := csc.InsertIncremental(merged.Graph,
+		func() *sg.Conflicts { return sg.OutputConflicts(merged.Graph, implied) },
+		opt.solveOptions(), opt.MaxSignals)
+	res.Formulas = append(res.Formulas, stats...)
+	if aborted {
+		res.Aborted = true
+		return res, nil
+	}
+	if err != nil {
+		return res, fmt.Errorf("core: no modular solution for %q: %w", g.Base[is.Output].Name, err)
+	}
+	for k := before; k < len(merged.Graph.StateSigs); k++ {
+		propagate(merged.Graph.StateSigs[k].Phases)
+	}
+	res.NewSignals = inserted
+	return res, nil
+}

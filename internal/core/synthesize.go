@@ -1,0 +1,511 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"asyncsyn/internal/csc"
+	"asyncsyn/internal/logic"
+	"asyncsyn/internal/sat"
+	"asyncsyn/internal/sg"
+	"asyncsyn/internal/stg"
+)
+
+// Options configures modular synthesis.
+type Options struct {
+	SAT SATOptions
+	// StateGraph tunes reachability generation.
+	StateGraph sg.Options
+	// Logic tunes the two-level minimizer.
+	Logic logic.Options
+	// MaxExpandIters bounds the expansion/re-insertion loop that repairs
+	// conflicts introduced by state-signal interleavings (default 3).
+	MaxExpandIters int
+	// FullSupport disables the per-output support restriction and derives
+	// every function over all signals (used in ablation experiments; the
+	// paper credits part of its area win to the reduced support).
+	FullSupport bool
+	// ExactLogic uses the exact minimum-literal minimizer (espresso's
+	// exact strategy) instead of the ESPRESSO heuristic loop, falling
+	// back to the heuristic when prime enumeration explodes.
+	ExactLogic bool
+}
+
+func (o Options) withDefaults() Options {
+	o.SAT = o.SAT.withDefaults()
+	if o.MaxExpandIters == 0 {
+		o.MaxExpandIters = 3
+	}
+	return o
+}
+
+// OutputReport records the modular pass for one output signal.
+type OutputReport struct {
+	Output       string
+	InputSet     []string
+	StateSigs    []string
+	MergedStates int
+	MergedEdges  int
+	Ncsc         int
+	Lb           int
+	NewSignals   int
+	Formulas     []csc.FormulaStats
+}
+
+// Function is one synthesized logic function: a prime-irredundant
+// sum-of-products cover over the named support variables.
+type Function struct {
+	Name  string
+	Vars  []string
+	Cover logic.Cover
+}
+
+// Literals returns the unfactored literal count (the paper's area
+// metric).
+func (f Function) Literals() int { return f.Cover.Literals() }
+
+// String renders the function as an equation.
+func (f Function) String() string {
+	return fmt.Sprintf("%s = %s", f.Name, f.Cover.Format(f.Vars))
+}
+
+// Result is a completed synthesis run.
+type Result struct {
+	Name           string
+	InitialStates  int
+	InitialSignals int
+	FinalStates    int
+	FinalSignals   int
+	Inserted       int
+	Aborted        bool
+	ExpandIters    int
+	Outputs        []OutputReport
+	// Fallback records whole-graph SAT passes needed after the per-output
+	// loop (residual conflicts) or after expansion; empty in the common
+	// case.
+	Fallback  []csc.FormulaStats
+	Functions []Function
+	Area      int
+	Time      time.Duration
+
+	// Full is the complete state graph with inserted phase columns;
+	// Expanded is the final binary state graph the logic was derived from.
+	Full     *sg.Graph
+	Expanded *sg.Graph
+}
+
+// Synthesize runs the paper's modular_synthesis (Figure 6) on an STG:
+// derive Σ, then for every non-input signal determine the input set,
+// build and solve the modular state graph, and propagate the assignments;
+// finally expand Σ with the state-signal transitions and derive a
+// prime-irredundant cover for every non-input signal.
+func Synthesize(spec *stg.G, opt Options) (*Result, error) {
+	opt = opt.withDefaults()
+	start := time.Now()
+
+	full, err := sg.FromSTG(spec, opt.StateGraph)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Name:           spec.Name,
+		InitialStates:  full.NumStates(),
+		InitialSignals: len(full.Base),
+		Full:           full,
+	}
+
+	// Per-output modular passes. The most-conflicted output goes first:
+	// its module contains the structural core of the coding problem, and
+	// the signals inserted for it (propagated globally, the paper's
+	// Figure 5) resolve most of the remaining outputs' conflicts for
+	// free. The reverse order forces one module to invent several
+	// entangled signals at once, which measurably degrades area.
+	outs := nonInputsByName(full)
+	sort.SliceStable(outs, func(i, j int) bool {
+		ni, _ := outputStats(full, nil, outs[i])
+		nj, _ := outputStats(full, nil, outs[j])
+		if ni != nj {
+			return ni > nj
+		}
+		return full.Base[outs[i]].Name < full.Base[outs[j]].Name
+	})
+	supports := make(map[int]InputSet)
+	passSigs := make(map[int][]string) // output → state-signal names kept or added in its pass
+	for _, o := range outs {
+		is := DetermineInputSet(full, spec, o)
+		before := len(full.StateSigs)
+		pr, err := PartitionSAT(full, is, opt.SAT)
+		if err != nil {
+			// The module can be unsolvable when its input set retains too
+			// few output edges for the new signals' transitions to complete
+			// across (the input-properness restriction: excitations cannot
+			// finish across environment-driven edges). Widen the module —
+			// first with every non-input signal, then to the full graph.
+			for _, wider := range []InputSet{widenNonInputs(full, is), widenAll(full, o)} {
+				pr, err = PartitionSAT(full, wider, opt.SAT)
+				if err == nil {
+					is = wider
+					break
+				}
+			}
+		}
+		if err != nil {
+			return nil, fmt.Errorf("output %q: %w", full.Base[o].Name, err)
+		}
+		supports[o] = is
+		for _, k := range is.StateSigs {
+			passSigs[o] = append(passSigs[o], full.StateSigs[k].Name)
+		}
+		for k := before; k < len(full.StateSigs); k++ {
+			passSigs[o] = append(passSigs[o], full.StateSigs[k].Name)
+		}
+		rep := OutputReport{
+			Output:       full.Base[o].Name,
+			InputSet:     full.SignalNamesIn(is.Mask),
+			MergedStates: pr.MergedStates,
+			MergedEdges:  pr.MergedEdges,
+			Ncsc:         pr.Ncsc,
+			Lb:           pr.Lb,
+			NewSignals:   pr.NewSignals,
+			Formulas:     pr.Formulas,
+		}
+		for _, k := range is.StateSigs {
+			rep.StateSigs = append(rep.StateSigs, full.StateSigs[k].Name)
+		}
+		res.Outputs = append(res.Outputs, rep)
+		res.Inserted += pr.NewSignals
+		if pr.Aborted {
+			res.Aborted = true
+			res.Time = time.Since(start)
+			return res, nil
+		}
+	}
+
+	// Residual whole-graph conflicts (the integration of local solutions
+	// is not guaranteed optimal or even complete in theory; in practice
+	// this pass is a no-op).
+	if conf := sg.Analyze(full); conf.N() > 0 {
+		dr, err := csc.Solve(full, csc.SolveOptions{
+			Engine: opt.SAT.Engine, Encoding: opt.SAT.Encoding,
+			MaxBacktracks: opt.SAT.MaxBacktracks, NamePrefix: opt.SAT.NamePrefix,
+		})
+		if dr != nil {
+			res.Fallback = append(res.Fallback, dr.Formulas...)
+			res.Inserted += dr.Inserted
+			res.Aborted = res.Aborted || dr.Aborted
+		}
+		if err != nil {
+			return nil, fmt.Errorf("residual conflicts: %w", err)
+		}
+		if res.Aborted {
+			res.Time = time.Since(start)
+			return res, nil
+		}
+	}
+
+	// Drop state signals made redundant by the integration of the local
+	// solutions (the paper notes modular synthesis is not signal-optimal;
+	// this recovers the obvious waste).
+	if removed := csc.Prune(full); len(removed) > 0 {
+		res.Inserted -= len(removed)
+	}
+
+	// Expansion; repair any conflicts the interleaving introduced.
+	expanded, iters, fallback, aborted, err := ExpandToCSC(full, opt)
+	res.Fallback = append(res.Fallback, fallback...)
+	res.ExpandIters = iters
+	if err != nil {
+		return nil, err
+	}
+	if aborted {
+		res.Aborted = true
+		res.Time = time.Since(start)
+		return res, nil
+	}
+	res.Expanded = expanded
+	res.FinalStates = expanded.NumStates()
+	res.FinalSignals = len(expanded.Base)
+
+	// Logic derivation with per-output support restriction.
+	res.Functions, err = DeriveLogic(expanded, full, supports, passSigs, opt)
+	if err != nil {
+		return nil, err
+	}
+	for _, f := range res.Functions {
+		res.Area += f.Literals()
+	}
+	res.Time = time.Since(start)
+	return res, nil
+}
+
+// ExpandToCSC expands the phase columns of g into explicit signals. If
+// the serialised interleavings introduce fresh conflicts between
+// expanded states, the colliding pairs are mapped back to the states of
+// g they came from and an additional state signal separating them is
+// found by a SAT formula at the ORIGINAL graph's scale (a
+// counterexample-guided refinement: the expansion is the checker, the
+// small graph the solver), up to opt.MaxExpandIters rounds. g is
+// modified in place when refinement signals are added.
+func ExpandToCSC(g *sg.Graph, opt Options) (expanded *sg.Graph, iters int, fallback []csc.FormulaStats, aborted bool, err error) {
+	opt = opt.withDefaults()
+	for iters = 1; iters <= opt.MaxExpandIters; iters++ {
+		expanded, err = g.Expand()
+		if err != nil {
+			return nil, iters, fallback, false, err
+		}
+		conf := sg.Analyze(expanded)
+		if conf.N() == 0 {
+			return expanded, iters, fallback, false, nil
+		}
+		refined := refinementConflicts(g, expanded, conf)
+		stats, ab, rerr := solveRefinement(g, refined, opt, iters)
+		fallback = append(fallback, stats...)
+		if rerr != nil {
+			return nil, iters, fallback, false, rerr
+		}
+		if ab {
+			return nil, iters, fallback, true, nil
+		}
+	}
+	return nil, iters, fallback, false, fmt.Errorf("core: CSC conflicts persist after %d expansion rounds", opt.MaxExpandIters)
+}
+
+// refinementConflicts maps expanded-graph conflict pairs back to g's
+// states and widens the USC side to every pair of g whose expansions
+// could still collide (equal base codes with overlapping state-signal
+// level sets).
+func refinementConflicts(g, expanded *sg.Graph, conf *sg.Conflicts) *sg.Conflicts {
+	mustSep := make(map[sg.Pair]bool)
+	for _, p := range conf.CSC {
+		a, b := expanded.Origin[p.A], expanded.Origin[p.B]
+		if a > b {
+			a, b = b, a
+		}
+		if a != b {
+			mustSep[sg.Pair{A: a, B: b}] = true
+		}
+	}
+	out := &sg.Conflicts{LowerBound: 1}
+	for p := range mustSep {
+		out.CSC = append(out.CSC, p)
+	}
+	sort.Slice(out.CSC, func(i, j int) bool {
+		if out.CSC[i].A != out.CSC[j].A {
+			return out.CSC[i].A < out.CSC[j].A
+		}
+		return out.CSC[i].B < out.CSC[j].B
+	})
+
+	out.USC = overlapUSC(g, out.CSC)
+	return out
+}
+
+// solveRefinement inserts state signals into g separating the refined
+// conflict pairs: one joint attempt at m=1, then greedy incremental
+// insertion (cascaded instances cannot be reached by growing m jointly).
+func solveRefinement(g *sg.Graph, conf *sg.Conflicts, opt Options, round int) ([]csc.FormulaStats, bool, error) {
+	var stats []csc.FormulaStats
+	cols, st, err := csc.Attempt(g, conf, 1, opt.SAT.solveOptions())
+	if err != nil {
+		return stats, false, err
+	}
+	stats = append(stats, st)
+	switch st.Status {
+	case sat.Sat:
+		g.StateSigs = append(g.StateSigs, sg.StateSignal{
+			Name:   fmt.Sprintf("%sx%d_%d", opt.SAT.NamePrefix, round, len(g.StateSigs)),
+			Phases: cols[0],
+		})
+		return stats, false, nil
+	case sat.BacktrackLimit:
+		return stats, true, nil
+	}
+
+	// Incremental: re-evaluate which refined pairs remain unseparated
+	// after each insertion.
+	pairs := append([]sg.Pair(nil), conf.CSC...)
+	refresh := func() *sg.Conflicts {
+		out := &sg.Conflicts{LowerBound: 1}
+		for _, p := range pairs {
+			if !stablySeparated(g, p) {
+				out.CSC = append(out.CSC, p)
+			}
+		}
+		out.USC = overlapUSC(g, out.CSC)
+		return out
+	}
+	sopt := opt.SAT.solveOptions()
+	sopt.NamePrefix = fmt.Sprintf("%sx%d_", opt.SAT.NamePrefix, round)
+	_, istats, aborted, err := csc.InsertIncremental(g, refresh, sopt, opt.SAT.MaxSignals)
+	stats = append(stats, istats...)
+	if err != nil {
+		return stats, aborted, fmt.Errorf("core: expansion refinement: %w", err)
+	}
+	return stats, aborted, nil
+}
+
+// stablySeparated reports whether some state signal holds stable
+// complementary values at the pair's states.
+func stablySeparated(g *sg.Graph, p sg.Pair) bool {
+	for _, ss := range g.StateSigs {
+		a, b := ss.Phases[p.A], ss.Phases[p.B]
+		if (a == sg.P0 && b == sg.P1) || (a == sg.P1 && b == sg.P0) {
+			return true
+		}
+	}
+	return false
+}
+
+// overlapUSC lists the pairs with equal base codes whose expansions can
+// still collide (every state signal's level sets overlapping), minus the
+// given CSC pairs.
+func overlapUSC(g *sg.Graph, cscPairs []sg.Pair) []sg.Pair {
+	skip := make(map[sg.Pair]bool, len(cscPairs))
+	for _, p := range cscPairs {
+		skip[p] = true
+	}
+	overlap := func(a, b sg.Phase) bool {
+		if a == sg.PUp || a == sg.PDown || b == sg.PUp || b == sg.PDown {
+			return true
+		}
+		return a == b
+	}
+	groups := make(map[uint64][]int)
+	for s := range g.States {
+		c := g.States[s].Code & g.Active
+		groups[c] = append(groups[c], s)
+	}
+	keys := make([]uint64, 0, len(groups))
+	for c := range groups {
+		keys = append(keys, c)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	var out []sg.Pair
+	for _, c := range keys {
+		states := groups[c]
+		for i := 0; i < len(states); i++ {
+		pair:
+			for j := i + 1; j < len(states); j++ {
+				p := sg.Pair{A: states[i], B: states[j]}
+				if skip[p] {
+					continue
+				}
+				for _, ss := range g.StateSigs {
+					if !overlap(ss.Phases[p.A], ss.Phases[p.B]) {
+						continue pair
+					}
+				}
+				out = append(out, p)
+			}
+		}
+	}
+	return out
+}
+
+// DeriveLogic extracts and minimizes the logic of every non-input signal
+// of the expanded graph. Original outputs use their recorded input-set
+// support (plus the state signals, identified by name, kept or created in
+// their pass), falling back to wider supports if the restricted table is
+// ill defined; inserted state signals and any signal without a record use
+// the full support.
+func DeriveLogic(expanded, full *sg.Graph, supports map[int]InputSet, passSigs map[int][]string, opt Options) ([]Function, error) {
+	nb := len(full.Base)
+	fullMask := uint64(0)
+	for i := range expanded.Base {
+		fullMask |= 1 << i
+	}
+
+	var fns []Function
+	for _, sigIdx := range nonInputsByName(expanded) {
+		var masks []uint64
+		if is, ok := supportFor(expanded, full, sigIdx, supports); ok && !opt.FullSupport {
+			restricted := is.Mask | 1<<uint(sigIdx)
+			for _, name := range passSigs[is.Output] {
+				if bi, ok := expanded.SignalIndex(name); ok {
+					restricted |= 1 << bi
+				}
+				// Pruned signals simply drop out of the support.
+			}
+			// Fallback chain: restricted → restricted + all state signals → full.
+			withAll := restricted
+			for k := nb; k < len(expanded.Base); k++ {
+				withAll |= 1 << k
+			}
+			masks = []uint64{restricted, withAll, fullMask}
+		} else {
+			masks = []uint64{fullMask}
+		}
+
+		var tbl *sg.Table
+		var err error
+		for _, m := range masks {
+			tbl, err = expanded.FunctionTable(sigIdx, m)
+			if err == nil {
+				break
+			}
+		}
+		if err != nil {
+			return nil, err
+		}
+		spec := logic.Spec{NumVars: len(tbl.Vars), On: tbl.On, Off: tbl.Off}
+		var cover logic.Cover
+		if opt.ExactLogic {
+			cover, err = logic.MinimizeExact(spec, logic.ExactOptions{})
+		}
+		if !opt.ExactLogic || err != nil {
+			// Heuristic path, also the fallback when exact minimization
+			// exceeds its prime or search budget.
+			cover, err = logic.Minimize(spec, opt.Logic)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("minimizing %q: %w", tbl.Signal, err)
+		}
+		fns = append(fns, Function{Name: tbl.Signal, Vars: tbl.Vars, Cover: cover})
+	}
+	return fns, nil
+}
+
+// supportFor maps an expanded-graph signal index back to its recorded
+// input set, when the signal is one of the original outputs.
+func supportFor(expanded, full *sg.Graph, sigIdx int, supports map[int]InputSet) (InputSet, bool) {
+	if sigIdx >= len(full.Base) {
+		return InputSet{}, false
+	}
+	is, ok := supports[sigIdx]
+	return is, ok
+}
+
+// widenNonInputs returns is with every non-input signal restored to the
+// module (their edges can host state-signal completions).
+func widenNonInputs(g *sg.Graph, is InputSet) InputSet {
+	out := is
+	for i, b := range g.Base {
+		if !b.Input {
+			out.Mask |= 1 << i
+		}
+	}
+	out.Silenced = g.Active &^ out.Mask
+	return out
+}
+
+// widenAll returns the trivial input set covering the whole graph.
+func widenAll(g *sg.Graph, o int) InputSet {
+	kept := make([]int, len(g.StateSigs))
+	for k := range kept {
+		kept[k] = k
+	}
+	return InputSet{Output: o, Mask: g.Active, StateSigs: kept}
+}
+
+// nonInputsByName lists non-input base signal indices sorted by name.
+func nonInputsByName(g *sg.Graph) []int {
+	var idx []int
+	for i, b := range g.Base {
+		if !b.Input {
+			idx = append(idx, i)
+		}
+	}
+	sort.Slice(idx, func(a, b int) bool { return g.Base[idx[a]].Name < g.Base[idx[b]].Name })
+	return idx
+}

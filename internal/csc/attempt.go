@@ -1,0 +1,63 @@
+package csc
+
+import (
+	"errors"
+	"time"
+
+	"asyncsyn/internal/bdd"
+	"asyncsyn/internal/sat"
+	"asyncsyn/internal/sg"
+)
+
+// Attempt tries to find phase columns for m new state signals resolving
+// conf on g, using the configured engine. The outcome is reported
+// through the returned FormulaStats.Status: Sat (cols valid), Unsat
+// (grow m) or BacktrackLimit (budget exhausted — abort). The BDD engine
+// falls back to DPLL transparently when its node limit is hit, and
+// returns globally minimum-excitation models, so Tighten is applied only
+// to SAT-engine models.
+func Attempt(g *sg.Graph, conf *sg.Conflicts, m int, opt SolveOptions) ([][]sg.Phase, FormulaStats, error) {
+	opt = opt.withDefaults()
+	start := time.Now()
+
+	if opt.Engine == BDD {
+		cols, err := SolveBDD(g, conf, m, opt.BDDNodeLimit)
+		stats := FormulaStats{
+			Signals: m, Vars: 2 * m * len(g.States),
+			SolveTime: time.Since(start),
+		}
+		switch {
+		case err == nil:
+			stats.Status = sat.Sat
+			return cols, stats, nil
+		case errors.Is(err, ErrUnsatisfiable):
+			stats.Status = sat.Unsat
+			return nil, stats, nil
+		case errors.Is(err, bdd.ErrNodeLimit):
+			// Fall through to the SAT engine below.
+		default:
+			return nil, stats, err
+		}
+	}
+
+	enc, err := Encode(g, conf, m, opt.Encoding)
+	if err != nil {
+		return nil, FormulaStats{}, err
+	}
+	var r sat.Result
+	if opt.Engine == WalkSAT {
+		r = sat.LocalSearch(enc.F, sat.LocalSearchOptions{})
+	} else {
+		r = sat.Solve(enc.F, sat.Limits{MaxBacktracks: opt.MaxBacktracks})
+	}
+	stats := FormulaStats{
+		Signals: m, Vars: enc.F.NumVars, Clauses: enc.F.NumClauses(),
+		Literals: enc.F.NumLiterals(), Status: r.Status, SolveTime: time.Since(start),
+	}
+	if r.Status != sat.Sat {
+		return nil, stats, nil
+	}
+	cols := enc.DecodePhases(r.Model)
+	Tighten(g, conf, cols)
+	return cols, stats, nil
+}

@@ -1,0 +1,228 @@
+package csc
+
+import (
+	"errors"
+	"fmt"
+
+	"asyncsyn/internal/bdd"
+	"asyncsyn/internal/sg"
+)
+
+// ErrUnsatisfiable reports that the CSC constraints admit no assignment
+// with the attempted number of state signals.
+var ErrUnsatisfiable = errors.New("csc: constraints unsatisfiable")
+
+// SolveBDD finds phase assignments for m new state signals with a BDD
+// instead of SAT — the constraint-satisfaction approach the paper's
+// conclusion credits with a further area reduction (Puri & Gu, HLSS'94).
+// All constraints (edge compatibility, stable separation of conflicting
+// pairs, USC conditions) are conjoined into one BDD; the returned model
+// is the one with the FEWEST excited states (minimum-cost model over the
+// excitation bits), which directly minimises the expanded state graph
+// and hence the derived logic. Returns bdd.ErrNodeLimit when the
+// diagram explodes; callers fall back to the SAT engine.
+func SolveBDD(g *sg.Graph, conf *sg.Conflicts, m int, nodeLimit int) ([][]sg.Phase, error) {
+	if m <= 0 {
+		return nil, fmt.Errorf("csc: need at least one state signal")
+	}
+	for _, p := range conf.CSC {
+		if p.A == p.B {
+			return nil, fmt.Errorf("csc: state %d conflicts with itself", p.A)
+		}
+	}
+	n := len(g.States)
+	numVars := 2 * n * m
+	// Variable order: states in index order, signals and (a,b) adjacent —
+	// edge constraints are then between nearby levels, keeping the
+	// diagram narrow on band-structured graphs.
+	aVar := func(s, k int) int { return 2 * (s*m + k) }
+	bVar := func(s, k int) int { return 2*(s*m+k) + 1 }
+
+	p := bdd.New(nodeLimit)
+	acc := bdd.True
+
+	conj := func(f bdd.Node) error {
+		var err error
+		acc, err = p.And(acc, f)
+		if err != nil {
+			return err
+		}
+		if acc == bdd.False {
+			return ErrUnsatisfiable
+		}
+		return nil
+	}
+	lit := func(v int, val bool) (bdd.Node, error) {
+		if val {
+			return p.Var(v)
+		}
+		return p.NVar(v)
+	}
+	// phaseIs builds the (a,b) conjunction for one phase of (s,k).
+	phaseIs := func(s, k int, ph sg.Phase) (bdd.Node, error) {
+		a, b := phaseBits(ph)
+		la, err := lit(aVar(s, k), a)
+		if err != nil {
+			return 0, err
+		}
+		lb, err := lit(bVar(s, k), b)
+		if err != nil {
+			return 0, err
+		}
+		return p.And(la, lb)
+	}
+
+	// Edge compatibility (with the input-properness restriction).
+	for _, ed := range g.Edges {
+		inputEdge := g.InputEdge(ed)
+		for k := 0; k < m; k++ {
+			ok := bdd.False
+			for _, ph := range []sg.Phase{sg.P0, sg.P1, sg.PUp, sg.PDown} {
+				for _, qh := range []sg.Phase{sg.P0, sg.P1, sg.PUp, sg.PDown} {
+					if !sg.EdgeCompatibleIO(ph, qh, inputEdge) {
+						continue
+					}
+					f1, err := phaseIs(ed.From, k, ph)
+					if err != nil {
+						return nil, err
+					}
+					f2, err := phaseIs(ed.To, k, qh)
+					if err != nil {
+						return nil, err
+					}
+					both, err := p.And(f1, f2)
+					if err != nil {
+						return nil, err
+					}
+					ok, err = p.Or(ok, both)
+					if err != nil {
+						return nil, err
+					}
+				}
+			}
+			if err := conj(ok); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// sep(s,t,k): signal k stable at complementary levels in s and t.
+	sep := func(s, t, k int) (bdd.Node, error) {
+		s0, err := phaseIs(s, k, sg.P0)
+		if err != nil {
+			return 0, err
+		}
+		t1, err := phaseIs(t, k, sg.P1)
+		if err != nil {
+			return 0, err
+		}
+		c1, err := p.And(s0, t1)
+		if err != nil {
+			return 0, err
+		}
+		s1, err := phaseIs(s, k, sg.P1)
+		if err != nil {
+			return 0, err
+		}
+		t0, err := phaseIs(t, k, sg.P0)
+		if err != nil {
+			return 0, err
+		}
+		c2, err := p.And(s1, t0)
+		if err != nil {
+			return 0, err
+		}
+		return p.Or(c1, c2)
+	}
+	sepAny := func(s, t int) (bdd.Node, error) {
+		acc := bdd.False
+		for k := 0; k < m; k++ {
+			f, err := sep(s, t, k)
+			if err != nil {
+				return 0, err
+			}
+			acc, err = p.Or(acc, f)
+			if err != nil {
+				return 0, err
+			}
+		}
+		return acc, nil
+	}
+
+	for _, pr := range conf.CSC {
+		f, err := sepAny(pr.A, pr.B)
+		if err != nil {
+			return nil, err
+		}
+		if err := conj(f); err != nil {
+			return nil, fmt.Errorf("pair (%d,%d): %w", pr.A, pr.B, err)
+		}
+	}
+
+	// USC pairs: separated, or no blocked phase pair on any k.
+	for _, pr := range conf.USC {
+		sepF, err := sepAny(pr.A, pr.B)
+		if err != nil {
+			return nil, err
+		}
+		okAll := bdd.True
+		for k := 0; k < m; k++ {
+			bad := bdd.False
+			for _, bp := range uscBlockedPairs {
+				f1, err := phaseIs(pr.A, k, bp[0])
+				if err != nil {
+					return nil, err
+				}
+				f2, err := phaseIs(pr.B, k, bp[1])
+				if err != nil {
+					return nil, err
+				}
+				both, err := p.And(f1, f2)
+				if err != nil {
+					return nil, err
+				}
+				bad, err = p.Or(bad, both)
+				if err != nil {
+					return nil, err
+				}
+			}
+			good, err := p.Not(bad)
+			if err != nil {
+				return nil, err
+			}
+			okAll, err = p.And(okAll, good)
+			if err != nil {
+				return nil, err
+			}
+		}
+		cond, err := p.Or(sepF, okAll)
+		if err != nil {
+			return nil, err
+		}
+		if err := conj(cond); err != nil {
+			return nil, fmt.Errorf("usc pair (%d,%d): %w", pr.A, pr.B, err)
+		}
+	}
+
+	// Minimum-excitation model: cost 1 on every a bit (excited phase).
+	cost := make([]float64, numVars)
+	for s := 0; s < n; s++ {
+		for k := 0; k < m; k++ {
+			cost[aVar(s, k)] = 1
+		}
+	}
+	model, _, ok := p.MinCostSat(acc, numVars, cost)
+	if !ok {
+		return nil, ErrUnsatisfiable
+	}
+
+	cols := make([][]sg.Phase, m)
+	for k := 0; k < m; k++ {
+		col := make([]sg.Phase, n)
+		for s := 0; s < n; s++ {
+			col[s] = bitsPhase(model[aVar(s, k)], model[bVar(s, k)])
+		}
+		cols[k] = col
+	}
+	return cols, nil
+}

@@ -1,0 +1,142 @@
+package csc
+
+import (
+	"fmt"
+	"time"
+
+	"asyncsyn/internal/sat"
+	"asyncsyn/internal/sg"
+)
+
+// Engine selects the SAT engine used to solve CSC formulas.
+type Engine int
+
+const (
+	// DPLL is the branch-and-bound solver (default; the role of the SIS
+	// SAT program in the paper's experiments).
+	DPLL Engine = iota
+	// WalkSAT is the incomplete local-search solver. On UNSAT-like
+	// exhaustion it behaves as a backtrack-limit abort.
+	WalkSAT
+	// BDD conjoins all constraints into a binary decision diagram and
+	// extracts the minimum-excitation model (the paper's closing pointer
+	// to a BDD-based approach with further area reduction). It falls
+	// back to DPLL when the diagram exceeds the node limit.
+	BDD
+)
+
+// SolveOptions configures direct CSC solving.
+type SolveOptions struct {
+	Encoding Options
+	Engine   Engine
+	// MaxBacktracks bounds the DPLL search per formula (default 2,000,000;
+	// the paper's direct method aborts at a backtrack limit on mr0/mmu0).
+	MaxBacktracks int64
+	// MaxSignals bounds state-signal insertion (default 8).
+	MaxSignals int
+	// NamePrefix names inserted signals (default "csc").
+	NamePrefix string
+	// StartSignals overrides the initial m (default: the conflict lower
+	// bound, at least 1).
+	StartSignals int
+	// BDDNodeLimit bounds the BDD engine (default one million nodes).
+	BDDNodeLimit int
+}
+
+func (o SolveOptions) withDefaults() SolveOptions {
+	if o.MaxBacktracks == 0 {
+		o.MaxBacktracks = 2000000
+	}
+	if o.MaxSignals == 0 {
+		o.MaxSignals = 8
+	}
+	if o.NamePrefix == "" {
+		o.NamePrefix = "csc"
+	}
+	return o
+}
+
+// FormulaStats records the size of one solved SAT instance.
+type FormulaStats struct {
+	Signals   int
+	Vars      int
+	Clauses   int
+	Literals  int
+	Status    sat.Status
+	SolveTime time.Duration
+}
+
+// Result is the outcome of direct CSC constraint satisfaction.
+type Result struct {
+	// Inserted is the number of state signals added to the graph.
+	Inserted int
+	// Aborted is true when the backtrack limit was exhausted before a
+	// verdict; the graph then still has CSC conflicts.
+	Aborted bool
+	// Formulas records every SAT instance attempted, in order.
+	Formulas []FormulaStats
+}
+
+// Solve resolves all CSC conflicts of g by inserting state signals found
+// from a single whole-graph SAT formula — the direct, no-decomposition
+// method of Vanbekbergen et al. The graph is modified in place (phase
+// columns are appended). Following the paper's Figure 4 loop, m starts
+// at the conflict lower bound and grows on UNSAT.
+func Solve(g *sg.Graph, opt SolveOptions) (*Result, error) {
+	opt = opt.withDefaults()
+	res := &Result{}
+	conf := sg.Analyze(g)
+	if conf.N() == 0 {
+		return res, nil
+	}
+	m := conf.LowerBound
+	if opt.StartSignals > 0 {
+		m = opt.StartSignals
+	}
+	if m < 1 {
+		m = 1
+	}
+	// Joint insertion at the lower bound and one above (Figure 4's while
+	// loop); beyond that the joint formulas' UNSAT proofs blow up on
+	// cascaded-signal instances, so switch to greedy incremental
+	// insertion.
+	jointCap := m + 1
+	if jointCap > opt.MaxSignals {
+		jointCap = opt.MaxSignals
+	}
+	for ; m <= jointCap; m++ {
+		cols, stats, err := Attempt(g, conf, m, opt)
+		if err != nil {
+			return res, err
+		}
+		res.Formulas = append(res.Formulas, stats)
+		switch stats.Status {
+		case sat.Sat:
+			for _, col := range cols {
+				g.StateSigs = append(g.StateSigs, sg.StateSignal{
+					Name:   fmt.Sprintf("%s%d", opt.NamePrefix, len(g.StateSigs)),
+					Phases: col,
+				})
+			}
+			res.Inserted += m
+			if left := sg.Analyze(g); left.N() != 0 {
+				return res, fmt.Errorf("csc: %d conflicts remain after a satisfying assignment", left.N())
+			}
+			return res, nil
+		case sat.BacktrackLimit:
+			res.Aborted = true
+			return res, nil
+		case sat.Unsat:
+			// Grow m, then fall through to incremental insertion.
+		}
+	}
+	inserted, stats, aborted, err := InsertIncremental(g,
+		func() *sg.Conflicts { return sg.Analyze(g) }, opt, opt.MaxSignals)
+	res.Formulas = append(res.Formulas, stats...)
+	res.Inserted += inserted
+	res.Aborted = aborted
+	if err != nil {
+		return res, err
+	}
+	return res, nil
+}

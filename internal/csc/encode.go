@@ -1,0 +1,343 @@
+// Package csc encodes the complete-state-coding constraint satisfaction
+// problem as boolean satisfiability (the paper's Section 2.1 SAT-CSC
+// model) and provides the direct whole-graph solver that serves as the
+// Vanbekbergen et al. baseline ("no decomposition" in Table 1).
+package csc
+
+import (
+	"fmt"
+
+	"asyncsyn/internal/sat"
+	"asyncsyn/internal/sg"
+)
+
+// Phase bit encoding (the paper's footnote 2): each 4-valued state
+// variable n_{i,k} becomes two binary variables (a,b) with
+// 00→0, 01→1, 10→Up, 11→Down. The level a state signal contributes to
+// the state code equals the b bit (Up keeps level 0, Down keeps level 1).
+func phaseBits(p sg.Phase) (a, b bool) {
+	switch p {
+	case sg.P0:
+		return false, false
+	case sg.P1:
+		return false, true
+	case sg.PUp:
+		return true, false
+	default:
+		return true, true
+	}
+}
+
+func bitsPhase(a, b bool) sg.Phase {
+	switch {
+	case !a && !b:
+		return sg.P0
+	case !a && b:
+		return sg.P1
+	case a && !b:
+		return sg.PUp
+	default:
+		return sg.PDown
+	}
+}
+
+// Options tunes the encoding.
+type Options struct {
+	// ExpandXor generates the paper-style direct CNF expansion of the
+	// "codes must differ" constraints (2^m clauses per conflicting pair)
+	// instead of the default Tseitin encoding with auxiliary difference
+	// variables. Used for clause-growth experiments.
+	ExpandXor bool
+	// SkipUSC omits the constraints on non-conflicting equal-code pairs
+	// (which keep the inserted signals' own functions well defined).
+	// Only for measurement experiments; synthesis keeps them on.
+	SkipUSC bool
+}
+
+// Encoding is a SAT-CSC instance for inserting m state signals into a
+// state graph.
+type Encoding struct {
+	F *sat.Formula
+	G *sg.Graph
+	M int
+
+	aVar [][]int // [state][k]
+	bVar [][]int
+}
+
+// blockedPairsFor lists the (predecessor, successor) phase pairs
+// excluded by the consistency + semi-modularity relation, including the
+// input-properness restriction on environment-driven edges (see
+// sg.EdgeCompatibleIO).
+func blockedPairsFor(inputEdge bool) [][2]sg.Phase {
+	var out [][2]sg.Phase
+	for _, p := range []sg.Phase{sg.P0, sg.P1, sg.PUp, sg.PDown} {
+		for _, q := range []sg.Phase{sg.P0, sg.P1, sg.PUp, sg.PDown} {
+			if !sg.EdgeCompatibleIO(p, q, inputEdge) {
+				out = append(out, [2]sg.Phase{p, q})
+			}
+		}
+	}
+	return out
+}
+
+var (
+	blockedOutputEdge = blockedPairsFor(false)
+	blockedInputEdge  = blockedPairsFor(true)
+)
+
+// Encode builds the SAT-CSC formula for graph g with m new state signals
+// and the given conflict analysis. Pairs with A == B (a merged class
+// implying both values of the target signal) cannot be separated by any
+// assignment; Encode reports them as an error.
+func Encode(g *sg.Graph, conf *sg.Conflicts, m int, opt Options) (*Encoding, error) {
+	if m <= 0 {
+		return nil, fmt.Errorf("csc: need at least one state signal")
+	}
+	for _, p := range conf.CSC {
+		if p.A == p.B {
+			return nil, fmt.Errorf("csc: state %d conflicts with itself (merged class implies both values); enlarge the input set", p.A)
+		}
+	}
+	e := &Encoding{F: sat.NewFormula(), G: g, M: m}
+	n := len(g.States)
+	e.aVar = make([][]int, n)
+	e.bVar = make([][]int, n)
+	for s := 0; s < n; s++ {
+		e.aVar[s] = make([]int, m)
+		e.bVar[s] = make([]int, m)
+		for k := 0; k < m; k++ {
+			e.aVar[s][k] = e.F.NewVar(fmt.Sprintf("a[%d][%d]", s, k))
+			e.bVar[s][k] = e.F.NewVar(fmt.Sprintf("b[%d][%d]", s, k))
+			// Prefer stable phases: every needlessly excited state
+			// multiplies the expanded state graph.
+			e.F.Prefer(e.aVar[s][k], false)
+		}
+	}
+
+	// Consistency + semi-modularity along every edge, for every signal:
+	// block the eight incompatible phase pairs.
+	lit := func(v int, val bool) sat.Lit {
+		if val {
+			return sat.NegLit(v) // clause literal that *falsifies* value val
+		}
+		return sat.PosLit(v)
+	}
+	for _, ed := range g.Edges {
+		blocked := blockedOutputEdge
+		if g.InputEdge(ed) {
+			blocked = blockedInputEdge
+		}
+		for k := 0; k < m; k++ {
+			for _, bp := range blocked {
+				pa, pb := phaseBits(bp[0])
+				qa, qb := phaseBits(bp[1])
+				e.F.Add(
+					lit(e.aVar[ed.From][k], pa), lit(e.bVar[ed.From][k], pb),
+					lit(e.aVar[ed.To][k], qa), lit(e.bVar[ed.To][k], qb),
+				)
+			}
+		}
+	}
+
+	if opt.ExpandXor {
+		// Paper-parity mode: no auxiliary variables at all, so no
+		// symmetry breaking either (it is an encoding-size experiment,
+		// not a solving path).
+		e.encodePairsExpanded(conf, opt)
+	} else {
+		e.encodePairsTseitin(conf, opt)
+		e.breakSymmetry()
+	}
+	return e, nil
+}
+
+// breakSymmetry adds lexicographic ordering between adjacent signal
+// columns. The m inserted signals are fully interchangeable in every
+// constraint, so without this the solver explores (and on UNSAT
+// instances must refute) all m! permutations of each assignment — joint
+// m ≥ 4 UNSAT proofs become intractable. The standard prefix-equality
+// chain costs 4 clauses per state bit per adjacent pair.
+func (e *Encoding) breakSymmetry() {
+	n := len(e.G.States)
+	for k := 0; k+1 < e.M; k++ {
+		bits := make([][2]int, 0, 2*n)
+		for s := 0; s < n; s++ {
+			bits = append(bits, [2]int{e.aVar[s][k], e.aVar[s][k+1]})
+			bits = append(bits, [2]int{e.bVar[s][k], e.bVar[s][k+1]})
+		}
+		prevEq := -1 // -1 means "true"
+		for i, xy := range bits {
+			x, y := xy[0], xy[1]
+			if prevEq < 0 {
+				e.F.Add(sat.NegLit(x), sat.PosLit(y)) // x ≤ y
+			} else {
+				e.F.Add(sat.NegLit(prevEq), sat.NegLit(x), sat.PosLit(y))
+			}
+			if i == len(bits)-1 {
+				break
+			}
+			eq := e.F.NewVar(fmt.Sprintf("lex[%d][%d]", k, i))
+			// eq ← prevEq ∧ (x ↔ y): both directions so the chain
+			// propagates and stays consistent.
+			if prevEq < 0 {
+				e.F.Add(sat.PosLit(eq), sat.PosLit(x), sat.PosLit(y))
+				e.F.Add(sat.PosLit(eq), sat.NegLit(x), sat.NegLit(y))
+			} else {
+				e.F.Add(sat.PosLit(eq), sat.NegLit(prevEq), sat.PosLit(x), sat.PosLit(y))
+				e.F.Add(sat.PosLit(eq), sat.NegLit(prevEq), sat.NegLit(x), sat.NegLit(y))
+				e.F.Add(sat.NegLit(eq), sat.PosLit(prevEq))
+			}
+			e.F.Add(sat.NegLit(eq), sat.PosLit(x), sat.NegLit(y))
+			e.F.Add(sat.NegLit(eq), sat.NegLit(x), sat.PosLit(y))
+			prevEq = eq
+		}
+	}
+}
+
+// Separation semantics. A state signal with phase Up or Down spans BOTH
+// binary levels once its transition is inserted (the state splits into a
+// before- and an after-firing half during expansion). Two conflicting
+// states are therefore reliably distinguished only by a signal that is
+// STABLE at complementary levels in the two states: (0,1) or (1,0).
+//
+// Non-conflicting equal-code pairs (USC) need no separation, but the
+// inserted signal's own behaviour must then look identical from the two
+// states wherever their expanded codes overlap: one state must not enable
+// n_k+ at a level where the other holds that level stably. The
+// phase pairs that violate this are
+//
+//	(0,Up), (Up,0), (1,Down), (Down,1), (Up,Down), (Down,Up)
+//
+// — e.g. (Up,0) overlap at level 0 has one state firing n_k+ and the
+// other not, a fresh CSC conflict on n_k itself. A USC pair must either
+// be separated like a CSC pair or avoid these six pairs for every k.
+
+// uscBlockedPairs are the phase pairs disallowed on unseparated
+// equal-code pairs.
+var uscBlockedPairs = [][2]sg.Phase{
+	{sg.P0, sg.PUp}, {sg.PUp, sg.P0},
+	{sg.P1, sg.PDown}, {sg.PDown, sg.P1},
+	{sg.PUp, sg.PDown}, {sg.PDown, sg.PUp},
+}
+
+// encodePairsTseitin introduces, per pair and signal, an auxiliary
+// variable d_k → (signal k stably separates the pair):
+// d_k → ¬a_A ∧ ¬a_B ∧ (b_A ⊕ b_B). CSC pairs assert ∨_k d_k; USC pairs
+// assert, for every k and blocked phase pair, (∨_k d_k) ∨ ¬blocked.
+func (e *Encoding) encodePairsTseitin(conf *sg.Conflicts, opt Options) {
+	sepVars := func(p sg.Pair) []sat.Lit {
+		ds := make([]sat.Lit, e.M)
+		for k := 0; k < e.M; k++ {
+			d := e.F.NewVar(fmt.Sprintf("d[%d,%d][%d]", p.A, p.B, k))
+			ds[k] = sat.PosLit(d)
+			ai, aj := e.aVar[p.A][k], e.aVar[p.B][k]
+			bi, bj := e.bVar[p.A][k], e.bVar[p.B][k]
+			e.F.Add(sat.NegLit(d), sat.NegLit(ai))
+			e.F.Add(sat.NegLit(d), sat.NegLit(aj))
+			e.F.Add(sat.NegLit(d), sat.PosLit(bi), sat.PosLit(bj))
+			e.F.Add(sat.NegLit(d), sat.NegLit(bi), sat.NegLit(bj))
+		}
+		return ds
+	}
+	lit := func(v int, val bool) sat.Lit {
+		if val {
+			return sat.NegLit(v)
+		}
+		return sat.PosLit(v)
+	}
+	for _, p := range conf.CSC {
+		e.F.Add(sepVars(p)...)
+	}
+	if opt.SkipUSC {
+		return
+	}
+	for _, p := range conf.USC {
+		ds := sepVars(p)
+		for k := 0; k < e.M; k++ {
+			for _, bp := range uscBlockedPairs {
+				pa, pb := phaseBits(bp[0])
+				qa, qb := phaseBits(bp[1])
+				e.F.Add(append(append([]sat.Lit(nil), ds...),
+					lit(e.aVar[p.A][k], pa), lit(e.bVar[p.A][k], pb),
+					lit(e.aVar[p.B][k], qa), lit(e.bVar[p.B][k], qb))...)
+			}
+		}
+	}
+}
+
+// encodePairsExpanded is the paper-style direct CNF expansion with no
+// auxiliary variables: the disjunction over k of the stable-separation
+// conjunctions distributes into 4^m clauses per pair (the paper's
+// N_csc·c^m and N_usc·c^m clause-count terms).
+func (e *Encoding) encodePairsExpanded(conf *sg.Conflicts, opt Options) {
+	// CNF(sep_k) has four clauses: (¬a_A), (¬a_B), (b_A ∨ b_B),
+	// (¬b_A ∨ ¬b_B). CNF(∨_k sep_k) picks one of them per k.
+	clauseOf := func(p sg.Pair, k, choice int) []sat.Lit {
+		ai, aj := e.aVar[p.A][k], e.aVar[p.B][k]
+		bi, bj := e.bVar[p.A][k], e.bVar[p.B][k]
+		switch choice {
+		case 0:
+			return []sat.Lit{sat.NegLit(ai)}
+		case 1:
+			return []sat.Lit{sat.NegLit(aj)}
+		case 2:
+			return []sat.Lit{sat.PosLit(bi), sat.PosLit(bj)}
+		default:
+			return []sat.Lit{sat.NegLit(bi), sat.NegLit(bj)}
+		}
+	}
+	total := 1
+	for k := 0; k < e.M; k++ {
+		total *= 4
+	}
+	build := func(p sg.Pair, idx int) []sat.Lit {
+		var lits []sat.Lit
+		for k := 0; k < e.M; k++ {
+			lits = append(lits, clauseOf(p, k, idx%4)...)
+			idx /= 4
+		}
+		return lits
+	}
+	lit := func(v int, val bool) sat.Lit {
+		if val {
+			return sat.NegLit(v)
+		}
+		return sat.PosLit(v)
+	}
+	for _, p := range conf.CSC {
+		for idx := 0; idx < total; idx++ {
+			e.F.Add(build(p, idx)...)
+		}
+	}
+	if opt.SkipUSC {
+		return
+	}
+	for _, p := range conf.USC {
+		for idx := 0; idx < total; idx++ {
+			base := build(p, idx)
+			for k := 0; k < e.M; k++ {
+				for _, bp := range uscBlockedPairs {
+					pa, pb := phaseBits(bp[0])
+					qa, qb := phaseBits(bp[1])
+					e.F.Add(append(append([]sat.Lit(nil), base...),
+						lit(e.aVar[p.A][k], pa), lit(e.bVar[p.A][k], pb),
+						lit(e.aVar[p.B][k], qa), lit(e.bVar[p.B][k], qb))...)
+				}
+			}
+		}
+	}
+}
+
+// DecodePhases extracts the per-signal phase columns from a model.
+func (e *Encoding) DecodePhases(model []bool) [][]sg.Phase {
+	out := make([][]sg.Phase, e.M)
+	for k := 0; k < e.M; k++ {
+		col := make([]sg.Phase, len(e.G.States))
+		for s := range e.G.States {
+			col[s] = bitsPhase(model[e.aVar[s][k]], model[e.bVar[s][k]])
+		}
+		out[k] = col
+	}
+	return out
+}

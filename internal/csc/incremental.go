@@ -1,0 +1,101 @@
+package csc
+
+import (
+	"fmt"
+
+	"asyncsyn/internal/sat"
+	"asyncsyn/internal/sg"
+)
+
+// InsertIncremental resolves conflicts one state signal at a time: each
+// iteration solves a single-signal (m=1) instance targeting as many of
+// the remaining conflict pairs as possible — first all of them, then the
+// largest same-code group, then individual pairs — inserts the column,
+// and re-evaluates. Greedy insertion sidesteps the joint-m cliff: some
+// specifications (double-pulse branches) need CASCADED signals, where
+// separating one pair is only possible after a companion signal has
+// split a blocking same-code pair; a joint encoding must discover the
+// whole cascade inside one exponentially symmetric formula, while the
+// greedy loop finds it signal by signal. refresh re-analyses the graph
+// after each insertion; maxSignals bounds the loop.
+func InsertIncremental(g *sg.Graph, refresh func() *sg.Conflicts, opt SolveOptions, maxSignals int) (inserted int, stats []FormulaStats, aborted bool, err error) {
+	opt = opt.withDefaults()
+	for inserted < maxSignals {
+		conf := refresh()
+		if conf.N() == 0 {
+			return inserted, stats, false, nil
+		}
+		candidates := []*sg.Conflicts{conf, LargestGroup(g, conf)}
+		for _, p := range conf.CSC {
+			candidates = append(candidates, restrictTo(conf, p))
+		}
+		progressed := false
+		for _, cand := range candidates {
+			cols, st, aerr := Attempt(g, cand, 1, opt)
+			if aerr != nil {
+				return inserted, stats, false, aerr
+			}
+			stats = append(stats, st)
+			switch st.Status {
+			case sat.Sat:
+				g.StateSigs = append(g.StateSigs, sg.StateSignal{
+					Name:   fmt.Sprintf("%s%d", opt.NamePrefix, len(g.StateSigs)),
+					Phases: cols[0],
+				})
+				inserted++
+				progressed = true
+			case sat.BacktrackLimit:
+				return inserted, stats, true, nil
+			}
+			if progressed {
+				break
+			}
+		}
+		if !progressed {
+			return inserted, stats, false, fmt.Errorf("csc: no conflict pair separable by a single signal (%d remain)", conf.N())
+		}
+	}
+	if refresh().N() != 0 {
+		return inserted, stats, false, fmt.Errorf("csc: conflicts remain after %d incremental signals", maxSignals)
+	}
+	return inserted, stats, false, nil
+}
+
+// LargestGroup restricts conf to the pairs of the code group with the
+// most conflicting pairs; the rest join the USC side so the inserted
+// signal stays well defined everywhere.
+func LargestGroup(g *sg.Graph, conf *sg.Conflicts) *sg.Conflicts {
+	count := make(map[uint64]int)
+	for _, p := range conf.CSC {
+		count[g.FullCode(p.A)]++
+	}
+	var bestCode uint64
+	best := -1
+	for code, n := range count {
+		if n > best || (n == best && code < bestCode) {
+			bestCode, best = code, n
+		}
+	}
+	out := &sg.Conflicts{LowerBound: 1}
+	for _, p := range conf.CSC {
+		if g.FullCode(p.A) == bestCode {
+			out.CSC = append(out.CSC, p)
+		} else {
+			out.USC = append(out.USC, p)
+		}
+	}
+	out.USC = append(out.USC, conf.USC...)
+	return out
+}
+
+// restrictTo keeps a single pair as the separation obligation.
+func restrictTo(conf *sg.Conflicts, p sg.Pair) *sg.Conflicts {
+	out := &sg.Conflicts{LowerBound: 1, CSC: []sg.Pair{p}}
+	for _, q := range conf.CSC {
+		if q != p {
+			out.USC = append(out.USC, q)
+		}
+	}
+	out.USC = append(out.USC, conf.USC...)
+	return out
+}

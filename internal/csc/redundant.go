@@ -1,0 +1,101 @@
+package csc
+
+import (
+	"sort"
+
+	"asyncsyn/internal/sg"
+)
+
+// Redundant reports whether state-signal column k of g can be dropped:
+// with the remaining columns, every pair of states sharing a full code
+// must still satisfy the CSC/USC conditions — conflicting pairs stay
+// separated by a stable complementary value of some other signal, and
+// non-conflicting pairs avoid the blocked excitation pairs. The
+// integration of per-output modular solutions often leaves such
+// redundancy (the paper notes the method is not signal-optimal).
+func Redundant(g *sg.Graph, k int) bool {
+	if k < 0 || k >= len(g.StateSigs) {
+		return false
+	}
+	var rest []int
+	for j := range g.StateSigs {
+		if j != k {
+			rest = append(rest, j)
+		}
+	}
+	// Group states by their code without column k.
+	code := func(s int) uint64 {
+		c := g.States[s].Code & g.Active
+		for bi, j := range rest {
+			if g.StateSigs[j].Phases[s].Level() == 1 {
+				c |= 1 << (uint(len(g.Base)) + uint(bi))
+			}
+		}
+		return c
+	}
+	groups := make(map[uint64][]int)
+	for s := range g.States {
+		groups[code(s)] = append(groups[code(s)], s)
+	}
+	keys := make([]uint64, 0, len(groups))
+	for c := range groups {
+		keys = append(keys, c)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+
+	stableComplement := func(a, b sg.Phase) bool {
+		return (a == sg.P0 && b == sg.P1) || (a == sg.P1 && b == sg.P0)
+	}
+	blocked := func(a, b sg.Phase) bool {
+		switch {
+		case a == sg.P0 && b == sg.PUp, a == sg.PUp && b == sg.P0:
+			return true
+		case a == sg.P1 && b == sg.PDown, a == sg.PDown && b == sg.P1:
+			return true
+		case a == sg.PUp && b == sg.PDown, a == sg.PDown && b == sg.PUp:
+			return true
+		}
+		return false
+	}
+	for _, c := range keys {
+		states := groups[c]
+		for i := 0; i < len(states); i++ {
+			for j := i + 1; j < len(states); j++ {
+				a, b := states[i], states[j]
+				sep := false
+				for _, r := range rest {
+					if stableComplement(g.StateSigs[r].Phases[a], g.StateSigs[r].Phases[b]) {
+						sep = true
+						break
+					}
+				}
+				if sep {
+					continue
+				}
+				if g.EnabledNonInputs(a) != g.EnabledNonInputs(b) {
+					return false // a CSC conflict would reappear
+				}
+				for _, r := range rest {
+					if blocked(g.StateSigs[r].Phases[a], g.StateSigs[r].Phases[b]) {
+						return false
+					}
+				}
+			}
+		}
+	}
+	return true
+}
+
+// Prune removes redundant state-signal columns (latest insertions first)
+// and returns the names of the removed signals.
+func Prune(g *sg.Graph) []string {
+	var removed []string
+	for k := len(g.StateSigs) - 1; k >= 0; k-- {
+		if Redundant(g, k) {
+			removed = append(removed, g.StateSigs[k].Name)
+			g.StateSigs = append(g.StateSigs[:k], g.StateSigs[k+1:]...)
+		}
+	}
+	sort.Strings(removed)
+	return removed
+}

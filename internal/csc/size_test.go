@@ -1,0 +1,59 @@
+package csc
+
+import (
+	"testing"
+
+	"asyncsyn/internal/bench"
+	"asyncsyn/internal/sg"
+)
+
+// TestPredictExact: the executable complexity model matches the real
+// expanded encoding bit for bit on the benchmark suite.
+func TestPredictExact(t *testing.T) {
+	for _, name := range []string{"vbe-ex1", "fifo", "sbuf-read-ctl", "pa", "nouse", "mmu1"} {
+		spec, err := bench.Load(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := sg.FromSTG(spec, sg.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		conf := sg.Analyze(g)
+		for m := 1; m <= 3; m++ {
+			want := Predict(g, conf, m)
+			enc, err := Encode(g, conf, m, Options{ExpandXor: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if enc.F.NumVars != want.Vars {
+				t.Errorf("%s m=%d: vars %d, predicted %d", name, m, enc.F.NumVars, want.Vars)
+			}
+			got := enc.F.NumClauses()
+			lo := want.EdgeClauses + want.CSCClauses // USC term may collapse
+			if got < lo || got > want.Clauses {
+				t.Errorf("%s m=%d: clauses %d outside [%d,%d] (edges %d, csc %d, usc ≤ %d)",
+					name, m, got, lo, want.Clauses,
+					want.EdgeClauses, want.CSCClauses, want.USCClauses)
+			}
+		}
+	}
+}
+
+// TestPredictGrowth pins the paper's exponential c^m terms.
+func TestPredictGrowth(t *testing.T) {
+	spec, _ := bench.Load("pa")
+	g, _ := sg.FromSTG(spec, sg.Options{})
+	conf := sg.Analyze(g)
+	s1 := Predict(g, conf, 1)
+	s2 := Predict(g, conf, 2)
+	if s2.CSCClauses != 4*s1.CSCClauses {
+		t.Errorf("CSC term not 4^m: %d vs %d", s1.CSCClauses, s2.CSCClauses)
+	}
+	if s2.USCClauses != 8*s1.USCClauses { // 6m·4^m: (6·2·16)/(6·1·4) = 8
+		t.Errorf("USC term not 2m·4^m: %d vs %d", s1.USCClauses, s2.USCClauses)
+	}
+	if s2.EdgeClauses != 2*s1.EdgeClauses {
+		t.Errorf("edge term not linear: %d vs %d", s1.EdgeClauses, s2.EdgeClauses)
+	}
+}

@@ -1,0 +1,125 @@
+// Package dot renders STGs and state graphs in the Graphviz DOT format
+// for inspection of specifications, coding conflicts and modular
+// decompositions.
+package dot
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"asyncsyn/internal/sg"
+	"asyncsyn/internal/stg"
+)
+
+// STG renders the Petri net view: transitions as boxes, explicit places
+// as circles (implicit single-arc places collapse to edges), tokens as
+// filled places.
+func STG(g *stg.G) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=TB;\n", g.Name)
+	b.WriteString("  node [fontname=\"Helvetica\"];\n")
+	for t := range g.Net.Transitions {
+		label := g.Net.Transitions[t].Label
+		shape := "box"
+		if g.Labels[t].IsDummy() {
+			shape = "box, style=dashed"
+		}
+		fmt.Fprintf(&b, "  t%d [label=%q, shape=%s];\n", t, label, shape)
+	}
+	for p, pl := range g.Net.Places {
+		implicitArc := pl.Implicit && len(pl.Pre) == 1 && len(pl.Post) == 1
+		if implicitArc {
+			marked := ""
+			if len(g.Net.Initial) > p && g.Net.Initial[p] > 0 {
+				marked = " [label=\"●\"]"
+			}
+			fmt.Fprintf(&b, "  t%d -> t%d%s;\n", pl.Pre[0], pl.Post[0], marked)
+			continue
+		}
+		style := ""
+		if len(g.Net.Initial) > p && g.Net.Initial[p] > 0 {
+			style = ", style=filled, fillcolor=gray80"
+		}
+		fmt.Fprintf(&b, "  p%d [label=%q, shape=circle%s];\n", p, pl.Name, style)
+		for _, t := range pl.Pre {
+			fmt.Fprintf(&b, "  t%d -> p%d;\n", t, p)
+		}
+		for _, t := range pl.Post {
+			fmt.Fprintf(&b, "  p%d -> t%d;\n", p, t)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// Graph renders a state graph: nodes labelled with binary codes (and
+// state-signal phases when present), edges with signal transitions.
+// States involved in CSC conflicts are highlighted.
+func Graph(g *sg.Graph) string {
+	conflicted := make(map[int]bool)
+	conf := sg.Analyze(g)
+	for _, p := range conf.CSC {
+		conflicted[p.A] = true
+		conflicted[p.B] = true
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=TB;\n", g.Name)
+	b.WriteString("  node [fontname=\"Helvetica\", shape=ellipse];\n")
+	nb := len(g.Base)
+	for s := range g.States {
+		var code []byte
+		for i := nb - 1; i >= 0; i-- {
+			if g.Active&(1<<i) == 0 {
+				continue
+			}
+			if g.States[s].Code&(1<<i) != 0 {
+				code = append(code, '1')
+			} else {
+				code = append(code, '0')
+			}
+		}
+		label := string(code)
+		if len(g.StateSigs) > 0 {
+			var phases []string
+			for _, ss := range g.StateSigs {
+				phases = append(phases, ss.Phases[s].String())
+			}
+			label += "\\n" + strings.Join(phases, ",")
+		}
+		attrs := ""
+		if conflicted[s] {
+			attrs = ", style=filled, fillcolor=lightcoral"
+		}
+		if s == g.Initial {
+			attrs += ", peripheries=2"
+		}
+		fmt.Fprintf(&b, "  s%d [label=%q%s];\n", s, label, attrs)
+	}
+	for _, e := range g.Edges {
+		name := "ε"
+		if e.Sig >= 0 {
+			name = g.Base[e.Sig].Name + e.Dir.String()
+		}
+		style := ""
+		if e.Sig >= 0 && g.Base[e.Sig].Input {
+			style = ", style=dashed"
+		}
+		fmt.Fprintf(&b, "  s%d -> s%d [label=%q%s];\n", e.From, e.To, name, style)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// Legend returns a short explanation of the notation used by Graph.
+func Legend() string {
+	lines := []string{
+		"double ellipse: initial state",
+		"red fill: state in a CSC conflict pair",
+		"dashed edge: input (environment) transition",
+		"node label: state code, msb first (active signals only)",
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}

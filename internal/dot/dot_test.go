@@ -1,0 +1,61 @@
+package dot
+
+import (
+	"strings"
+	"testing"
+
+	"asyncsyn/internal/bench"
+	"asyncsyn/internal/sg"
+)
+
+func TestSTGDot(t *testing.T) {
+	g, err := bench.Load("fifo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := STG(g)
+	for _, want := range []string{"digraph \"fifo\"", "shape=box", "->", "●"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("STG dot missing %q", want)
+		}
+	}
+	if !strings.HasSuffix(out, "}\n") {
+		t.Errorf("unterminated digraph")
+	}
+}
+
+func TestGraphDot(t *testing.T) {
+	g, err := bench.Load("vbe-ex1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	graph, err := sg.FromSTG(g, sg.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Graph(graph)
+	// vbe-ex1 has CSC conflicts: the highlight must appear.
+	for _, want := range []string{"digraph", "lightcoral", "peripheries=2", "a+"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("graph dot missing %q:\n%s", want, out)
+		}
+	}
+	// One node per state.
+	if got := strings.Count(out, "  s"); got < graph.NumStates() {
+		t.Errorf("only %d node/edge lines for %d states", got, graph.NumStates())
+	}
+	if Legend() == "" {
+		t.Error("empty legend")
+	}
+}
+
+func TestGraphDotWithPhases(t *testing.T) {
+	g, _ := bench.Load("vbe-ex1")
+	graph, _ := sg.FromSTG(g, sg.Options{})
+	phases := make([]sg.Phase, graph.NumStates())
+	graph.StateSigs = append(graph.StateSigs, sg.StateSignal{Name: "z", Phases: phases})
+	out := Graph(graph)
+	if !strings.Contains(out, "\\n0") {
+		t.Errorf("phase annotation missing:\n%s", out)
+	}
+}

@@ -1,0 +1,128 @@
+// Package hazard checks two-level covers derived from state graphs for
+// static logic hazards and repairs them by cube insertion — the cleanup
+// step the paper's §3.5 delegates to known techniques (Lavagno et al.,
+// DAC'91). In a state graph every edge is a single-signal change, so the
+// conditions are the classical single-input-change ones: a dynamic
+// transition of an AND-OR cover cannot glitch, but a static-1 transition
+// (output 1 on both sides of the edge) is hazard-free only when a single
+// cube covers both endpoint codes. Static-0 transitions are safe in
+// sum-of-products form.
+package hazard
+
+import (
+	"fmt"
+	"sort"
+
+	"asyncsyn/internal/logic"
+)
+
+// Transition is one single-variable code change the cover must traverse
+// cleanly: minterms From and To over the cover's variables.
+type Transition struct {
+	From, To uint64
+}
+
+// Violation is a static-1 hazard: both endpoints are covered, but by no
+// common cube, so the OR output can glitch while cubes hand over.
+type Violation struct {
+	Transition
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("static-1 hazard on %b→%b", v.From, v.To)
+}
+
+// Check finds static-1 hazards of cover f across the given transitions.
+// Transitions whose endpoints are not both in the ON-set of f are ignored
+// (they are dynamic or static-0, which are single-change safe).
+func Check(f logic.Cover, trans []Transition) []Violation {
+	var out []Violation
+	for _, tr := range trans {
+		if !f.CoversMinterm(tr.From) || !f.CoversMinterm(tr.To) {
+			continue
+		}
+		if !coveredTogether(f, tr) {
+			out = append(out, Violation{tr})
+		}
+	}
+	return out
+}
+
+func coveredTogether(f logic.Cover, tr Transition) bool {
+	for _, c := range f {
+		if c.CoversMinterm(tr.From) && c.CoversMinterm(tr.To) {
+			return true
+		}
+	}
+	return false
+}
+
+// Repair adds, for every violation, a cube covering both endpoints —
+// the supercube of the two minterms expanded against the OFF-set to a
+// prime. The result may be redundant as a cover but is hazard-free for
+// the given transitions; it fails if a transition's supercube intersects
+// the OFF-set (the function itself then forces the hazard, which cannot
+// happen for implied-value functions of semi-modular state graphs).
+func Repair(f logic.Cover, trans []Transition, off []uint64, numVars int) (logic.Cover, error) {
+	if len(f) == 0 {
+		return f, nil
+	}
+	offCover := make(logic.Cover, len(off))
+	for i, m := range off {
+		offCover[i] = logic.FromMinterm(numVars, m)
+	}
+	out := f.Clone()
+	for _, v := range Check(f, trans) {
+		link := logic.FromMinterm(numVars, v.From).Supercube(logic.FromMinterm(numVars, v.To))
+		if offCover.IntersectsAny(link) {
+			return nil, fmt.Errorf("hazard: transition %b→%b spans the OFF-set", v.From, v.To)
+		}
+		out = append(out, expandAgainst(link, offCover))
+	}
+	return out, nil
+}
+
+// expandAgainst raises literals of c (lowest variable first) while the
+// cube stays clear of the OFF cover, yielding a prime.
+func expandAgainst(c logic.Cube, off logic.Cover) logic.Cube {
+	out := c.Clone()
+	for v := 0; v < out.N(); v++ {
+		val := out.Var(v)
+		if val != logic.VTrue && val != logic.VFalse {
+			continue
+		}
+		out.SetVar(v, logic.VDash)
+		if off.IntersectsAny(out) {
+			out.SetVar(v, val)
+		}
+	}
+	return out
+}
+
+// AdjacentOnTransitions enumerates, from a list of reachable state codes
+// and edges between them (as index pairs), the single-variable
+// transitions relevant to hazard checking. Codes differing in more than
+// one variable are skipped (they do not occur on state graph edges).
+func AdjacentOnTransitions(codes []uint64, edges [][2]int) []Transition {
+	var out []Transition
+	seen := make(map[Transition]bool)
+	for _, e := range edges {
+		a, b := codes[e[0]], codes[e[1]]
+		d := a ^ b
+		if d == 0 || d&(d-1) != 0 {
+			continue
+		}
+		tr := Transition{From: a, To: b}
+		if !seen[tr] {
+			seen[tr] = true
+			out = append(out, tr)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		return out[i].To < out[j].To
+	})
+	return out
+}

@@ -1,0 +1,103 @@
+package hazard
+
+import (
+	"testing"
+
+	"asyncsyn/internal/logic"
+)
+
+// hazardCover builds the cover {a'b', ab', ab} over (a=var0, b=var1):
+// ON minterms 0b00, 0b01, 0b11, OFF minterm 0b10 (a'b). Every ON-ON
+// single-variable transition crosses from one cube to another, so the
+// cover is full of static-1 hazards.
+func hazardCover() (logic.Cover, []uint64) {
+	c1 := logic.NewCube(2) // a'b'
+	c1.SetVar(0, logic.VFalse)
+	c1.SetVar(1, logic.VFalse)
+	c2 := logic.NewCube(2) // a b
+	c2.SetVar(0, logic.VTrue)
+	c2.SetVar(1, logic.VTrue)
+	c3 := logic.NewCube(2) // a b'
+	c3.SetVar(0, logic.VTrue)
+	c3.SetVar(1, logic.VFalse)
+	return logic.Cover{c1, c2, c3}, []uint64{0b10} // OFF = {a'b}
+}
+
+func TestCheckFindsStatic1Hazard(t *testing.T) {
+	cover, _ := hazardCover()
+	trans := []Transition{
+		{From: 0b00, To: 0b01}, // both ON, covered by different cubes
+		{From: 0b00, To: 0b10}, // 0b10 is OFF: not a static-1 case
+	}
+	v := Check(cover, trans)
+	if len(v) != 1 || v[0].From != 0b00 || v[0].To != 0b01 {
+		t.Fatalf("violations = %v", v)
+	}
+	if v[0].String() == "" {
+		t.Fatalf("empty violation string")
+	}
+}
+
+func TestCheckCleanCover(t *testing.T) {
+	// f = a (single cube): no static-1 hazard possible.
+	c := logic.NewCube(2)
+	c.SetVar(0, logic.VTrue)
+	trans := []Transition{{From: 0b01, To: 0b11}, {From: 0b11, To: 0b01}}
+	if v := Check(logic.Cover{c}, trans); len(v) != 0 {
+		t.Fatalf("single-cube cover flagged: %v", v)
+	}
+}
+
+func TestRepairAddsLinkCube(t *testing.T) {
+	cover, off := hazardCover()
+	trans := []Transition{{From: 0b00, To: 0b01}}
+	fixed, err := Repair(cover, trans, off, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fixed) != len(cover)+1 {
+		t.Fatalf("repair added %d cubes", len(fixed)-len(cover))
+	}
+	if v := Check(fixed, trans); len(v) != 0 {
+		t.Fatalf("hazard survives repair: %v", v)
+	}
+	// The link cube must avoid the OFF-set.
+	offCover := logic.Cover{logic.FromMinterm(2, off[0])}
+	for _, c := range fixed {
+		if offCover.IntersectsAny(c) {
+			t.Fatalf("repair intersects OFF-set")
+		}
+	}
+}
+
+func TestRepairImpossible(t *testing.T) {
+	// A multi-variable transition whose supercube spans the OFF-set
+	// cannot be linked by a single cube: 00→11 has the universal cube as
+	// its supercube, which hits the OFF point 0b10.
+	cover, off := hazardCover()
+	trans := []Transition{{From: 0b00, To: 0b11}}
+	if _, err := Repair(cover, trans, off, 2); err == nil {
+		t.Fatalf("repair across the OFF-set must fail")
+	}
+}
+
+func TestRepairEmptyCover(t *testing.T) {
+	fixed, err := Repair(logic.Cover{}, nil, nil, 2)
+	if err != nil || len(fixed) != 0 {
+		t.Fatalf("empty cover repair: %v %v", fixed, err)
+	}
+}
+
+func TestAdjacentOnTransitions(t *testing.T) {
+	codes := []uint64{0b00, 0b01, 0b11, 0b01}
+	edges := [][2]int{{0, 1}, {1, 2}, {2, 0}, {1, 3}, {0, 1}}
+	trans := AdjacentOnTransitions(codes, edges)
+	// (2,0) differs in two bits → skipped; (1,3) identical codes → skipped;
+	// duplicate (0,1) deduplicated.
+	if len(trans) != 2 {
+		t.Fatalf("transitions = %v", trans)
+	}
+	if trans[0].From != 0b00 || trans[0].To != 0b01 {
+		t.Fatalf("ordering wrong: %v", trans)
+	}
+}

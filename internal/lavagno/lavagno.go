@@ -1,0 +1,145 @@
+// Package lavagno provides the second baseline of the paper's Table 1: a
+// state-assignment flow in the spirit of Lavagno, Moon, Brayton and
+// Sangiovanni-Vincentelli (DAC'92). Their algorithm works on the whole
+// state graph with no decomposition and inserts state signals one at a
+// time, each obtained from a global bipartition of the state graph that
+// separates coding conflicts while respecting consistency. We reproduce
+// that profile: per iteration one new signal is found by a whole-graph
+// SAT instance targeting the largest remaining conflict group, repeated
+// until complete state coding holds. Compared with the modular method
+// this spends full-graph effort per signal (slower on large graphs) and
+// usually yields equal-or-more signals with no support reduction.
+package lavagno
+
+import (
+	"fmt"
+	"time"
+
+	"asyncsyn/internal/csc"
+	"asyncsyn/internal/sat"
+	"asyncsyn/internal/sg"
+)
+
+// Options configures the baseline.
+type Options struct {
+	MaxBacktracks int64 // per SAT instance (default 2,000,000)
+	MaxSignals    int   // total insertion cap (default 10)
+	NamePrefix    string
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxBacktracks == 0 {
+		o.MaxBacktracks = 2000000
+	}
+	if o.MaxSignals == 0 {
+		o.MaxSignals = 10
+	}
+	if o.NamePrefix == "" {
+		o.NamePrefix = "st"
+	}
+	return o
+}
+
+// Result reports the insertion run.
+type Result struct {
+	Inserted int
+	Aborted  bool
+	Formulas []csc.FormulaStats
+}
+
+// Solve inserts state signals one at a time until the graph satisfies
+// CSC. Each iteration builds a whole-graph SAT instance whose separation
+// obligation is the largest conflict group (all conflicting pairs sharing
+// the most popular code); consistency, semi-modularity and USC
+// constraints still span the entire graph, which is what makes the
+// method expensive without decomposition.
+func Solve(g *sg.Graph, opt Options) (*Result, error) {
+	opt = opt.withDefaults()
+	res := &Result{}
+	for res.Inserted < opt.MaxSignals {
+		conf := sg.Analyze(g)
+		if conf.N() == 0 {
+			return res, nil
+		}
+		target := largestGroup(g, conf)
+		enc, err := csc.Encode(g, target, 1, csc.Options{})
+		if err != nil {
+			return res, err
+		}
+		start := time.Now()
+		r := sat.Solve(enc.F, sat.Limits{MaxBacktracks: opt.MaxBacktracks})
+		res.Formulas = append(res.Formulas, csc.FormulaStats{
+			Signals: 1, Vars: enc.F.NumVars, Clauses: enc.F.NumClauses(),
+			Literals: enc.F.NumLiterals(), Status: r.Status, SolveTime: time.Since(start),
+		})
+		switch r.Status {
+		case sat.BacktrackLimit:
+			res.Aborted = true
+			return res, nil
+		case sat.Unsat:
+			// One signal cannot split this group under the global
+			// constraints; fall back to separating only its first pair.
+			if len(target.CSC) == 1 {
+				return res, fmt.Errorf("lavagno: conflict pair %v unresolvable with one signal", target.CSC[0])
+			}
+			single := &sg.Conflicts{CSC: target.CSC[:1], USC: append(target.USC, target.CSC[1:]...)}
+			enc, err = csc.Encode(g, single, 1, csc.Options{})
+			if err != nil {
+				return res, err
+			}
+			start = time.Now()
+			r = sat.Solve(enc.F, sat.Limits{MaxBacktracks: opt.MaxBacktracks})
+			res.Formulas = append(res.Formulas, csc.FormulaStats{
+				Signals: 1, Vars: enc.F.NumVars, Clauses: enc.F.NumClauses(),
+				Literals: enc.F.NumLiterals(), Status: r.Status, SolveTime: time.Since(start),
+			})
+			if r.Status != sat.Sat {
+				res.Aborted = true
+				return res, nil
+			}
+		}
+		if r.Status == sat.Sat {
+			cols := enc.DecodePhases(r.Model)
+			csc.Tighten(g, target, cols)
+			col := cols[0]
+			g.StateSigs = append(g.StateSigs, sg.StateSignal{
+				Name:   fmt.Sprintf("%s%d", opt.NamePrefix, len(g.StateSigs)),
+				Phases: col,
+			})
+			res.Inserted++
+		}
+	}
+	if conf := sg.Analyze(g); conf.N() != 0 {
+		// Insertion cap exhausted with conflicts left: report the run as
+		// aborted (Table 1 reports this method failing on some STGs).
+		res.Aborted = true
+	}
+	return res, nil
+}
+
+// largestGroup restricts a conflict analysis to the pairs of the code
+// group containing the most conflicting pairs; the remaining pairs join
+// the USC side so the inserted signal stays well defined everywhere.
+func largestGroup(g *sg.Graph, conf *sg.Conflicts) *sg.Conflicts {
+	count := make(map[uint64]int)
+	for _, p := range conf.CSC {
+		count[g.FullCode(p.A)]++
+	}
+	var bestCode uint64
+	best := -1
+	for code, n := range count {
+		if n > best || (n == best && code < bestCode) {
+			bestCode, best = code, n
+		}
+	}
+	out := &sg.Conflicts{LowerBound: 1}
+	for _, p := range conf.CSC {
+		if g.FullCode(p.A) == bestCode {
+			out.CSC = append(out.CSC, p)
+		} else {
+			out.USC = append(out.USC, p)
+		}
+	}
+	out.USC = append(out.USC, conf.USC...)
+	return out
+}

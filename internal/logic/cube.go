@@ -1,0 +1,316 @@
+// Package logic implements two-level logic on the positional cube
+// notation and an ESPRESSO-style EXPAND / IRREDUNDANT / REDUCE loop that
+// produces prime-irredundant single-output covers, as the paper's area
+// evaluation does with `espresso -Dso -S1`. Function ON/OFF sets arrive
+// as explicit minterm lists extracted from state graphs; everything else
+// is a don't-care.
+package logic
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// Cube is a product term over n variables in positional cube notation:
+// two bits per variable — 01 the complemented literal (variable must be
+// 0), 10 the true literal, 11 no literal (don't care), 00 empty.
+type Cube struct {
+	n     int
+	words []uint64
+}
+
+const varsPerWord = 32
+
+// NewCube returns the universal cube (no literals) over n variables.
+func NewCube(n int) Cube {
+	w := make([]uint64, (n+varsPerWord-1)/varsPerWord)
+	for i := range w {
+		w[i] = ^uint64(0)
+	}
+	if r := n % varsPerWord; r != 0 {
+		w[len(w)-1] = (uint64(1) << (2 * r)) - 1
+	}
+	return Cube{n: n, words: w}
+}
+
+// FromMinterm returns the cube of a single minterm, bit i of m being the
+// value of variable i.
+func FromMinterm(n int, m uint64) Cube {
+	c := NewCube(n)
+	for v := 0; v < n; v++ {
+		if m&(1<<v) != 0 {
+			c.SetVar(v, VTrue)
+		} else {
+			c.SetVar(v, VFalse)
+		}
+	}
+	return c
+}
+
+// VarValue is the per-variable content of a cube.
+type VarValue uint8
+
+const (
+	// VEmpty marks an impossible requirement (both polarities excluded).
+	VEmpty VarValue = iota
+	// VFalse requires the variable to be 0 (complemented literal).
+	VFalse
+	// VTrue requires the variable to be 1 (true literal).
+	VTrue
+	// VDash places no requirement (no literal).
+	VDash
+)
+
+// N returns the number of variables.
+func (c Cube) N() int { return c.n }
+
+// Var returns the value of variable v.
+func (c Cube) Var(v int) VarValue {
+	w, s := v/varsPerWord, uint(2*(v%varsPerWord))
+	return VarValue((c.words[w] >> s) & 3)
+}
+
+// SetVar sets variable v in place.
+func (c Cube) SetVar(v int, val VarValue) {
+	w, s := v/varsPerWord, uint(2*(v%varsPerWord))
+	c.words[w] = c.words[w]&^(3<<s) | uint64(val)<<s
+}
+
+// Clone returns a copy of c.
+func (c Cube) Clone() Cube {
+	return Cube{n: c.n, words: append([]uint64(nil), c.words...)}
+}
+
+// Equal reports cube equality.
+func (c Cube) Equal(o Cube) bool {
+	if c.n != o.n {
+		return false
+	}
+	for i := range c.words {
+		if c.words[i] != o.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Contains reports whether c ⊇ o (every minterm of o is in c).
+func (c Cube) Contains(o Cube) bool {
+	for i := range c.words {
+		if o.words[i]&^c.words[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// emptyPairs returns a mask with 01 set in each variable slot whose two
+// bits in w are 00.
+func emptyPairs(w uint64) uint64 {
+	lo := w & 0x5555555555555555
+	hi := (w >> 1) & 0x5555555555555555
+	return ^(lo | hi) & 0x5555555555555555
+}
+
+// Intersects reports whether c and o share a minterm.
+func (c Cube) Intersects(o Cube) bool {
+	for i, w := range c.words {
+		and := w & o.words[i]
+		if emptyPairs(and)&validMask(c.n, i) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// validMask returns the 01-per-variable mask restricted to variables that
+// exist in word i for an n-variable cube.
+func validMask(n, word int) uint64 {
+	lo := word * varsPerWord
+	cnt := n - lo
+	if cnt >= varsPerWord {
+		return 0x5555555555555555
+	}
+	if cnt <= 0 {
+		return 0
+	}
+	return (uint64(1)<<(2*cnt) - 1) & 0x5555555555555555
+}
+
+// Intersection returns c ∩ o and whether it is non-empty.
+func (c Cube) Intersection(o Cube) (Cube, bool) {
+	out := Cube{n: c.n, words: make([]uint64, len(c.words))}
+	for i := range c.words {
+		out.words[i] = c.words[i] & o.words[i]
+		if emptyPairs(out.words[i])&validMask(c.n, i) != 0 {
+			return Cube{}, false
+		}
+	}
+	return out, true
+}
+
+// Distance counts variables where c and o have disjoint requirements.
+func (c Cube) Distance(o Cube) int {
+	d := 0
+	for i := range c.words {
+		and := c.words[i] & o.words[i]
+		d += bits.OnesCount64(emptyPairs(and) & validMask(c.n, i))
+	}
+	return d
+}
+
+// ConflictVars returns the variables at which c and o disagree (where
+// their intersection is empty).
+func (c Cube) ConflictVars(o Cube) []int {
+	var out []int
+	for i := range c.words {
+		m := emptyPairs(c.words[i]&o.words[i]) & validMask(c.n, i)
+		for m != 0 {
+			b := bits.TrailingZeros64(m)
+			out = append(out, i*varsPerWord+b/2)
+			m &= m - 1
+		}
+	}
+	return out
+}
+
+// Supercube returns the smallest cube containing both c and o.
+func (c Cube) Supercube(o Cube) Cube {
+	out := Cube{n: c.n, words: make([]uint64, len(c.words))}
+	for i := range c.words {
+		out.words[i] = c.words[i] | o.words[i]
+	}
+	return out
+}
+
+// Literals counts the literals of c (variables not don't-care).
+func (c Cube) Literals() int {
+	lits := 0
+	for v := 0; v < c.n; v++ {
+		if val := c.Var(v); val == VTrue || val == VFalse {
+			lits++
+		}
+	}
+	return lits
+}
+
+// CoversMinterm reports whether minterm m (bit per variable) lies in c.
+func (c Cube) CoversMinterm(m uint64) bool {
+	for v := 0; v < c.n; v++ {
+		bit := (m >> v) & 1
+		switch c.Var(v) {
+		case VFalse:
+			if bit != 0 {
+				return false
+			}
+		case VTrue:
+			if bit != 1 {
+				return false
+			}
+		case VEmpty:
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the cube in PLA-style notation: one character per
+// variable, '0', '1', '-', or '∅'.
+func (c Cube) String() string {
+	var b strings.Builder
+	for v := 0; v < c.n; v++ {
+		switch c.Var(v) {
+		case VFalse:
+			b.WriteByte('0')
+		case VTrue:
+			b.WriteByte('1')
+		case VDash:
+			b.WriteByte('-')
+		default:
+			b.WriteByte('@')
+		}
+	}
+	return b.String()
+}
+
+// Cover is a sum of product terms.
+type Cover []Cube
+
+// Literals counts all literals in the cover (the paper's area metric:
+// literal count of the unfactored prime-irredundant cover).
+func (f Cover) Literals() int {
+	n := 0
+	for _, c := range f {
+		n += c.Literals()
+	}
+	return n
+}
+
+// CoversMinterm reports whether some cube covers m.
+func (f Cover) CoversMinterm(m uint64) bool {
+	for _, c := range f {
+		if c.CoversMinterm(m) {
+			return true
+		}
+	}
+	return false
+}
+
+// IntersectsAny reports whether cube c intersects any cube of f.
+func (f Cover) IntersectsAny(c Cube) bool {
+	for _, o := range f {
+		if c.Intersects(o) {
+			return true
+		}
+	}
+	return false
+}
+
+// Clone deep-copies the cover.
+func (f Cover) Clone() Cover {
+	out := make(Cover, len(f))
+	for i, c := range f {
+		out[i] = c.Clone()
+	}
+	return out
+}
+
+// Format renders the cover as a sum-of-products expression over the given
+// variable names.
+func (f Cover) Format(vars []string) string {
+	if len(f) == 0 {
+		return "0"
+	}
+	terms := make([]string, 0, len(f))
+	for _, c := range f {
+		var lits []string
+		for v := 0; v < c.N(); v++ {
+			switch c.Var(v) {
+			case VTrue:
+				lits = append(lits, vars[v])
+			case VFalse:
+				lits = append(lits, vars[v]+"'")
+			}
+		}
+		if len(lits) == 0 {
+			terms = append(terms, "1")
+		} else {
+			terms = append(terms, strings.Join(lits, " "))
+		}
+	}
+	return strings.Join(terms, " + ")
+}
+
+// Eval evaluates the cover on a minterm.
+func (f Cover) Eval(m uint64) bool { return f.CoversMinterm(m) }
+
+func (f Cover) String() string {
+	names := make([]string, 0)
+	if len(f) > 0 {
+		for v := 0; v < f[0].N(); v++ {
+			names = append(names, fmt.Sprintf("x%d", v))
+		}
+	}
+	return f.Format(names)
+}

@@ -1,0 +1,209 @@
+package logic
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// cubeMinterms enumerates the minterms of a cube (n ≤ 16).
+func cubeMinterms(c Cube) map[uint64]bool {
+	out := make(map[uint64]bool)
+	n := c.N()
+	for m := uint64(0); m < 1<<n; m++ {
+		if c.CoversMinterm(m) {
+			out[m] = true
+		}
+	}
+	return out
+}
+
+// randomCube builds a random cube over n variables.
+func randomCube(rng *rand.Rand, n int) Cube {
+	c := NewCube(n)
+	for v := 0; v < n; v++ {
+		switch rng.Intn(3) {
+		case 0:
+			c.SetVar(v, VFalse)
+		case 1:
+			c.SetVar(v, VTrue)
+		}
+	}
+	return c
+}
+
+func TestCubeBasics(t *testing.T) {
+	c := NewCube(4)
+	if c.Literals() != 0 {
+		t.Fatalf("universal cube has literals")
+	}
+	c.SetVar(1, VTrue)
+	c.SetVar(3, VFalse)
+	if c.Var(1) != VTrue || c.Var(3) != VFalse || c.Var(0) != VDash {
+		t.Fatalf("SetVar/Var broken")
+	}
+	if c.Literals() != 2 {
+		t.Fatalf("literals = %d", c.Literals())
+	}
+	if c.String() != "-1-0" {
+		t.Fatalf("String = %q", c.String())
+	}
+	if !c.CoversMinterm(0b0010) || c.CoversMinterm(0b1010) {
+		t.Fatalf("CoversMinterm broken")
+	}
+	d := c.Clone()
+	d.SetVar(0, VTrue)
+	if c.Var(0) != VDash {
+		t.Fatalf("Clone aliases storage")
+	}
+	if c.Equal(d) || !c.Equal(c.Clone()) {
+		t.Fatalf("Equal broken")
+	}
+}
+
+func TestFromMinterm(t *testing.T) {
+	c := FromMinterm(5, 0b10110)
+	if c.Literals() != 5 {
+		t.Fatalf("minterm cube must have all literals")
+	}
+	if !c.CoversMinterm(0b10110) || c.CoversMinterm(0b10111) {
+		t.Fatalf("minterm cube covers wrong points")
+	}
+}
+
+// TestCubeOpsAgainstEnumeration validates Contains, Intersects,
+// Intersection, Supercube and Distance against minterm semantics.
+func TestCubeOpsAgainstEnumeration(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 500; i++ {
+		n := 2 + rng.Intn(6)
+		a := randomCube(rng, n)
+		b := randomCube(rng, n)
+		ma, mb := cubeMinterms(a), cubeMinterms(b)
+
+		wantContains := true
+		for m := range mb {
+			if !ma[m] {
+				wantContains = false
+				break
+			}
+		}
+		if got := a.Contains(b); got != wantContains {
+			t.Fatalf("Contains(%v,%v) = %v, want %v", a, b, got, wantContains)
+		}
+
+		wantIntersects := false
+		for m := range ma {
+			if mb[m] {
+				wantIntersects = true
+				break
+			}
+		}
+		if got := a.Intersects(b); got != wantIntersects {
+			t.Fatalf("Intersects(%v,%v) = %v, want %v", a, b, got, wantIntersects)
+		}
+
+		inter, ok := a.Intersection(b)
+		if ok != wantIntersects {
+			t.Fatalf("Intersection ok mismatch")
+		}
+		if ok {
+			mi := cubeMinterms(inter)
+			for m := uint64(0); m < 1<<n; m++ {
+				if mi[m] != (ma[m] && mb[m]) {
+					t.Fatalf("Intersection wrong at %b", m)
+				}
+			}
+		}
+
+		sup := a.Supercube(b)
+		for m := range ma {
+			if !sup.CoversMinterm(m) {
+				t.Fatalf("Supercube misses minterm of a")
+			}
+		}
+		for m := range mb {
+			if !sup.CoversMinterm(m) {
+				t.Fatalf("Supercube misses minterm of b")
+			}
+		}
+
+		if (a.Distance(b) == 0) != wantIntersects {
+			t.Fatalf("Distance(%v,%v)=%d but intersects=%v", a, b, a.Distance(b), wantIntersects)
+		}
+		if cv := a.ConflictVars(b); len(cv) != a.Distance(b) {
+			t.Fatalf("ConflictVars/Distance disagree")
+		}
+	}
+}
+
+func TestCubeManyVariables(t *testing.T) {
+	// Exercise the multi-word path (> 32 variables).
+	c := NewCube(50)
+	c.SetVar(40, VTrue)
+	c.SetVar(49, VFalse)
+	d := NewCube(50)
+	d.SetVar(40, VFalse)
+	if c.Intersects(d) {
+		t.Fatalf("disjoint at var 40 but Intersects true")
+	}
+	d.SetVar(40, VTrue)
+	if !c.Intersects(d) || !d.Contains(c) || c.Contains(d) {
+		t.Fatalf("multi-word ops broken")
+	}
+	if c.Literals() != 2 {
+		t.Fatalf("literals over words = %d", c.Literals())
+	}
+}
+
+func TestCoverBasics(t *testing.T) {
+	f := Cover{}
+	if f.CoversMinterm(0) || f.Literals() != 0 {
+		t.Fatalf("empty cover misbehaves")
+	}
+	c1 := NewCube(3)
+	c1.SetVar(0, VTrue)
+	c2 := NewCube(3)
+	c2.SetVar(1, VFalse)
+	c2.SetVar(2, VTrue)
+	f = Cover{c1, c2}
+	if f.Literals() != 3 {
+		t.Fatalf("cover literals %d", f.Literals())
+	}
+	if !f.CoversMinterm(0b001) || !f.CoversMinterm(0b100) || f.CoversMinterm(0b010) {
+		t.Fatalf("cover membership broken")
+	}
+	got := f.Format([]string{"x", "y", "z"})
+	if got != "x + y' z" {
+		t.Fatalf("Format = %q", got)
+	}
+	g := f.Clone()
+	g[0].SetVar(0, VFalse)
+	if f[0].Var(0) != VTrue {
+		t.Fatalf("Clone aliases cubes")
+	}
+}
+
+func TestFormatUniversal(t *testing.T) {
+	f := Cover{NewCube(2)}
+	if f.Format([]string{"a", "b"}) != "1" {
+		t.Fatalf("universal cube formats as %q", f.Format([]string{"a", "b"}))
+	}
+	if (Cover{}).Format(nil) != "0" {
+		t.Fatalf("empty cover formats wrong")
+	}
+}
+
+// TestQuickSupercubeContains: supercube always contains both operands.
+func TestQuickSupercubeContains(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	err := quick.Check(func() bool {
+		a := randomCube(rng, 6)
+		b := randomCube(rng, 6)
+		s := a.Supercube(b)
+		return s.Contains(a) && s.Contains(b)
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,333 @@
+package logic
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Spec is a single-output incompletely specified function given by
+// explicit ON and OFF minterm lists over NumVars variables; every other
+// point is a don't-care. This is exactly the shape produced by state
+// graph logic extraction: reachable state codes are care points,
+// unreachable codes are free.
+type Spec struct {
+	NumVars int
+	On      []uint64
+	Off     []uint64
+}
+
+// Validate checks that the spec is well formed (no ON/OFF overlap, all
+// minterms within range).
+func (s Spec) Validate() error {
+	if s.NumVars < 0 || s.NumVars > 63 {
+		return fmt.Errorf("logic: %d variables out of range", s.NumVars)
+	}
+	limit := uint64(1) << s.NumVars
+	seen := make(map[uint64]bool, len(s.On))
+	for _, m := range s.On {
+		if m >= limit {
+			return fmt.Errorf("logic: ON minterm %d out of range", m)
+		}
+		seen[m] = true
+	}
+	for _, m := range s.Off {
+		if m >= limit {
+			return fmt.Errorf("logic: OFF minterm %d out of range", m)
+		}
+		if seen[m] {
+			return fmt.Errorf("logic: minterm %d is both ON and OFF", m)
+		}
+	}
+	return nil
+}
+
+// Options tunes Minimize.
+type Options struct {
+	// MaxPasses bounds the EXPAND/IRREDUNDANT/REDUCE iterations (default 8;
+	// the loop stops earlier at a fixed point).
+	MaxPasses int
+}
+
+// Minimize computes a prime, irredundant cover of the ON-set that avoids
+// every OFF minterm, using the ESPRESSO strategy: greedy EXPAND of each
+// cube against the OFF list, IRREDUNDANT set-covering over the ON
+// minterms, then REDUCE + re-EXPAND passes until the literal count stops
+// improving.
+func Minimize(spec Spec, opt Options) (Cover, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if opt.MaxPasses == 0 {
+		opt.MaxPasses = 8
+	}
+	if len(spec.On) == 0 {
+		return Cover{}, nil
+	}
+	off := make(Cover, len(spec.Off))
+	for i, m := range spec.Off {
+		off[i] = FromMinterm(spec.NumVars, m)
+	}
+
+	// Initial cover: one cube per ON minterm, expanded.
+	cover := make(Cover, 0, len(spec.On))
+	for _, m := range spec.On {
+		cover = append(cover, expand(FromMinterm(spec.NumVars, m), off, 0))
+	}
+	cover = irredundant(cover, spec.On)
+
+	best := cover
+	bestLits := cover.Literals()
+	for pass := 1; pass < opt.MaxPasses; pass++ {
+		reduced := reduce(cover, spec.On)
+		next := make(Cover, len(reduced))
+		for i, c := range reduced {
+			next[i] = expand(c, off, pass)
+		}
+		next = irredundant(next, spec.On)
+		lits := next.Literals()
+		if lits >= bestLits {
+			break
+		}
+		best, bestLits = next, lits
+		cover = next
+	}
+	return best, nil
+}
+
+// expand grows cube c into a prime not intersecting any OFF cube. The
+// variables kept lowered are chosen by greedy column covering of the
+// blocking matrix (each OFF cube must remain excluded by at least one
+// kept literal); `rot` rotates tie-breaking so successive passes explore
+// different primes.
+func expand(c Cube, off Cover, rot int) Cube {
+	n := c.N()
+	lowered := make([]int, 0, n)
+	for v := 0; v < n; v++ {
+		if val := c.Var(v); val == VTrue || val == VFalse {
+			lowered = append(lowered, v)
+		}
+	}
+	// Blocking rows: for each OFF cube, the set of lowered vars excluding it.
+	type row struct{ vars []int }
+	var rows []row
+	for _, o := range off {
+		cv := c.ConflictVars(o)
+		if len(cv) == 0 {
+			// c intersects OFF — caller bug; keep the cube as is.
+			return c
+		}
+		rows = append(rows, row{cv})
+	}
+	keep := make(map[int]bool)
+	covered := make([]bool, len(rows))
+	remaining := len(rows)
+	for remaining > 0 {
+		// Count, per variable, the uncovered rows it blocks.
+		count := make(map[int]int)
+		for ri, r := range rows {
+			if covered[ri] {
+				continue
+			}
+			for _, v := range r.vars {
+				count[v]++
+			}
+		}
+		bestV, bestC := -1, -1
+		for i := 0; i < len(lowered); i++ {
+			v := lowered[(i+rot)%len(lowered)]
+			if cnt := count[v]; cnt > bestC {
+				bestV, bestC = v, cnt
+			}
+		}
+		keep[bestV] = true
+		for ri, r := range rows {
+			if covered[ri] {
+				continue
+			}
+			for _, v := range r.vars {
+				if v == bestV {
+					covered[ri] = true
+					remaining--
+					break
+				}
+			}
+		}
+	}
+	out := c.Clone()
+	for _, v := range lowered {
+		if !keep[v] {
+			out.SetVar(v, VDash)
+		}
+	}
+	// Primality pass: try raising each kept literal individually.
+	for _, v := range lowered {
+		if !keep[v] {
+			continue
+		}
+		saved := out.Var(v)
+		out.SetVar(v, VDash)
+		if off.IntersectsAny(out) {
+			out.SetVar(v, saved)
+		}
+	}
+	return out
+}
+
+// irredundant removes cubes until every remaining cube is needed to cover
+// some ON minterm: essential cubes (sole cover of a minterm) are kept,
+// then the rest are dropped greedily, largest-literal-count first.
+func irredundant(cover Cover, on []uint64) Cover {
+	covers := make([][]int, len(cover)) // cube → ON minterm indices
+	counts := make([]int, len(on))      // minterm → #covering cubes
+	for ci, c := range cover {
+		for mi, m := range on {
+			if c.CoversMinterm(m) {
+				covers[ci] = append(covers[ci], mi)
+				counts[mi]++
+			}
+		}
+	}
+	alive := make([]bool, len(cover))
+	for i := range alive {
+		alive[i] = true
+	}
+	// Drop order: most literals first (prefer keeping big cubes out?
+	// no — keeping FEWER literals total means dropping costly cubes first),
+	// ties by fewer covered minterms, then by index for determinism.
+	order := make([]int, len(cover))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		la, lb := cover[order[a]].Literals(), cover[order[b]].Literals()
+		if la != lb {
+			return la > lb
+		}
+		ca, cb := len(covers[order[a]]), len(covers[order[b]])
+		if ca != cb {
+			return ca < cb
+		}
+		return order[a] < order[b]
+	})
+	for _, ci := range order {
+		removable := true
+		for _, mi := range covers[ci] {
+			if counts[mi] <= 1 {
+				removable = false
+				break
+			}
+		}
+		if removable {
+			alive[ci] = false
+			for _, mi := range covers[ci] {
+				counts[mi]--
+			}
+		}
+	}
+	out := make(Cover, 0, len(cover))
+	for ci, a := range alive {
+		if a {
+			out = append(out, cover[ci])
+		}
+	}
+	return out
+}
+
+// reduce sequentially shrinks each cube to the supercube of the ON
+// minterms that the rest of the (partially reduced) cover does not
+// already cover, giving the following EXPAND a different starting point.
+// Unlike a simultaneous shrink, the sequential form preserves coverage
+// of every ON minterm; cubes left with no private minterms are dropped.
+func reduce(cover Cover, on []uint64) Cover {
+	counts := make([]int, len(on))
+	coversOf := make([][]int, len(cover))
+	for ci, c := range cover {
+		for mi, m := range on {
+			if c.CoversMinterm(m) {
+				coversOf[ci] = append(coversOf[ci], mi)
+				counts[mi]++
+			}
+		}
+	}
+	out := make(Cover, 0, len(cover))
+	for ci, c := range cover {
+		var sup Cube
+		first := true
+		for _, mi := range coversOf[ci] {
+			if counts[mi] == 1 { // only this cube (in its current form) covers it
+				mc := FromMinterm(c.N(), on[mi])
+				if first {
+					sup, first = mc, false
+				} else {
+					sup = sup.Supercube(mc)
+				}
+			}
+		}
+		if first {
+			// Fully redundant at this point: drop it (its minterms stay
+			// covered by the other cubes' counts).
+			for _, mi := range coversOf[ci] {
+				counts[mi]--
+			}
+			continue
+		}
+		// Release the minterms the shrunk cube no longer covers.
+		for _, mi := range coversOf[ci] {
+			if !sup.CoversMinterm(on[mi]) {
+				counts[mi]--
+			}
+		}
+		out = append(out, sup)
+	}
+	return out
+}
+
+// Verify checks the fundamental cover contract against a spec: every ON
+// minterm covered, no OFF minterm covered, and primality/irredundancy of
+// the result. It returns a list of violations (empty = clean).
+func Verify(cover Cover, spec Spec) []string {
+	var bad []string
+	off := make(Cover, len(spec.Off))
+	for i, m := range spec.Off {
+		off[i] = FromMinterm(spec.NumVars, m)
+	}
+	for _, m := range spec.On {
+		if !cover.CoversMinterm(m) {
+			bad = append(bad, fmt.Sprintf("ON minterm %d uncovered", m))
+		}
+	}
+	for i, c := range cover {
+		if off.IntersectsAny(c) {
+			bad = append(bad, fmt.Sprintf("cube %d intersects OFF-set", i))
+		}
+		// Primality: no single literal can be raised.
+		for v := 0; v < c.N(); v++ {
+			val := c.Var(v)
+			if val != VTrue && val != VFalse {
+				continue
+			}
+			t := c.Clone()
+			t.SetVar(v, VDash)
+			if !off.IntersectsAny(t) {
+				bad = append(bad, fmt.Sprintf("cube %d not prime at var %d", i, v))
+			}
+		}
+	}
+	// Irredundancy over ON minterms.
+	for i := range cover {
+		rest := make(Cover, 0, len(cover)-1)
+		rest = append(rest, cover[:i]...)
+		rest = append(rest, cover[i+1:]...)
+		needed := false
+		for _, m := range spec.On {
+			if cover[i].CoversMinterm(m) && !rest.CoversMinterm(m) {
+				needed = true
+				break
+			}
+		}
+		if !needed {
+			bad = append(bad, fmt.Sprintf("cube %d redundant", i))
+		}
+	}
+	return bad
+}

@@ -1,0 +1,206 @@
+package logic
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func minimize(t *testing.T, spec Spec) Cover {
+	t.Helper()
+	cover, err := Minimize(spec, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad := Verify(cover, spec); len(bad) != 0 {
+		t.Fatalf("cover violates contract: %v\ncover: %v", bad, cover)
+	}
+	return cover
+}
+
+func TestMinimizeConstantish(t *testing.T) {
+	// Empty ON-set → empty cover.
+	c := minimize(t, Spec{NumVars: 3})
+	if len(c) != 0 {
+		t.Fatalf("empty ON-set gave %v", c)
+	}
+	// ON everywhere, no OFF → single universal cube.
+	c = minimize(t, Spec{NumVars: 2, On: []uint64{0, 1, 2, 3}})
+	if len(c) != 1 || c.Literals() != 0 {
+		t.Fatalf("tautology not collapsed: %v", c)
+	}
+}
+
+func TestMinimizeSingleLiteral(t *testing.T) {
+	// f = x0 over 3 vars with full care set.
+	spec := Spec{NumVars: 3}
+	for m := uint64(0); m < 8; m++ {
+		if m&1 != 0 {
+			spec.On = append(spec.On, m)
+		} else {
+			spec.Off = append(spec.Off, m)
+		}
+	}
+	c := minimize(t, spec)
+	if len(c) != 1 || c.Literals() != 1 {
+		t.Fatalf("f=x0 minimized to %v (%d literals)", c, c.Literals())
+	}
+}
+
+func TestMinimizeXor(t *testing.T) {
+	// XOR needs two 2-literal cubes; no smaller SOP exists.
+	spec := Spec{NumVars: 2, On: []uint64{0b01, 0b10}, Off: []uint64{0b00, 0b11}}
+	c := minimize(t, spec)
+	if len(c) != 2 || c.Literals() != 4 {
+		t.Fatalf("xor cover %v (%d literals)", c, c.Literals())
+	}
+}
+
+func TestMinimizeUsesDontCares(t *testing.T) {
+	// ON = {00}, OFF = {11}: don't-cares at 01 and 10 allow a single
+	// 1-literal cube.
+	spec := Spec{NumVars: 2, On: []uint64{0b00}, Off: []uint64{0b11}}
+	c := minimize(t, spec)
+	if len(c) != 1 || c.Literals() != 1 {
+		t.Fatalf("don't-cares unused: %v (%d literals)", c, c.Literals())
+	}
+}
+
+func TestMinimizeClassic(t *testing.T) {
+	// f = a'b' + ab (XNOR) with a don't-care that cannot help.
+	spec := Spec{NumVars: 3,
+		On:  []uint64{0b000, 0b011, 0b100, 0b111},
+		Off: []uint64{0b001, 0b010, 0b101, 0b110},
+	}
+	c := minimize(t, spec)
+	if c.Literals() != 4 {
+		t.Fatalf("xnor (var2 irrelevant): %v (%d literals)", c, c.Literals())
+	}
+}
+
+func TestMinimizeReducesVsInitialCover(t *testing.T) {
+	// A function where per-minterm cubes are far from minimal:
+	// f = x3 (8 ON minterms over 4 vars).
+	spec := Spec{NumVars: 4}
+	for m := uint64(0); m < 16; m++ {
+		if m&0b1000 != 0 {
+			spec.On = append(spec.On, m)
+		} else {
+			spec.Off = append(spec.Off, m)
+		}
+	}
+	c := minimize(t, spec)
+	if len(c) != 1 || c.Literals() != 1 {
+		t.Fatalf("f=x3: %v", c)
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	if err := (Spec{NumVars: 2, On: []uint64{5}}).Validate(); err == nil {
+		t.Fatalf("out-of-range minterm accepted")
+	}
+	if err := (Spec{NumVars: 2, On: []uint64{1}, Off: []uint64{1}}).Validate(); err == nil {
+		t.Fatalf("overlapping ON/OFF accepted")
+	}
+	if err := (Spec{NumVars: 64}).Validate(); err == nil {
+		t.Fatalf("too many variables accepted")
+	}
+	if _, err := Minimize(Spec{NumVars: 2, On: []uint64{1}, Off: []uint64{1}}, Options{}); err == nil {
+		t.Fatalf("Minimize must validate")
+	}
+}
+
+// TestMinimizeRandom cross-checks the cover contract on random
+// incompletely specified functions, and compares against a weak lower
+// bound (at least one cube whenever ON non-empty, correctness checked by
+// Verify inside minimize()).
+func TestMinimizeRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for i := 0; i < 200; i++ {
+		n := 3 + rng.Intn(5)
+		var spec Spec
+		spec.NumVars = n
+		for m := uint64(0); m < 1<<n; m++ {
+			switch rng.Intn(3) {
+			case 0:
+				spec.On = append(spec.On, m)
+			case 1:
+				spec.Off = append(spec.Off, m)
+			}
+		}
+		c := minimize(t, spec)
+		if len(spec.On) > 0 && len(c) == 0 {
+			t.Fatalf("non-empty ON-set, empty cover")
+		}
+		// Each cube prime & cover irredundant is asserted by Verify; also
+		// check the cover never exceeds one cube per ON minterm.
+		if len(c) > len(spec.On) {
+			t.Fatalf("cover larger than the trivial one: %d > %d", len(c), len(spec.On))
+		}
+	}
+}
+
+// TestMinimizeDeterministic: the same spec always yields the same cover.
+func TestMinimizeDeterministic(t *testing.T) {
+	spec := Spec{NumVars: 4,
+		On:  []uint64{0, 3, 5, 9, 14},
+		Off: []uint64{1, 2, 8, 15},
+	}
+	a := minimize(t, spec)
+	for i := 0; i < 5; i++ {
+		b := minimize(t, spec)
+		if len(a) != len(b) {
+			t.Fatalf("nondeterministic cover size")
+		}
+		for j := range a {
+			if !a[j].Equal(b[j]) {
+				t.Fatalf("nondeterministic cube %d", j)
+			}
+		}
+	}
+}
+
+func TestVerifyCatchesBadCovers(t *testing.T) {
+	spec := Spec{NumVars: 2, On: []uint64{0b01, 0b10}, Off: []uint64{0b00, 0b11}}
+	// Missing minterm.
+	cube01 := FromMinterm(2, 0b01)
+	if bad := Verify(Cover{cube01}, spec); len(bad) == 0 {
+		t.Fatalf("uncovered ON minterm not reported")
+	}
+	// Cover hitting the OFF-set.
+	uni := NewCube(2)
+	if bad := Verify(Cover{uni}, spec); len(bad) == 0 {
+		t.Fatalf("OFF intersection not reported")
+	}
+	// Redundant cube.
+	cube10 := FromMinterm(2, 0b10)
+	if bad := Verify(Cover{cube01, cube10, cube01.Clone()}, spec); len(bad) == 0 {
+		t.Fatalf("redundant cube not reported")
+	}
+}
+
+func BenchmarkMinimize12Var(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	var spec Spec
+	spec.NumVars = 12
+	seen := make(map[uint64]int)
+	for len(spec.On) < 120 {
+		m := uint64(rng.Intn(1 << 12))
+		if seen[m] == 0 {
+			seen[m] = 1
+			spec.On = append(spec.On, m)
+		}
+	}
+	for len(spec.Off) < 120 {
+		m := uint64(rng.Intn(1 << 12))
+		if seen[m] == 0 {
+			seen[m] = 2
+			spec.Off = append(spec.Off, m)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Minimize(spec, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

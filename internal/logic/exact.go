@@ -1,0 +1,232 @@
+package logic
+
+import (
+	"fmt"
+	"sort"
+)
+
+// MinimizeExact computes a minimum-literal prime cover of the ON-set —
+// the exact counterpart of Minimize, playing the role of espresso's
+// exact strategy (-S1) in the paper's area measurements. It enumerates
+// all primes of ON∪DC (maximal cubes avoiding the OFF minterms) and
+// solves the covering problem by branch and bound with essential-prime
+// extraction and dominance reductions. Exponential in the worst case;
+// intended for the function sizes state-graph synthesis produces
+// (guarded by MaxPrimes).
+func MinimizeExact(spec Spec, opt ExactOptions) (Cover, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if opt.MaxPrimes == 0 {
+		opt.MaxPrimes = 20000
+	}
+	if opt.MaxNodes == 0 {
+		opt.MaxNodes = 200000
+	}
+	if len(spec.On) == 0 {
+		return Cover{}, nil
+	}
+
+	primes, err := AllPrimes(spec.NumVars, spec.Off, opt.MaxPrimes)
+	if err != nil {
+		return nil, err
+	}
+	// Keep only primes covering at least one ON minterm.
+	var useful Cover
+	var covers [][]int
+	for _, p := range primes {
+		var rows []int
+		for mi, m := range spec.On {
+			if p.CoversMinterm(m) {
+				rows = append(rows, mi)
+			}
+		}
+		if len(rows) > 0 {
+			useful = append(useful, p)
+			covers = append(covers, rows)
+		}
+	}
+	sel, err := coverExact(useful, covers, len(spec.On), opt.MaxNodes)
+	if err != nil {
+		return nil, err
+	}
+	out := make(Cover, 0, len(sel))
+	for _, i := range sel {
+		out = append(out, useful[i])
+	}
+	return out, nil
+}
+
+// ExactOptions bounds the exact minimizer.
+type ExactOptions struct {
+	MaxPrimes int // prime enumeration cap (default 20,000)
+	MaxNodes  int // branch-and-bound node cap (default 200,000)
+}
+
+// AllPrimes enumerates every prime implicant of the function whose
+// OFF-set is the given minterm list (ON∪DC = everything else): the
+// maximal cubes intersecting no OFF minterm. It uses iterated sharping:
+// start from the universal cube; for every OFF minterm, split each cube
+// containing it into the n cubes that exclude it; drop contained cubes.
+func AllPrimes(numVars int, off []uint64, maxPrimes int) (Cover, error) {
+	cubes := Cover{NewCube(numVars)}
+	for _, o := range off {
+		var next Cover
+		for _, c := range cubes {
+			if !c.CoversMinterm(o) {
+				next = append(next, c)
+				continue
+			}
+			// Split c: for each free-or-agreeing variable, force the
+			// polarity opposite to o's bit.
+			for v := 0; v < numVars; v++ {
+				if c.Var(v) != VDash {
+					continue // literal already set; it must agree with o
+				}
+				child := c.Clone()
+				if o&(1<<v) != 0 {
+					child.SetVar(v, VFalse)
+				} else {
+					child.SetVar(v, VTrue)
+				}
+				next = append(next, child)
+			}
+		}
+		cubes = removeContained(next)
+		if len(cubes) > maxPrimes {
+			return nil, fmt.Errorf("logic: more than %d primes", maxPrimes)
+		}
+	}
+	return cubes, nil
+}
+
+// removeContained deletes cubes contained in another cube of the list.
+func removeContained(cs Cover) Cover {
+	// Sort by ascending literal count: containers come first.
+	sort.SliceStable(cs, func(i, j int) bool { return cs[i].Literals() < cs[j].Literals() })
+	var out Cover
+	for _, c := range cs {
+		kept := true
+		for _, o := range out {
+			if o.Contains(c) {
+				kept = false
+				break
+			}
+		}
+		if kept {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// coverExact solves the minimum-literal set cover: pick prime indices
+// covering every ON row. Branch and bound with essentials and row/column
+// dominance.
+func coverExact(primes Cover, covers [][]int, rows int, maxNodes int) ([]int, error) {
+	costs := make([]int, len(primes))
+	for i, p := range primes {
+		costs[i] = p.Literals()
+		if costs[i] == 0 {
+			costs[i] = 1 // the universal cube still costs a connection
+		}
+	}
+	rowsOf := covers
+	colsOf := make([][]int, rows)
+	for ci, rs := range rowsOf {
+		for _, r := range rs {
+			colsOf[r] = append(colsOf[r], ci)
+		}
+	}
+	for r := 0; r < rows; r++ {
+		if len(colsOf[r]) == 0 {
+			return nil, fmt.Errorf("logic: ON minterm %d not covered by any prime", r)
+		}
+	}
+
+	best := []int(nil)
+	bestCost := 1 << 30
+	nodes := 0
+
+	var solve func(uncovered map[int]bool, chosen []int, cost int) error
+	solve = func(uncovered map[int]bool, chosen []int, cost int) error {
+		nodes++
+		if nodes > maxNodes {
+			return fmt.Errorf("logic: exact covering exceeded %d nodes", maxNodes)
+		}
+		if cost >= bestCost {
+			return nil
+		}
+		if len(uncovered) == 0 {
+			best = append([]int(nil), chosen...)
+			bestCost = cost
+			return nil
+		}
+		// Lower bound: independent rows (greedy) each need their cheapest column.
+		lb := 0
+		used := make(map[int]bool)
+		for r := range uncovered {
+			indep := true
+			for _, c := range colsOf[r] {
+				if used[c] {
+					indep = false
+					break
+				}
+			}
+			if !indep {
+				continue
+			}
+			cheapest := 1 << 30
+			for _, c := range colsOf[r] {
+				used[c] = true
+				if costs[c] < cheapest {
+					cheapest = costs[c]
+				}
+			}
+			lb += cheapest
+		}
+		if cost+lb >= bestCost {
+			return nil
+		}
+		// Branch on the most constrained uncovered row.
+		br, brDeg := -1, 1<<30
+		for r := range uncovered {
+			if len(colsOf[r]) < brDeg {
+				br, brDeg = r, len(colsOf[r])
+			}
+		}
+		// Try columns covering it, cheapest-per-row first.
+		cols := append([]int(nil), colsOf[br]...)
+		sort.Slice(cols, func(a, b int) bool {
+			ca := float64(costs[cols[a]]) / float64(len(rowsOf[cols[a]]))
+			cb := float64(costs[cols[b]]) / float64(len(rowsOf[cols[b]]))
+			if ca != cb {
+				return ca < cb
+			}
+			return cols[a] < cols[b]
+		})
+		for _, c := range cols {
+			nu := make(map[int]bool, len(uncovered))
+			for r := range uncovered {
+				nu[r] = true
+			}
+			for _, r := range rowsOf[c] {
+				delete(nu, r)
+			}
+			if err := solve(nu, append(chosen, c), cost+costs[c]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	uncovered := make(map[int]bool, rows)
+	for r := 0; r < rows; r++ {
+		uncovered[r] = true
+	}
+	if err := solve(uncovered, nil, 0); err != nil {
+		return nil, err
+	}
+	sort.Ints(best)
+	return best, nil
+}

@@ -1,0 +1,152 @@
+package logic
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestAllPrimesSmall(t *testing.T) {
+	// OFF = {11} over 2 vars: primes of the rest are a' and b'.
+	primes, err := AllPrimes(2, []uint64{0b11}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(primes) != 2 {
+		t.Fatalf("primes = %v", primes)
+	}
+	for _, p := range primes {
+		if p.Literals() != 1 || p.CoversMinterm(0b11) {
+			t.Fatalf("bad prime %v", p)
+		}
+	}
+	// No OFF minterms: single universal prime.
+	primes, err = AllPrimes(3, nil, 100)
+	if err != nil || len(primes) != 1 || primes[0].Literals() != 0 {
+		t.Fatalf("tautology primes = %v (%v)", primes, err)
+	}
+}
+
+// TestAllPrimesComplete: on random functions, the prime list must (a)
+// avoid every OFF minterm, (b) cover every non-OFF minterm, and (c)
+// contain only maximal cubes.
+func TestAllPrimesComplete(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for i := 0; i < 100; i++ {
+		n := 2 + rng.Intn(4)
+		var off []uint64
+		for m := uint64(0); m < 1<<n; m++ {
+			if rng.Intn(3) == 0 {
+				off = append(off, m)
+			}
+		}
+		primes, err := AllPrimes(n, off, 10000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		offSet := make(map[uint64]bool)
+		for _, m := range off {
+			offSet[m] = true
+		}
+		cov := Cover(primes)
+		for m := uint64(0); m < 1<<n; m++ {
+			if offSet[m] {
+				if cov.CoversMinterm(m) {
+					t.Fatalf("case %d: prime covers OFF minterm %b", i, m)
+				}
+			} else if !cov.CoversMinterm(m) {
+				t.Fatalf("case %d: non-OFF minterm %b uncovered by primes", i, m)
+			}
+		}
+		offCover := make(Cover, len(off))
+		for j, m := range off {
+			offCover[j] = FromMinterm(n, m)
+		}
+		for _, p := range primes {
+			for v := 0; v < n; v++ {
+				val := p.Var(v)
+				if val != VTrue && val != VFalse {
+					continue
+				}
+				q := p.Clone()
+				q.SetVar(v, VDash)
+				if !offCover.IntersectsAny(q) {
+					t.Fatalf("case %d: prime %v not maximal at var %d", i, p, v)
+				}
+			}
+		}
+	}
+}
+
+func TestMinimizeExactKnown(t *testing.T) {
+	// XOR: exact cover = 2 cubes, 4 literals.
+	spec := Spec{NumVars: 2, On: []uint64{0b01, 0b10}, Off: []uint64{0b00, 0b11}}
+	c, err := MinimizeExact(spec, ExactOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c) != 2 || c.Literals() != 4 {
+		t.Fatalf("xor exact: %v", c)
+	}
+	if bad := Verify(c, spec); len(bad) != 0 {
+		t.Fatalf("exact cover violates contract: %v", bad)
+	}
+	// Empty ON-set.
+	c, err = MinimizeExact(Spec{NumVars: 3}, ExactOptions{})
+	if err != nil || len(c) != 0 {
+		t.Fatalf("empty: %v %v", c, err)
+	}
+}
+
+// TestExactNeverWorseThanHeuristic: the exact minimizer's literal count
+// lower-bounds the ESPRESSO loop on random functions, and both satisfy
+// the cover contract.
+func TestExactNeverWorseThanHeuristic(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	worse := 0
+	for i := 0; i < 120; i++ {
+		n := 3 + rng.Intn(3)
+		var spec Spec
+		spec.NumVars = n
+		for m := uint64(0); m < 1<<n; m++ {
+			switch rng.Intn(3) {
+			case 0:
+				spec.On = append(spec.On, m)
+			case 1:
+				spec.Off = append(spec.Off, m)
+			}
+		}
+		h, err := Minimize(spec, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := MinimizeExact(spec, ExactOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bad := Verify(e, spec); len(bad) != 0 {
+			t.Fatalf("case %d: exact cover bad: %v", i, bad)
+		}
+		if e.Literals() > h.Literals() {
+			t.Fatalf("case %d: exact %d > heuristic %d literals", i, e.Literals(), h.Literals())
+		}
+		if e.Literals() < h.Literals() {
+			worse++
+		}
+	}
+	t.Logf("heuristic suboptimal on %d/120 random functions", worse)
+}
+
+func TestExactLimits(t *testing.T) {
+	// Prime cap.
+	var off []uint64
+	for m := uint64(0); m < 1<<8; m += 3 {
+		off = append(off, m)
+	}
+	if _, err := AllPrimes(8, off, 4); err == nil {
+		t.Fatalf("prime cap not enforced")
+	}
+	spec := Spec{NumVars: 8, On: []uint64{1}, Off: off}
+	if _, err := MinimizeExact(spec, ExactOptions{MaxPrimes: 4}); err == nil {
+		t.Fatalf("MinimizeExact must propagate the cap")
+	}
+}

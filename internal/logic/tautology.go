@@ -1,0 +1,210 @@
+package logic
+
+// Tautology reports whether the cover contains every minterm, by unate
+// reduction and Shannon expansion — the classic recursive check
+// underlying espresso's IRREDUNDANT and complementation.
+func (f Cover) Tautology() bool {
+	if len(f) == 0 {
+		return false
+	}
+	n := f[0].N()
+	if n == 0 {
+		return true
+	}
+	return tautRec(f, n)
+}
+
+func tautRec(f Cover, n int) bool {
+	// A cover containing the universal cube is a tautology.
+	for _, c := range f {
+		allDash := true
+		for v := 0; v < n && allDash; v++ {
+			if c.Var(v) != VDash {
+				allDash = false
+			}
+		}
+		if allDash {
+			return true
+		}
+	}
+	if len(f) == 0 {
+		return false
+	}
+
+	// Unate reduction: a variable appearing in only one polarity cannot
+	// make the cover a tautology; cubes depending on it can be discarded
+	// for the branch where the literal is false... more precisely, if f
+	// is unate in v, f is a tautology iff the cofactor against the
+	// missing polarity is (drop all cubes with a v literal).
+	for v := 0; v < n; v++ {
+		hasPos, hasNeg := false, false
+		for _, c := range f {
+			switch c.Var(v) {
+			case VTrue:
+				hasPos = true
+			case VFalse:
+				hasNeg = true
+			}
+		}
+		if hasPos && hasNeg {
+			continue
+		}
+		if !hasPos && !hasNeg {
+			continue // v unused
+		}
+		// Unate in v: keep only cubes without a v literal.
+		var reduced Cover
+		for _, c := range f {
+			if c.Var(v) == VDash {
+				reduced = append(reduced, c)
+			}
+		}
+		return tautRec(reduced, n)
+	}
+
+	// Binate: Shannon-expand on the most binate variable.
+	v := mostBinate(f, n)
+	if v < 0 {
+		// No variable has literals at all: some cube is universal —
+		// handled above; otherwise empty.
+		return false
+	}
+	return tautRec(cofactorVar(f, v, true), n) && tautRec(cofactorVar(f, v, false), n)
+}
+
+// mostBinate picks the variable appearing in the most cubes with both
+// polarities present.
+func mostBinate(f Cover, n int) int {
+	best, bestCount := -1, -1
+	for v := 0; v < n; v++ {
+		pos, neg, count := 0, 0, 0
+		for _, c := range f {
+			switch c.Var(v) {
+			case VTrue:
+				pos++
+				count++
+			case VFalse:
+				neg++
+				count++
+			}
+		}
+		if pos > 0 && neg > 0 && count > bestCount {
+			best, bestCount = v, count
+		}
+	}
+	return best
+}
+
+// cofactorVar computes the cofactor of the cover against v=value.
+func cofactorVar(f Cover, v int, value bool) Cover {
+	var out Cover
+	for _, c := range f {
+		switch c.Var(v) {
+		case VDash:
+			out = append(out, c)
+		case VTrue:
+			if value {
+				d := c.Clone()
+				d.SetVar(v, VDash)
+				out = append(out, d)
+			}
+		case VFalse:
+			if !value {
+				d := c.Clone()
+				d.SetVar(v, VDash)
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
+// Complement returns a cover of ¬f over the same variables, by Shannon
+// expansion with terminal cases (De Morgan on a single cube; empty and
+// tautological covers). The result is not necessarily minimal; feed it
+// to Minimize for a prime cover.
+func (f Cover) Complement(n int) Cover {
+	if len(f) == 0 {
+		return Cover{NewCube(n)}
+	}
+	if f.Tautology() {
+		return Cover{}
+	}
+	if len(f) == 1 {
+		// De Morgan: complement of one cube = OR of complemented literals.
+		var out Cover
+		for v := 0; v < n; v++ {
+			switch f[0].Var(v) {
+			case VTrue:
+				c := NewCube(n)
+				c.SetVar(v, VFalse)
+				out = append(out, c)
+			case VFalse:
+				c := NewCube(n)
+				c.SetVar(v, VTrue)
+				out = append(out, c)
+			}
+		}
+		return out
+	}
+	v := mostBinate(f, n)
+	if v < 0 {
+		// All cubes have disjoint single... no binate variable: pick the
+		// first variable with any literal.
+		for u := 0; u < n && v < 0; u++ {
+			for _, c := range f {
+				if c.Var(u) != VDash {
+					v = u
+					break
+				}
+			}
+		}
+		if v < 0 {
+			return Cover{} // universal cube present → tautology (handled)
+		}
+	}
+	pos := cofactorVar(f, v, true).Complement(n)
+	neg := cofactorVar(f, v, false).Complement(n)
+	var out Cover
+	for _, c := range pos {
+		d := c.Clone()
+		d.SetVar(v, VTrue)
+		out = append(out, d)
+	}
+	for _, c := range neg {
+		d := c.Clone()
+		d.SetVar(v, VFalse)
+		out = append(out, d)
+	}
+	return out
+}
+
+// ContainsCover reports whether g ⊆ f (every minterm of g is covered by
+// f), via tautology of f cofactored against each cube of g.
+func (f Cover) ContainsCover(g Cover, n int) bool {
+	for _, c := range g {
+		if !f.cofactorCube(c, n).Tautology() {
+			// Special case: the cofactor may be empty yet c itself empty.
+			return false
+		}
+	}
+	return true
+}
+
+// cofactorCube computes the cofactor of f against cube c.
+func (f Cover) cofactorCube(c Cube, n int) Cover {
+	var out Cover
+	for _, d := range f {
+		if d.Distance(c) > 0 {
+			continue
+		}
+		e := NewCube(n)
+		for v := 0; v < n; v++ {
+			if c.Var(v) == VDash {
+				e.SetVar(v, d.Var(v))
+			}
+		}
+		out = append(out, e)
+	}
+	return out
+}

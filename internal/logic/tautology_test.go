@@ -1,0 +1,115 @@
+package logic
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randomCover(rng *rand.Rand, n, maxCubes int) Cover {
+	var f Cover
+	for i := 0; i < 1+rng.Intn(maxCubes); i++ {
+		f = append(f, randomCube(rng, n))
+	}
+	return f
+}
+
+func coverMinterms(f Cover, n int) map[uint64]bool {
+	out := make(map[uint64]bool)
+	for m := uint64(0); m < 1<<n; m++ {
+		if f.CoversMinterm(m) {
+			out[m] = true
+		}
+	}
+	return out
+}
+
+func TestTautologyKnown(t *testing.T) {
+	if (Cover{}).Tautology() {
+		t.Fatalf("empty cover is a tautology")
+	}
+	if !(Cover{NewCube(3)}).Tautology() {
+		t.Fatalf("universal cube not a tautology")
+	}
+	// x + x' is a tautology.
+	a := NewCube(2)
+	a.SetVar(0, VTrue)
+	b := NewCube(2)
+	b.SetVar(0, VFalse)
+	if !(Cover{a, b}).Tautology() {
+		t.Fatalf("x + x' not recognised")
+	}
+	// x + y is not.
+	c := NewCube(2)
+	c.SetVar(1, VTrue)
+	if (Cover{a, c}).Tautology() {
+		t.Fatalf("x + y accepted as tautology")
+	}
+}
+
+func TestTautologyRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for i := 0; i < 300; i++ {
+		n := 1 + rng.Intn(6)
+		f := randomCover(rng, n, 6)
+		want := len(coverMinterms(f, n)) == 1<<n
+		if got := f.Tautology(); got != want {
+			t.Fatalf("case %d: Tautology = %v, enumeration %v\n%v", i, got, want, f)
+		}
+	}
+}
+
+func TestComplementRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	for i := 0; i < 200; i++ {
+		n := 1 + rng.Intn(5)
+		f := randomCover(rng, n, 5)
+		comp := f.Complement(n)
+		fm := coverMinterms(f, n)
+		cm := coverMinterms(comp, n)
+		for m := uint64(0); m < 1<<n; m++ {
+			if fm[m] == cm[m] {
+				t.Fatalf("case %d: minterm %b in both or neither", i, m)
+			}
+		}
+	}
+}
+
+func TestComplementEdges(t *testing.T) {
+	if got := (Cover{}).Complement(2); len(got) != 1 || got[0].Literals() != 0 {
+		t.Fatalf("complement of empty = %v", got)
+	}
+	if got := (Cover{NewCube(2)}).Complement(2); len(got) != 0 {
+		t.Fatalf("complement of tautology = %v", got)
+	}
+}
+
+func TestContainsCoverRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for i := 0; i < 200; i++ {
+		n := 1 + rng.Intn(5)
+		f := randomCover(rng, n, 5)
+		g := randomCover(rng, n, 3)
+		fm := coverMinterms(f, n)
+		want := true
+		for m := range coverMinterms(g, n) {
+			if !fm[m] {
+				want = false
+				break
+			}
+		}
+		if got := f.ContainsCover(g, n); got != want {
+			t.Fatalf("case %d: ContainsCover = %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestContainsCoverSelf(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	for i := 0; i < 50; i++ {
+		n := 2 + rng.Intn(4)
+		f := randomCover(rng, n, 4)
+		if !f.ContainsCover(f, n) {
+			t.Fatalf("cover does not contain itself: %v", f)
+		}
+	}
+}

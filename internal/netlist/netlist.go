@@ -1,0 +1,228 @@
+// Package netlist maps synthesized two-level covers onto a structural
+// gate network — one INV per complemented input, one AND per cube, one
+// OR per function — and renders it as a structural Verilog module. The
+// two-level network is exactly what the paper's area metric (literals of
+// the unfactored cover) prices: each literal is one gate input.
+package netlist
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"asyncsyn/internal/logic"
+)
+
+// Function is one driven signal with its cover (mirrors core.Function
+// without importing it, keeping the package reusable).
+type Function struct {
+	Name   string
+	Inputs []string
+	Cover  logic.Cover
+}
+
+// Gate is one network node.
+type Gate struct {
+	Op     string // "INV", "AND", "OR", "BUF", "ZERO"
+	Out    string
+	Inputs []string
+}
+
+// Netlist is a flattened gate network.
+type Netlist struct {
+	Module   string
+	Inputs   []string // primary inputs (signals no function drives)
+	Outputs  []string // driven signals
+	Gates    []Gate
+	Literals int // AND-plane literal count — the paper's area metric
+}
+
+// Build flattens the functions of a circuit into a two-level gate
+// network. Feedback (a function using its own or another function's
+// output) is preserved by name: driven signals appear both as outputs
+// and as gate inputs, exactly as a speed-independent circuit closes its
+// loops.
+func Build(module string, fns []Function) *Netlist {
+	n := &Netlist{Module: module}
+	driven := make(map[string]bool)
+	for _, f := range fns {
+		driven[f.Name] = true
+	}
+	inputSet := make(map[string]bool)
+	inverted := make(map[string]string)
+
+	needInv := func(sig string) string {
+		if w, ok := inverted[sig]; ok {
+			return w
+		}
+		w := sig + "_n"
+		inverted[sig] = w
+		n.Gates = append(n.Gates, Gate{Op: "INV", Out: w, Inputs: []string{sig}})
+		return w
+	}
+
+	for _, f := range fns {
+		n.Outputs = append(n.Outputs, f.Name)
+		for _, in := range f.Inputs {
+			if !driven[in] {
+				inputSet[in] = true
+			}
+		}
+		var orIns []string
+		for ci, cube := range f.Cover {
+			var andIns []string
+			for v := 0; v < cube.N(); v++ {
+				switch cube.Var(v) {
+				case logic.VTrue:
+					andIns = append(andIns, f.Inputs[v])
+				case logic.VFalse:
+					andIns = append(andIns, needInv(f.Inputs[v]))
+				}
+			}
+			switch len(andIns) {
+			case 0:
+				// Universal cube: constant 1 — the function is a tautology
+				// over its support; model as a BUF of constant one via OR
+				// absorbing everything (handled below by empty OR list).
+				orIns = append(orIns, "1'b1")
+			case 1:
+				orIns = append(orIns, andIns[0])
+				n.Literals++
+			default:
+				w := fmt.Sprintf("%s_and%d", f.Name, ci)
+				n.Gates = append(n.Gates, Gate{Op: "AND", Out: w, Inputs: andIns})
+				n.Literals += len(andIns)
+				orIns = append(orIns, w)
+			}
+		}
+		switch len(orIns) {
+		case 0:
+			n.Gates = append(n.Gates, Gate{Op: "ZERO", Out: f.Name})
+		case 1:
+			n.Gates = append(n.Gates, Gate{Op: "BUF", Out: f.Name, Inputs: orIns})
+		default:
+			n.Gates = append(n.Gates, Gate{Op: "OR", Out: f.Name, Inputs: orIns})
+		}
+	}
+	for in := range inputSet {
+		n.Inputs = append(n.Inputs, in)
+	}
+	sort.Strings(n.Inputs)
+	sort.Strings(n.Outputs)
+	return n
+}
+
+// Verilog renders the netlist as a structural Verilog module using
+// continuous assignments. Feedback loops are legal in structural
+// Verilog; the module models the speed-independent network directly.
+func (n *Netlist) Verilog() string {
+	var b strings.Builder
+	ports := append(append([]string{}, n.Inputs...), n.Outputs...)
+	fmt.Fprintf(&b, "// two-level speed-independent network (%d literals)\n", n.Literals)
+	fmt.Fprintf(&b, "module %s(%s);\n", sanitize(n.Module), strings.Join(ports, ", "))
+	for _, in := range n.Inputs {
+		fmt.Fprintf(&b, "  input  %s;\n", in)
+	}
+	for _, out := range n.Outputs {
+		fmt.Fprintf(&b, "  output %s;\n", out)
+	}
+	var wires []string
+	outSet := make(map[string]bool)
+	for _, o := range n.Outputs {
+		outSet[o] = true
+	}
+	for _, g := range n.Gates {
+		if !outSet[g.Out] {
+			wires = append(wires, g.Out)
+		}
+	}
+	sort.Strings(wires)
+	for _, w := range wires {
+		fmt.Fprintf(&b, "  wire   %s;\n", w)
+	}
+	b.WriteString("\n")
+	for _, g := range n.Gates {
+		switch g.Op {
+		case "INV":
+			fmt.Fprintf(&b, "  assign %s = ~%s;\n", g.Out, g.Inputs[0])
+		case "AND":
+			fmt.Fprintf(&b, "  assign %s = %s;\n", g.Out, strings.Join(g.Inputs, " & "))
+		case "OR":
+			fmt.Fprintf(&b, "  assign %s = %s;\n", g.Out, strings.Join(g.Inputs, " | "))
+		case "BUF":
+			fmt.Fprintf(&b, "  assign %s = %s;\n", g.Out, g.Inputs[0])
+		case "ZERO":
+			fmt.Fprintf(&b, "  assign %s = 1'b0;\n", g.Out)
+		}
+	}
+	b.WriteString("endmodule\n")
+	return b.String()
+}
+
+// sanitize maps model names to legal Verilog identifiers.
+func sanitize(s string) string {
+	out := make([]rune, 0, len(s))
+	for i, r := range s {
+		ok := r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (r >= '0' && r <= '9' && i > 0)
+		if !ok {
+			r = '_'
+		}
+		out = append(out, r)
+	}
+	if len(out) == 0 {
+		return "m"
+	}
+	return string(out)
+}
+
+// Eval evaluates the combinational network for the given signal levels
+// (feedback signals read their current levels), returning the value of
+// every gate output. It mirrors what one gate-delay step of the circuit
+// computes.
+func (n *Netlist) Eval(levels map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(n.Gates))
+	// Feedback semantics: primary signals (inputs and function outputs)
+	// read their CURRENT levels; only intermediate wires read the values
+	// computed this step.
+	primary := make(map[string]bool)
+	for _, in := range n.Inputs {
+		primary[in] = true
+	}
+	for _, o := range n.Outputs {
+		primary[o] = true
+	}
+	read := func(name string) bool {
+		if name == "1'b1" {
+			return true
+		}
+		if primary[name] {
+			return levels[name]
+		}
+		return out[name]
+	}
+	// Gates were appended in dependency order per function (INV/AND
+	// before OR), so one forward pass settles the two-level network.
+	for _, g := range n.Gates {
+		switch g.Op {
+		case "INV":
+			out[g.Out] = !read(g.Inputs[0])
+		case "AND":
+			v := true
+			for _, in := range g.Inputs {
+				v = v && read(in)
+			}
+			out[g.Out] = v
+		case "OR":
+			v := false
+			for _, in := range g.Inputs {
+				v = v || read(in)
+			}
+			out[g.Out] = v
+		case "BUF":
+			out[g.Out] = read(g.Inputs[0])
+		case "ZERO":
+			out[g.Out] = false
+		}
+	}
+	return out
+}

@@ -1,0 +1,135 @@
+package netlist
+
+import (
+	"strings"
+	"testing"
+
+	"asyncsyn/internal/bench"
+	"asyncsyn/internal/core"
+	"asyncsyn/internal/logic"
+)
+
+// xorFunction builds f = a'b + ab'.
+func xorFunction() Function {
+	c1 := logic.NewCube(2)
+	c1.SetVar(0, logic.VFalse)
+	c1.SetVar(1, logic.VTrue)
+	c2 := logic.NewCube(2)
+	c2.SetVar(0, logic.VTrue)
+	c2.SetVar(1, logic.VFalse)
+	return Function{Name: "f", Inputs: []string{"a", "b"}, Cover: logic.Cover{c1, c2}}
+}
+
+func TestBuildStructure(t *testing.T) {
+	n := Build("xor", []Function{xorFunction()})
+	if len(n.Inputs) != 2 || n.Inputs[0] != "a" || n.Inputs[1] != "b" {
+		t.Fatalf("inputs = %v", n.Inputs)
+	}
+	if len(n.Outputs) != 1 || n.Outputs[0] != "f" {
+		t.Fatalf("outputs = %v", n.Outputs)
+	}
+	// 2 INV + 2 AND + 1 OR.
+	var inv, and, or int
+	for _, g := range n.Gates {
+		switch g.Op {
+		case "INV":
+			inv++
+		case "AND":
+			and++
+		case "OR":
+			or++
+		}
+	}
+	if inv != 2 || and != 2 || or != 1 {
+		t.Fatalf("gates: %d INV, %d AND, %d OR", inv, and, or)
+	}
+	// Literals = 4 AND-plane inputs (the paper's metric).
+	if n.Literals != 4 {
+		t.Fatalf("literals = %d", n.Literals)
+	}
+}
+
+func TestEvalMatchesCover(t *testing.T) {
+	f := xorFunction()
+	n := Build("xor", []Function{f})
+	for m := uint64(0); m < 4; m++ {
+		levels := map[string]bool{"a": m&1 != 0, "b": m&2 != 0}
+		got := n.Eval(levels)["f"]
+		want := f.Cover.Eval(m)
+		if got != want {
+			t.Fatalf("minterm %b: netlist %v, cover %v", m, got, want)
+		}
+	}
+}
+
+func TestVerilogRendering(t *testing.T) {
+	n := Build("x or!", []Function{xorFunction()})
+	v := n.Verilog()
+	for _, want := range []string{
+		"module x_or_(", "input  a;", "input  b;", "output f;",
+		"assign a_n = ~a;", "endmodule",
+	} {
+		if !strings.Contains(v, want) {
+			t.Errorf("verilog missing %q:\n%s", want, v)
+		}
+	}
+}
+
+func TestDegenerateCovers(t *testing.T) {
+	// Empty cover → constant 0; universal cube → constant 1 wire.
+	empty := Function{Name: "z", Inputs: []string{"a"}, Cover: logic.Cover{}}
+	uni := Function{Name: "u", Inputs: []string{"a"}, Cover: logic.Cover{logic.NewCube(1)}}
+	n := Build("deg", []Function{empty, uni})
+	out := n.Eval(map[string]bool{"a": true})
+	if out["z"] || !out["u"] {
+		t.Fatalf("degenerate eval: z=%v u=%v", out["z"], out["u"])
+	}
+	v := n.Verilog()
+	if !strings.Contains(v, "1'b0") {
+		t.Errorf("constant 0 missing:\n%s", v)
+	}
+}
+
+// TestSynthesizedNetlist flattens a synthesized benchmark circuit and
+// cross-checks every gate output against the covers on every reachable
+// state code.
+func TestSynthesizedNetlist(t *testing.T) {
+	spec, err := bench.Load("sbuf-read-ctl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Synthesize(spec, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fns []Function
+	for _, f := range res.Functions {
+		fns = append(fns, Function{Name: f.Name, Inputs: f.Vars, Cover: f.Cover})
+	}
+	n := Build(res.Name, fns)
+	if n.Literals != res.Area {
+		t.Errorf("netlist literals %d != area %d", n.Literals, res.Area)
+	}
+	ex := res.Expanded
+	for s := range ex.States {
+		levels := map[string]bool{}
+		for i, b := range ex.Base {
+			levels[b.Name] = ex.States[s].Code&(1<<i) != 0
+		}
+		out := n.Eval(levels)
+		for _, f := range res.Functions {
+			sigIdx, _ := ex.SignalIndex(f.Name)
+			want := ex.ImpliedValue(s, sigIdx) == 1
+			if out[f.Name] != want {
+				t.Fatalf("state %d: netlist %s = %v, implied %v", s, f.Name, out[f.Name], want)
+			}
+		}
+	}
+	// The Verilog must at least parse-ably mention every output.
+	v := n.Verilog()
+	for _, o := range n.Outputs {
+		if !strings.Contains(v, "output "+o+";") {
+			t.Errorf("output %s missing from Verilog", o)
+		}
+	}
+}

@@ -1,0 +1,174 @@
+package petri
+
+import "math/big"
+
+// Incidence returns the |P|×|T| incidence matrix C with C[p][t] =
+// (tokens t adds to p) − (tokens t removes from p).
+func (n *Net) Incidence() [][]int {
+	c := make([][]int, len(n.Places))
+	for p := range c {
+		c[p] = make([]int, len(n.Transitions))
+	}
+	for t, tr := range n.Transitions {
+		for _, p := range tr.Pre {
+			c[p][t]--
+		}
+		for _, p := range tr.Post {
+			c[p][t]++
+		}
+	}
+	return c
+}
+
+// TInvariants returns a basis of the right nullspace of the incidence
+// matrix: firing-count vectors x with C·x = 0, i.e. firing sequences
+// that reproduce a marking. Every live cyclic STG has at least one
+// strictly positive T-invariant (one full cycle of the specification).
+// Entries are scaled to the smallest integer vector.
+func (n *Net) TInvariants() [][]int {
+	c := n.Incidence()
+	return intNullspace(c, len(n.Transitions))
+}
+
+// PInvariants returns a basis of the left nullspace: place weightings y
+// with y·C = 0, whose weighted token count is conserved by every firing
+// (the classic structural boundedness witness).
+func (n *Net) PInvariants() [][]int {
+	c := n.Incidence()
+	// Transpose, then right-nullspace.
+	tr := make([][]int, len(n.Transitions))
+	for t := range tr {
+		tr[t] = make([]int, len(n.Places))
+		for p := range n.Places {
+			tr[t][p] = c[p][t]
+		}
+	}
+	return intNullspace(tr, len(n.Places))
+}
+
+// intNullspace computes an integer basis of {x : M·x = 0} by exact
+// rational Gaussian elimination.
+func intNullspace(m [][]int, cols int) [][]int {
+	rows := len(m)
+	a := make([][]*big.Rat, rows)
+	for i := range a {
+		a[i] = make([]*big.Rat, cols)
+		for j := 0; j < cols; j++ {
+			a[i][j] = big.NewRat(int64(m[i][j]), 1)
+		}
+	}
+
+	pivotCol := make([]int, 0, cols) // pivot column per pivot row
+	r := 0
+	for c := 0; c < cols && r < rows; c++ {
+		// Find a pivot.
+		pivot := -1
+		for i := r; i < rows; i++ {
+			if a[i][c].Sign() != 0 {
+				pivot = i
+				break
+			}
+		}
+		if pivot < 0 {
+			continue
+		}
+		a[r], a[pivot] = a[pivot], a[r]
+		inv := new(big.Rat).Inv(a[r][c])
+		for j := c; j < cols; j++ {
+			a[r][j].Mul(a[r][j], inv)
+		}
+		for i := 0; i < rows; i++ {
+			if i == r || a[i][c].Sign() == 0 {
+				continue
+			}
+			f := new(big.Rat).Set(a[i][c])
+			for j := c; j < cols; j++ {
+				t := new(big.Rat).Mul(f, a[r][j])
+				a[i][j].Sub(a[i][j], t)
+			}
+		}
+		pivotCol = append(pivotCol, c)
+		r++
+	}
+
+	isPivot := make([]bool, cols)
+	for _, c := range pivotCol {
+		isPivot[c] = true
+	}
+	var basis [][]int
+	for free := 0; free < cols; free++ {
+		if isPivot[free] {
+			continue
+		}
+		// Solution with x[free] = 1, other free vars 0.
+		x := make([]*big.Rat, cols)
+		for j := range x {
+			x[j] = new(big.Rat)
+		}
+		x[free].SetInt64(1)
+		for i := len(pivotCol) - 1; i >= 0; i-- {
+			pc := pivotCol[i]
+			sum := new(big.Rat)
+			for j := pc + 1; j < cols; j++ {
+				t := new(big.Rat).Mul(a[i][j], x[j])
+				sum.Add(sum, t)
+			}
+			x[pc].Neg(sum)
+		}
+		basis = append(basis, scaleToInt(x))
+	}
+	return basis
+}
+
+// scaleToInt multiplies a rational vector by the LCM of denominators and
+// divides by the GCD of numerators, yielding the smallest integer form.
+func scaleToInt(x []*big.Rat) []int {
+	lcm := big.NewInt(1)
+	for _, v := range x {
+		d := v.Denom()
+		g := new(big.Int).GCD(nil, nil, lcm, d)
+		lcm.Div(lcm, g)
+		lcm.Mul(lcm, d)
+	}
+	ints := make([]*big.Int, len(x))
+	gcd := new(big.Int)
+	for i, v := range x {
+		n := new(big.Int).Mul(v.Num(), lcm)
+		n.Div(n, v.Denom())
+		ints[i] = n
+		if n.Sign() != 0 {
+			abs := new(big.Int).Abs(n)
+			if gcd.Sign() == 0 {
+				gcd.Set(abs)
+			} else {
+				gcd.GCD(nil, nil, gcd, abs)
+			}
+		}
+	}
+	out := make([]int, len(x))
+	for i, n := range ints {
+		if gcd.Sign() != 0 {
+			n.Div(n, gcd)
+		}
+		out[i] = int(n.Int64())
+	}
+	return out
+}
+
+// IsTInvariant checks C·x = 0 directly.
+func (n *Net) IsTInvariant(x []int) bool {
+	if len(x) != len(n.Transitions) {
+		return false
+	}
+	c := n.Incidence()
+	for p := range n.Places {
+		sum := 0
+		for t := range n.Transitions {
+			sum += c[p][t] * x[t]
+		}
+		if sum != 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,113 @@
+package petri
+
+import "testing"
+
+func TestIncidence(t *testing.T) {
+	net := chain(t, 3)
+	c := net.Incidence()
+	// t0 consumes p0, produces p1.
+	if c[0][0] != -1 || c[1][0] != 1 || c[2][0] != 0 {
+		t.Fatalf("incidence row: %v", c)
+	}
+}
+
+func TestTInvariantsCycle(t *testing.T) {
+	net := chain(t, 4)
+	inv := net.TInvariants()
+	if len(inv) != 1 {
+		t.Fatalf("cycle should have one T-invariant, got %d", len(inv))
+	}
+	// Firing every transition once reproduces the marking: (1,1,1,1) up
+	// to sign.
+	x := inv[0]
+	base := x[0]
+	if base == 0 {
+		t.Fatalf("degenerate invariant %v", x)
+	}
+	for _, v := range x {
+		if v != base {
+			t.Fatalf("cycle invariant not uniform: %v", x)
+		}
+	}
+	if !net.IsTInvariant(x) {
+		t.Fatalf("basis vector fails the direct check")
+	}
+	if net.IsTInvariant([]int{1, 0, 0, 0}) {
+		t.Fatalf("non-invariant accepted")
+	}
+	if net.IsTInvariant([]int{1, 1}) {
+		t.Fatalf("wrong length accepted")
+	}
+}
+
+func TestPInvariantsCycle(t *testing.T) {
+	net := chain(t, 4)
+	inv := net.PInvariants()
+	if len(inv) != 1 {
+		t.Fatalf("cycle should have one P-invariant, got %d", len(inv))
+	}
+	// Total token count conserved: uniform weights.
+	y := inv[0]
+	for _, v := range y {
+		if v != y[0] || v == 0 {
+			t.Fatalf("P-invariant not uniform: %v", y)
+		}
+	}
+}
+
+func TestInvariantsForkJoin(t *testing.T) {
+	// fork → {x, y} → join: T-invariant fires each transition once;
+	// two P-invariants (one through each branch).
+	net := New("fj")
+	pin := net.AddPlace("in")
+	fork := net.AddTransition("fork")
+	net.ConnectPT(pin, fork)
+	join := net.AddTransition("join")
+	for i := 0; i < 2; i++ {
+		pm := net.AddPlace("")
+		tm := net.AddTransition(string(rune('x' + i)))
+		pe := net.AddPlace("")
+		net.ConnectTP(fork, pm)
+		net.ConnectPT(pm, tm)
+		net.ConnectTP(tm, pe)
+		net.ConnectPT(pe, join)
+	}
+	net.ConnectTP(join, pin)
+	net.Initial = net.NewMarking()
+	net.Initial[pin] = 1
+
+	tinv := net.TInvariants()
+	if len(tinv) != 1 {
+		t.Fatalf("T-invariants: %v", tinv)
+	}
+	for _, v := range tinv[0] {
+		if v != tinv[0][0] {
+			t.Fatalf("fork/join T-invariant not uniform: %v", tinv[0])
+		}
+	}
+	pinv := net.PInvariants()
+	if len(pinv) != 2 {
+		t.Fatalf("P-invariants: want 2 branch invariants, got %d", len(pinv))
+	}
+	// Each P-invariant must conserve the initial token weight under any
+	// firing; verify against a short run.
+	weight := func(y []int, m Marking) int {
+		s := 0
+		for p, k := range m {
+			s += y[p] * int(k)
+		}
+		return s
+	}
+	r, err := net.Reach(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, y := range pinv {
+		w0 := weight(y, net.Initial)
+		for _, m := range r.States {
+			if weight(y, m) != w0 {
+				t.Fatalf("P-invariant %v not conserved", y)
+			}
+		}
+	}
+}

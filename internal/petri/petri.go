@@ -1,0 +1,308 @@
+// Package petri implements the Petri net kernel underlying signal
+// transition graphs: places, transitions, flow relation, markings, the
+// firing rule, and bounded reachability analysis.
+//
+// A net is a bipartite directed graph <P, T, F, M0>. The dynamic behaviour
+// is captured by markings (token counts per place) and the firing of
+// enabled transitions. The package is deliberately free of any
+// interpretation of transitions as signal edges; that layer lives in
+// package stg.
+package petri
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// PlaceID and TransID index into a Net's place and transition tables.
+type (
+	PlaceID int
+	TransID int
+)
+
+// Place is a condition holder. Places created implicitly for
+// single-fanin/single-fanout arcs between transitions are flagged so
+// writers can render them back as plain arcs.
+type Place struct {
+	Name     string
+	Implicit bool // created for a transition→transition arc
+	Pre      []TransID
+	Post     []TransID
+}
+
+// Transition is a Petri net transition. Label carries the user-level name
+// (for STGs, a signal edge such as "a+"); the kernel treats it as opaque.
+type Transition struct {
+	Label string
+	Pre   []PlaceID
+	Post  []PlaceID
+}
+
+// Net is a Petri net with an initial marking.
+type Net struct {
+	Name        string
+	Places      []Place
+	Transitions []Transition
+	Initial     Marking
+}
+
+// New returns an empty net with the given name.
+func New(name string) *Net {
+	return &Net{Name: name}
+}
+
+// AddPlace appends a place and returns its id. Empty names get a
+// generated one.
+func (n *Net) AddPlace(name string) PlaceID {
+	if name == "" {
+		name = fmt.Sprintf("p%d", len(n.Places))
+	}
+	n.Places = append(n.Places, Place{Name: name})
+	return PlaceID(len(n.Places) - 1)
+}
+
+// AddTransition appends a transition with the given label and returns its id.
+func (n *Net) AddTransition(label string) TransID {
+	n.Transitions = append(n.Transitions, Transition{Label: label})
+	return TransID(len(n.Transitions) - 1)
+}
+
+// ConnectPT adds an arc place→transition.
+func (n *Net) ConnectPT(p PlaceID, t TransID) {
+	n.Places[p].Post = append(n.Places[p].Post, t)
+	n.Transitions[t].Pre = append(n.Transitions[t].Pre, p)
+}
+
+// ConnectTP adds an arc transition→place.
+func (n *Net) ConnectTP(t TransID, p PlaceID) {
+	n.Transitions[t].Post = append(n.Transitions[t].Post, p)
+	n.Places[p].Pre = append(n.Places[p].Pre, t)
+}
+
+// Arc adds a transition→transition arc through a fresh implicit place and
+// returns that place's id.
+func (n *Net) Arc(from, to TransID) PlaceID {
+	p := n.AddPlace(fmt.Sprintf("<%s,%s>", n.Transitions[from].Label, n.Transitions[to].Label))
+	n.Places[p].Implicit = true
+	n.ConnectTP(from, p)
+	n.ConnectPT(p, to)
+	return p
+}
+
+// TransitionByLabel returns the first transition with the given label.
+func (n *Net) TransitionByLabel(label string) (TransID, bool) {
+	for i, t := range n.Transitions {
+		if t.Label == label {
+			return TransID(i), true
+		}
+	}
+	return -1, false
+}
+
+// PlaceByName returns the place with the given name.
+func (n *Net) PlaceByName(name string) (PlaceID, bool) {
+	for i, p := range n.Places {
+		if p.Name == name {
+			return PlaceID(i), true
+		}
+	}
+	return -1, false
+}
+
+// Marking assigns a token count to every place (indexed by PlaceID).
+type Marking []uint8
+
+// NewMarking returns an empty marking sized for net n.
+func (n *Net) NewMarking() Marking { return make(Marking, len(n.Places)) }
+
+// Clone returns a copy of m.
+func (m Marking) Clone() Marking {
+	c := make(Marking, len(m))
+	copy(c, m)
+	return c
+}
+
+// Key returns a compact string key identifying the marking, usable as a
+// map key during reachability.
+func (m Marking) Key() string { return string(m) }
+
+// Equal reports whether two markings are identical.
+func (m Marking) Equal(o Marking) bool {
+	if len(m) != len(o) {
+		return false
+	}
+	for i := range m {
+		if m[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Enabled reports whether transition t may fire in marking m: every fanin
+// place holds at least one token.
+func (n *Net) Enabled(m Marking, t TransID) bool {
+	for _, p := range n.Transitions[t].Pre {
+		if m[p] == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// EnabledSet returns the ids of all transitions enabled in m, in id order.
+func (n *Net) EnabledSet(m Marking) []TransID {
+	var out []TransID
+	for t := range n.Transitions {
+		if n.Enabled(m, TransID(t)) {
+			out = append(out, TransID(t))
+		}
+	}
+	return out
+}
+
+// Fire fires transition t in marking m and returns the successor marking.
+// It panics if t is not enabled; callers check Enabled first.
+func (n *Net) Fire(m Marking, t TransID) Marking {
+	if !n.Enabled(m, t) {
+		panic(fmt.Sprintf("petri: firing disabled transition %q", n.Transitions[t].Label))
+	}
+	next := m.Clone()
+	for _, p := range n.Transitions[t].Pre {
+		next[p]--
+	}
+	for _, p := range n.Transitions[t].Post {
+		next[p]++
+	}
+	return next
+}
+
+// ErrUnbounded is returned by Reach when a place exceeds the bound.
+type ErrUnbounded struct {
+	Place string
+	Bound int
+}
+
+func (e ErrUnbounded) Error() string {
+	return fmt.Sprintf("petri: net is not %d-bounded at place %q", e.Bound, e.Place)
+}
+
+// ReachEdge is one firing in the reachability graph: from state From,
+// firing Trans reaches state To (states indexed into Reachability.States).
+type ReachEdge struct {
+	From, To int
+	Trans    TransID
+}
+
+// Reachability is the explicit reachability graph of a bounded net.
+type Reachability struct {
+	States []Marking
+	Edges  []ReachEdge
+	// Index maps a marking key to its state index.
+	Index map[string]int
+	// Out[i] lists the indices into Edges of state i's outgoing edges.
+	Out [][]int
+}
+
+// Reach exhaustively generates all markings reachable from the initial
+// marking, failing if any place accumulates more than bound tokens or if
+// more than maxStates states are generated (0 means no state cap).
+func (n *Net) Reach(bound int, maxStates int) (*Reachability, error) {
+	if len(n.Initial) != len(n.Places) {
+		return nil, fmt.Errorf("petri: initial marking covers %d of %d places", len(n.Initial), len(n.Places))
+	}
+	r := &Reachability{Index: make(map[string]int)}
+	push := func(m Marking) (int, error) {
+		for p, k := range m {
+			if int(k) > bound {
+				return 0, ErrUnbounded{Place: n.Places[p].Name, Bound: bound}
+			}
+		}
+		key := m.Key()
+		if i, ok := r.Index[key]; ok {
+			return i, nil
+		}
+		i := len(r.States)
+		if maxStates > 0 && i >= maxStates {
+			return 0, fmt.Errorf("petri: reachability exceeds %d states", maxStates)
+		}
+		r.States = append(r.States, m)
+		r.Out = append(r.Out, nil)
+		r.Index[key] = i
+		return i, nil
+	}
+	if _, err := push(n.Initial.Clone()); err != nil {
+		return nil, err
+	}
+	for i := 0; i < len(r.States); i++ {
+		m := r.States[i]
+		for _, t := range n.EnabledSet(m) {
+			j, err := push(n.Fire(m, t))
+			if err != nil {
+				return nil, err
+			}
+			r.Edges = append(r.Edges, ReachEdge{From: i, To: j, Trans: t})
+			r.Out[i] = append(r.Out[i], len(r.Edges)-1)
+		}
+	}
+	return r, nil
+}
+
+// Validate performs structural sanity checks: every transition has at
+// least one fanin and one fanout place, and every place name is unique.
+func (n *Net) Validate() error {
+	seen := make(map[string]bool, len(n.Places))
+	for _, p := range n.Places {
+		if seen[p.Name] {
+			return fmt.Errorf("petri: duplicate place name %q", p.Name)
+		}
+		seen[p.Name] = true
+	}
+	for _, t := range n.Transitions {
+		if len(t.Pre) == 0 {
+			return fmt.Errorf("petri: transition %q has no fanin place (never enabled after start)", t.Label)
+		}
+		if len(t.Post) == 0 {
+			return fmt.Errorf("petri: transition %q has no fanout place", t.Label)
+		}
+	}
+	return nil
+}
+
+// IsSafe reports whether the net is 1-bounded, by running reachability
+// with bound 1. maxStates caps the exploration.
+func (n *Net) IsSafe(maxStates int) (bool, error) {
+	_, err := n.Reach(1, maxStates)
+	if _, unbounded := err.(ErrUnbounded); unbounded {
+		return false, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// Live reports whether every transition fires in at least one reachable
+// marking (L1-liveness restricted to the generated graph).
+func (n *Net) Live(r *Reachability) []string {
+	fired := make([]bool, len(n.Transitions))
+	for _, e := range r.Edges {
+		fired[e.Trans] = true
+	}
+	var dead []string
+	for i, ok := range fired {
+		if !ok {
+			dead = append(dead, n.Transitions[i].Label)
+		}
+	}
+	sort.Strings(dead)
+	return dead
+}
+
+// String renders a short structural summary.
+func (n *Net) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "net %s: %d places, %d transitions", n.Name, len(n.Places), len(n.Transitions))
+	return b.String()
+}

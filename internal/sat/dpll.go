@@ -1,0 +1,421 @@
+package sat
+
+import (
+	"math"
+	"sort"
+)
+
+// Status is a solver outcome.
+type Status int
+
+const (
+	// Sat: a model was found.
+	Sat Status = iota
+	// Unsat: the formula was proven unsatisfiable.
+	Unsat
+	// BacktrackLimit: the search budget was exhausted before a verdict
+	// (the outcome Table 1 reports for the direct method on large
+	// instances).
+	BacktrackLimit
+)
+
+func (s Status) String() string {
+	switch s {
+	case Sat:
+		return "SAT"
+	case Unsat:
+		return "UNSAT"
+	case BacktrackLimit:
+		return "BACKTRACK-LIMIT"
+	}
+	return "?"
+}
+
+// Result carries the solver outcome and search statistics.
+type Result struct {
+	Status     Status
+	Model      []bool // valid when Status == Sat
+	Decisions  int64
+	Backtracks int64 // conflicts encountered
+	Props      int64
+	Learned    int64
+	Restarts   int64
+}
+
+// Limits bounds the search. Zero values mean unlimited.
+type Limits struct {
+	// MaxBacktracks bounds the number of conflicts (the branch-and-bound
+	// backtrack budget of the paper's experimental setup).
+	MaxBacktracks int64
+	MaxDecisions  int64
+}
+
+// Solve runs a conflict-driven DPLL procedure: two-watched-literal unit
+// propagation, first-UIP clause learning with non-chronological
+// backjumping, VSIDS-style activities, phase saving and geometric
+// restarts. This plays the role of the SIS branch-and-bound SAT program
+// in the paper's flow (which likewise backtracked non-chronologically);
+// exceeding the backtrack budget yields BacktrackLimit. The search is
+// deterministic.
+func Solve(f *Formula, lim Limits) Result {
+	if f.hasEmpty {
+		return Result{Status: Unsat}
+	}
+	s := newSolver(f)
+	return s.run(lim)
+}
+
+type clause struct {
+	lits    []Lit
+	learned bool
+}
+
+type solver struct {
+	f       *Formula
+	assign  []int8 // -1 unknown, 0 false, 1 true
+	level   []int32
+	reason  []int32 // clause index or -1
+	watches [][]int32
+	clauses []*clause
+	trail   []Lit
+	trailLo int
+	limits  []int // trail index where each decision level starts
+
+	activity []float64
+	actInc   float64
+	phase    []bool
+	order    []int // heap-free: sorted scan with lazy skip
+	res      Result
+
+	seen    []bool
+	tmpLits []Lit
+}
+
+func newSolver(f *Formula) *solver {
+	n := f.NumVars
+	s := &solver{
+		f:        f,
+		assign:   make([]int8, n),
+		level:    make([]int32, n),
+		reason:   make([]int32, n),
+		watches:  make([][]int32, 2*n),
+		activity: make([]float64, n),
+		actInc:   1,
+		phase:    make([]bool, n),
+		seen:     make([]bool, n),
+	}
+	for i := range s.assign {
+		s.assign[i] = -1
+		s.reason[i] = -1
+	}
+	posScore := make([]float64, n)
+	negScore := make([]float64, n)
+	for _, c := range f.Clauses {
+		w := math.Pow(2, -float64(len(c)))
+		for _, l := range c {
+			if l.Sign() {
+				negScore[l.Var()] += w
+			} else {
+				posScore[l.Var()] += w
+			}
+		}
+		cl := &clause{lits: append([]Lit(nil), c...)}
+		ci := int32(len(s.clauses))
+		s.clauses = append(s.clauses, cl)
+		if len(cl.lits) >= 2 {
+			s.watches[cl.lits[0]] = append(s.watches[cl.lits[0]], ci)
+			s.watches[cl.lits[1]] = append(s.watches[cl.lits[1]], ci)
+		}
+	}
+	s.order = make([]int, n)
+	for i := range s.order {
+		s.order[i] = i
+		s.activity[i] = posScore[i] + negScore[i]
+		switch f.Preferred(i) {
+		case 0:
+			s.phase[i] = false
+		case 1:
+			s.phase[i] = true
+		default:
+			s.phase[i] = posScore[i] >= negScore[i]
+		}
+	}
+	sort.SliceStable(s.order, func(a, b int) bool {
+		va, vb := s.order[a], s.order[b]
+		if s.activity[va] != s.activity[vb] {
+			return s.activity[va] > s.activity[vb]
+		}
+		return va < vb
+	})
+	return s
+}
+
+func (s *solver) value(l Lit) int8 {
+	v := s.assign[l.Var()]
+	if v < 0 {
+		return -1
+	}
+	if l.Sign() {
+		return 1 - v
+	}
+	return v
+}
+
+func (s *solver) decisionLevel() int { return len(s.limits) }
+
+func (s *solver) enqueue(l Lit, reason int32) bool {
+	switch s.value(l) {
+	case 1:
+		return true
+	case 0:
+		return false
+	}
+	v := l.Var()
+	if l.Sign() {
+		s.assign[v] = 0
+	} else {
+		s.assign[v] = 1
+	}
+	s.level[v] = int32(s.decisionLevel())
+	s.reason[v] = reason
+	s.trail = append(s.trail, l)
+	return true
+}
+
+// propagate runs unit propagation; returns the conflicting clause index
+// or -1.
+func (s *solver) propagate() int32 {
+	for s.trailLo < len(s.trail) {
+		l := s.trail[s.trailLo]
+		s.trailLo++
+		s.res.Props++
+		falsified := l.Neg()
+		ws := s.watches[falsified]
+		kept := ws[:0]
+		for i := 0; i < len(ws); i++ {
+			ci := ws[i]
+			cl := s.clauses[ci].lits
+			if cl[0] == falsified {
+				cl[0], cl[1] = cl[1], cl[0]
+			}
+			if s.value(cl[0]) == 1 {
+				kept = append(kept, ci)
+				continue
+			}
+			moved := false
+			for k := 2; k < len(cl); k++ {
+				if s.value(cl[k]) != 0 {
+					cl[1], cl[k] = cl[k], cl[1]
+					s.watches[cl[1]] = append(s.watches[cl[1]], ci)
+					moved = true
+					break
+				}
+			}
+			if moved {
+				continue
+			}
+			kept = append(kept, ci)
+			if !s.enqueue(cl[0], ci) {
+				kept = append(kept, ws[i+1:]...)
+				s.watches[falsified] = kept
+				return ci
+			}
+		}
+		s.watches[falsified] = kept
+	}
+	return -1
+}
+
+func (s *solver) bump(v int) {
+	s.activity[v] += s.actInc
+	if s.activity[v] > 1e100 {
+		for i := range s.activity {
+			s.activity[i] *= 1e-100
+		}
+		s.actInc *= 1e-100
+	}
+}
+
+// analyze performs first-UIP conflict analysis, returning the learned
+// clause (asserting literal first) and the backjump level.
+func (s *solver) analyze(confl int32) ([]Lit, int) {
+	learned := s.tmpLits[:0]
+	learned = append(learned, 0) // slot for the asserting literal
+	counter := 0
+	var p Lit = -1
+	idx := len(s.trail) - 1
+	reason := confl
+
+	for {
+		cl := s.clauses[reason].lits
+		start := 0
+		if p != -1 {
+			// Skip the asserting literal of the reason clause.
+			start = 1
+		}
+		for k := start; k < len(cl); k++ {
+			q := cl[k]
+			v := q.Var()
+			if s.seen[v] || s.level[v] == 0 {
+				continue
+			}
+			s.seen[v] = true
+			s.bump(v)
+			if int(s.level[v]) == s.decisionLevel() {
+				counter++
+			} else {
+				learned = append(learned, q)
+			}
+		}
+		// Find the next literal of the current level on the trail.
+		for !s.seen[s.trail[idx].Var()] {
+			idx--
+		}
+		p = s.trail[idx]
+		idx--
+		s.seen[p.Var()] = false
+		counter--
+		if counter == 0 {
+			break
+		}
+		reason = s.reason[p.Var()]
+	}
+	learned[0] = p.Neg()
+
+	// Backjump level: highest level among the other literals.
+	back := 0
+	for i := 1; i < len(learned); i++ {
+		if int(s.level[learned[i].Var()]) > back {
+			back = int(s.level[learned[i].Var()])
+		}
+	}
+	// Move one literal of the backjump level to position 1 for watching.
+	for i := 1; i < len(learned); i++ {
+		if int(s.level[learned[i].Var()]) == back {
+			learned[1], learned[i] = learned[i], learned[1]
+			break
+		}
+	}
+	for _, l := range learned {
+		s.seen[l.Var()] = false
+	}
+	s.tmpLits = learned
+	return learned, back
+}
+
+func (s *solver) cancelUntil(lvl int) {
+	if s.decisionLevel() <= lvl {
+		return
+	}
+	lo := s.limits[lvl]
+	for i := len(s.trail) - 1; i >= lo; i-- {
+		v := s.trail[i].Var()
+		s.phase[v] = s.assign[v] == 1
+		s.assign[v] = -1
+		s.reason[v] = -1
+	}
+	s.trail = s.trail[:lo]
+	s.trailLo = lo
+	s.limits = s.limits[:lvl]
+}
+
+func (s *solver) pickVar() int {
+	best, bestAct := -1, -1.0
+	for _, v := range s.order {
+		if s.assign[v] < 0 && s.activity[v] > bestAct {
+			best, bestAct = v, s.activity[v]
+		}
+	}
+	return best
+}
+
+func (s *solver) addLearned(lits []Lit) int32 {
+	cl := &clause{lits: append([]Lit(nil), lits...), learned: true}
+	ci := int32(len(s.clauses))
+	s.clauses = append(s.clauses, cl)
+	if len(cl.lits) >= 2 {
+		s.watches[cl.lits[0]] = append(s.watches[cl.lits[0]], ci)
+		s.watches[cl.lits[1]] = append(s.watches[cl.lits[1]], ci)
+	}
+	s.res.Learned++
+	return ci
+}
+
+func (s *solver) run(lim Limits) Result {
+	// Level-0 units.
+	for ci, c := range s.clauses {
+		if len(c.lits) == 1 {
+			if !s.enqueue(c.lits[0], int32(ci)) {
+				s.res.Status = Unsat
+				return s.res
+			}
+		}
+	}
+	if s.propagate() >= 0 {
+		s.res.Status = Unsat
+		return s.res
+	}
+
+	conflictsSinceRestart := int64(0)
+	restartLimit := int64(128)
+
+	for {
+		confl := s.propagate()
+		if confl >= 0 {
+			s.res.Backtracks++
+			conflictsSinceRestart++
+			if lim.MaxBacktracks > 0 && s.res.Backtracks > lim.MaxBacktracks {
+				s.res.Status = BacktrackLimit
+				return s.res
+			}
+			if s.decisionLevel() == 0 {
+				s.res.Status = Unsat
+				return s.res
+			}
+			learned, back := s.analyze(confl)
+			s.cancelUntil(back)
+			if len(learned) == 1 {
+				if !s.enqueue(learned[0], -1) {
+					s.res.Status = Unsat
+					return s.res
+				}
+			} else {
+				ci := s.addLearned(learned)
+				s.enqueue(learned[0], ci)
+			}
+			s.actInc /= 0.95
+			continue
+		}
+
+		if conflictsSinceRestart >= restartLimit {
+			conflictsSinceRestart = 0
+			restartLimit += restartLimit / 2
+			s.res.Restarts++
+			s.cancelUntil(0)
+			continue
+		}
+
+		v := s.pickVar()
+		if v < 0 {
+			s.res.Status = Sat
+			s.res.Model = make([]bool, s.f.NumVars)
+			for i, a := range s.assign {
+				s.res.Model[i] = a == 1
+			}
+			return s.res
+		}
+		s.res.Decisions++
+		if lim.MaxDecisions > 0 && s.res.Decisions > lim.MaxDecisions {
+			s.res.Status = BacktrackLimit
+			return s.res
+		}
+		var dec Lit
+		if s.phase[v] {
+			dec = PosLit(v)
+		} else {
+			dec = NegLit(v)
+		}
+		s.limits = append(s.limits, len(s.trail))
+		s.enqueue(dec, -1)
+	}
+}

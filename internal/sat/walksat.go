@@ -1,0 +1,154 @@
+package sat
+
+import "math/rand"
+
+// LocalSearchOptions tunes the WalkSAT-style solver.
+type LocalSearchOptions struct {
+	MaxFlips  int64   // total flip budget (default 200000)
+	Restarts  int     // random restarts (default 10)
+	Noise     float64 // probability of a random walk move (default 0.5)
+	Seed      int64   // RNG seed; runs are deterministic for a fixed seed
+	BreakTies bool    // pick lowest-index variable among ties instead of random
+}
+
+func (o LocalSearchOptions) withDefaults() LocalSearchOptions {
+	if o.MaxFlips == 0 {
+		o.MaxFlips = 200000
+	}
+	if o.Restarts == 0 {
+		o.Restarts = 10
+	}
+	if o.Noise == 0 {
+		o.Noise = 0.5
+	}
+	return o
+}
+
+// LocalSearch runs WalkSAT with the SKC break-count heuristic. It is an
+// incomplete solver: Sat when a model is found, BacktrackLimit when the
+// flip budget runs out (it can never prove Unsat). This engine follows
+// the local-search line of SAT work by the paper's second author.
+func LocalSearch(f *Formula, opt LocalSearchOptions) Result {
+	opt = opt.withDefaults()
+	if f.hasEmpty {
+		return Result{Status: Unsat}
+	}
+	if f.NumVars == 0 {
+		return Result{Status: Sat, Model: nil}
+	}
+	rng := rand.New(rand.NewSource(opt.Seed + 1))
+
+	// occ[l] lists clauses containing literal l.
+	occ := make([][]int32, 2*f.NumVars)
+	for ci, c := range f.Clauses {
+		for _, l := range c {
+			occ[l] = append(occ[l], int32(ci))
+		}
+	}
+
+	var res Result
+	model := make([]bool, f.NumVars)
+	trueCount := make([]int32, len(f.Clauses)) // satisfied literals per clause
+	var unsat []int32                          // indices of unsatisfied clauses
+	posInUnsat := make([]int32, len(f.Clauses))
+
+	litTrue := func(l Lit) bool { return model[l.Var()] != l.Sign() }
+	addUnsat := func(ci int32) {
+		posInUnsat[ci] = int32(len(unsat))
+		unsat = append(unsat, ci)
+	}
+	delUnsat := func(ci int32) {
+		p := posInUnsat[ci]
+		last := unsat[len(unsat)-1]
+		unsat[p] = last
+		posInUnsat[last] = p
+		unsat = unsat[:len(unsat)-1]
+	}
+	rebuild := func() {
+		unsat = unsat[:0]
+		for ci, c := range f.Clauses {
+			n := int32(0)
+			for _, l := range c {
+				if litTrue(l) {
+					n++
+				}
+			}
+			trueCount[ci] = n
+			if n == 0 {
+				addUnsat(int32(ci))
+			}
+		}
+	}
+	flip := func(v int) {
+		model[v] = !model[v]
+		var nowTrue, nowFalse Lit
+		if model[v] {
+			nowTrue, nowFalse = PosLit(v), NegLit(v)
+		} else {
+			nowTrue, nowFalse = NegLit(v), PosLit(v)
+		}
+		for _, ci := range occ[nowTrue] {
+			trueCount[ci]++
+			if trueCount[ci] == 1 {
+				delUnsat(ci)
+			}
+		}
+		for _, ci := range occ[nowFalse] {
+			trueCount[ci]--
+			if trueCount[ci] == 0 {
+				addUnsat(ci)
+			}
+		}
+	}
+	breakCount := func(v int) int {
+		// Clauses that become unsatisfied if v flips: currently satisfied
+		// only by v's current literal.
+		var cur Lit
+		if model[v] {
+			cur = PosLit(v)
+		} else {
+			cur = NegLit(v)
+		}
+		n := 0
+		for _, ci := range occ[cur] {
+			if trueCount[ci] == 1 {
+				n++
+			}
+		}
+		return n
+	}
+
+	for r := 0; r < opt.Restarts; r++ {
+		for v := range model {
+			model[v] = rng.Intn(2) == 1
+		}
+		rebuild()
+		budget := opt.MaxFlips / int64(opt.Restarts)
+		for fl := int64(0); fl < budget; fl++ {
+			if len(unsat) == 0 {
+				res.Status = Sat
+				res.Model = append([]bool(nil), model...)
+				return res
+			}
+			c := f.Clauses[unsat[rng.Intn(len(unsat))]]
+			// SKC: free move if some variable has break count 0.
+			bestV, bestB := -1, int(^uint(0)>>1)
+			for _, l := range c {
+				b := breakCount(l.Var())
+				if b < bestB || (b == bestB && opt.BreakTies && l.Var() < bestV) {
+					bestV, bestB = l.Var(), b
+				}
+			}
+			var pick int
+			if bestB == 0 || rng.Float64() >= opt.Noise {
+				pick = bestV
+			} else {
+				pick = c[rng.Intn(len(c))].Var()
+			}
+			flip(pick)
+			res.Decisions++
+		}
+	}
+	res.Status = BacktrackLimit
+	return res
+}

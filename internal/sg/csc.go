@@ -1,0 +1,135 @@
+package sg
+
+import (
+	"math/bits"
+	"sort"
+)
+
+// Pair is an unordered state pair (A < B, or A == B for a merged class
+// that is internally inconsistent).
+type Pair struct{ A, B int }
+
+// Conflicts is the result of CSC analysis on a state graph.
+type Conflicts struct {
+	// CSC lists pairs of states with equal full codes whose enabled
+	// non-input signal sets differ; their codes must be separated.
+	CSC []Pair
+	// USC lists the remaining pairs of distinct states with equal full
+	// codes (unique-state-coding violations that do not violate CSC).
+	USC []Pair
+	// LowerBound is the minimum number of state signals that could
+	// possibly separate the conflicting states: the maximum over code
+	// groups of ceil(log2(number of behaviour classes in the group)).
+	LowerBound int
+	// MaxGroup is the paper's Max_csc: the largest number of states
+	// sharing one code.
+	MaxGroup int
+}
+
+// N returns the number of CSC conflict pairs (the paper's N_csc).
+func (c *Conflicts) N() int { return len(c.CSC) }
+
+// Analyze performs full CSC analysis: states are grouped by full code
+// (base signals under the Active mask plus state-signal levels) and
+// compared by enabled non-input signal sets.
+func Analyze(g *Graph) *Conflicts {
+	groups := make(map[uint64][]int)
+	for s := range g.States {
+		c := g.FullCode(s)
+		groups[c] = append(groups[c], s)
+	}
+	keys := make([]uint64, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+
+	res := &Conflicts{}
+	for _, k := range keys {
+		states := groups[k]
+		if len(states) > res.MaxGroup {
+			res.MaxGroup = len(states)
+		}
+		// Behaviour classes within the group.
+		classOf := make([]uint64, len(states))
+		classes := make(map[uint64]bool)
+		for i, s := range states {
+			classOf[i] = g.EnabledNonInputs(s)
+			classes[classOf[i]] = true
+		}
+		for i := 0; i < len(states); i++ {
+			for j := i + 1; j < len(states); j++ {
+				p := Pair{states[i], states[j]}
+				if classOf[i] != classOf[j] {
+					res.CSC = append(res.CSC, p)
+				} else {
+					res.USC = append(res.USC, p)
+				}
+			}
+		}
+		if lb := ceilLog2(len(classes)); lb > res.LowerBound {
+			res.LowerBound = lb
+		}
+	}
+	return res
+}
+
+// OutputConflicts analyses CSC restricted to one non-input signal o: two
+// states conflict when they share a full code but imply different next
+// values for o. This is the per-output criterion used on modular state
+// graphs: o's logic function must be well defined on the visible code.
+// impliedOf gives the set of implied values for a state (a merged state
+// may carry both from its members; such a state conflicts with itself).
+func OutputConflicts(g *Graph, impliedOf func(state int) (has0, has1 bool)) *Conflicts {
+	groups := make(map[uint64][]int)
+	for s := range g.States {
+		c := g.FullCode(s)
+		groups[c] = append(groups[c], s)
+	}
+	keys := make([]uint64, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+
+	res := &Conflicts{}
+	for _, k := range keys {
+		states := groups[k]
+		if len(states) > res.MaxGroup {
+			res.MaxGroup = len(states)
+		}
+		type imp struct{ has0, has1 bool }
+		imps := make([]imp, len(states))
+		group0, group1 := false, false
+		for i, s := range states {
+			h0, h1 := impliedOf(s)
+			imps[i] = imp{h0, h1}
+			group0 = group0 || h0
+			group1 = group1 || h1
+			if h0 && h1 {
+				res.CSC = append(res.CSC, Pair{s, s})
+			}
+		}
+		for i := 0; i < len(states); i++ {
+			for j := i + 1; j < len(states); j++ {
+				p := Pair{states[i], states[j]}
+				if (imps[i].has0 && imps[j].has1) || (imps[i].has1 && imps[j].has0) {
+					res.CSC = append(res.CSC, p)
+				} else {
+					res.USC = append(res.USC, p)
+				}
+			}
+		}
+		if group0 && group1 && res.LowerBound == 0 {
+			res.LowerBound = 1
+		}
+	}
+	return res
+}
+
+func ceilLog2(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return bits.Len(uint(n - 1))
+}

@@ -1,0 +1,178 @@
+package sg
+
+import (
+	"fmt"
+	"sort"
+
+	"asyncsyn/internal/stg"
+)
+
+// Expand converts the 4-valued state-signal phase columns into explicit
+// binary signals by inserting their transitions into the state graph
+// (the paper's §3.5 expansion step). Each expanded state is an original
+// state plus a level vector x for the state signals; n_k+ fires where the
+// phase is Up and x_k is still 0, n_k− where Down and x_k is 1, and an
+// original edge fires only when every level is compatible with the
+// successor's phase (phase 0 needs x=0, phase 1 needs x=1, excited phases
+// accept either — the semi-modular serialisation of concurrent firing).
+// The result has no phase columns: state signals become non-input base
+// signals.
+func (g *Graph) Expand() (*Graph, error) {
+	m := len(g.StateSigs)
+	if len(g.Base)+m > MaxSignals {
+		return nil, fmt.Errorf("sg: expansion exceeds %d signals", MaxSignals)
+	}
+	if m == 0 {
+		c := g.Clone()
+		c.Origin = make([]int, len(g.States))
+		for i := range c.Origin {
+			c.Origin[i] = i
+		}
+		return c, nil
+	}
+
+	base := append([]SignalInfo(nil), g.Base...)
+	for _, ss := range g.StateSigs {
+		base = append(base, SignalInfo{Name: ss.Name, Input: false})
+	}
+	nb := len(g.Base)
+
+	ex := &Graph{
+		Name:   g.Name,
+		Base:   base,
+		Active: g.Active | (((uint64(1) << m) - 1) << nb),
+	}
+
+	type xstate struct {
+		orig int
+		x    uint64 // level bits of the state signals
+	}
+	index := make(map[xstate]int)
+	var pool []xstate
+	push := func(s xstate) int {
+		if i, ok := index[s]; ok {
+			return i
+		}
+		i := len(pool)
+		index[s] = i
+		pool = append(pool, s)
+		code := g.States[s.orig].Code | (s.x << nb)
+		ex.States = append(ex.States, State{Code: code})
+		ex.Out = append(ex.Out, nil)
+		ex.In = append(ex.In, nil)
+		ex.Origin = append(ex.Origin, s.orig)
+		return i
+	}
+
+	initLevels := func(st int) uint64 {
+		var x uint64
+		for k, ss := range g.StateSigs {
+			if ss.Phases[st].Level() == 1 {
+				x |= 1 << k
+			}
+		}
+		return x
+	}
+	compat := func(x uint64, st int) bool {
+		for k, ss := range g.StateSigs {
+			lvl := (x >> k) & 1
+			switch ss.Phases[st] {
+			case P0:
+				if lvl != 0 {
+					return false
+				}
+			case P1:
+				if lvl != 1 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+
+	ex.Initial = push(xstate{g.Initial, initLevels(g.Initial)})
+	for i := 0; i < len(pool); i++ {
+		cur := pool[i]
+		// State signal firings.
+		for k, ss := range g.StateSigs {
+			lvl := (cur.x >> k) & 1
+			switch {
+			case ss.Phases[cur.orig] == PUp && lvl == 0:
+				j := push(xstate{cur.orig, cur.x | 1<<k})
+				ex.addEdge(Edge{From: i, To: j, Sig: nb + k, Dir: stg.Rising})
+			case ss.Phases[cur.orig] == PDown && lvl == 1:
+				j := push(xstate{cur.orig, cur.x &^ (1 << k)})
+				ex.addEdge(Edge{From: i, To: j, Sig: nb + k, Dir: stg.Falling})
+			}
+		}
+		// Original edges, gated by successor-phase compatibility.
+		for _, ei := range g.Out[cur.orig] {
+			e := g.Edges[ei]
+			if !compat(cur.x, e.To) {
+				continue
+			}
+			j := push(xstate{e.To, cur.x})
+			ex.addEdge(Edge{From: i, To: j, Sig: e.Sig, Dir: e.Dir})
+		}
+	}
+	return ex, nil
+}
+
+// Table is a single-output truth table extracted from a state graph:
+// minterms over the named support variables. Codes not in On or Off are
+// don't-cares (unreachable or projected-away states).
+type Table struct {
+	Signal string
+	Vars   []string
+	On     []uint64
+	Off    []uint64
+}
+
+// FunctionTable derives the implied-value table of non-input signal sig
+// (an index into Base of an expanded, phase-free graph), projected onto
+// the support signals in supportMask (bits over Base). It fails if two
+// states project to the same code but imply different values — i.e. CSC
+// is not satisfied over that support.
+func (g *Graph) FunctionTable(sig int, supportMask uint64) (*Table, error) {
+	if len(g.StateSigs) > 0 {
+		return nil, fmt.Errorf("sg: FunctionTable requires an expanded graph")
+	}
+	var vars []int
+	for i := range g.Base {
+		if supportMask&(1<<i) != 0 {
+			vars = append(vars, i)
+		}
+	}
+	t := &Table{Signal: g.Base[sig].Name}
+	for _, v := range vars {
+		t.Vars = append(t.Vars, g.Base[v].Name)
+	}
+	seen := make(map[uint64]uint8) // projected code → implied value
+	var onSet, offSet []uint64
+	for s := range g.States {
+		var code uint64
+		for bi, v := range vars {
+			if g.States[s].Code&(1<<v) != 0 {
+				code |= 1 << bi
+			}
+		}
+		iv := g.ImpliedValue(s, sig)
+		if prev, ok := seen[code]; ok {
+			if prev != iv {
+				return nil, fmt.Errorf("sg: signal %q ill-defined on support (code %b implies both 0 and 1)",
+					g.Base[sig].Name, code)
+			}
+			continue
+		}
+		seen[code] = iv
+		if iv == 1 {
+			onSet = append(onSet, code)
+		} else {
+			offSet = append(offSet, code)
+		}
+	}
+	sort.Slice(onSet, func(i, j int) bool { return onSet[i] < onSet[j] })
+	sort.Slice(offSet, func(i, j int) bool { return offSet[i] < offSet[j] })
+	t.On, t.Off = onSet, offSet
+	return t, nil
+}

@@ -1,0 +1,92 @@
+package sg
+
+import "testing"
+
+func TestPersistencyCleanHandshake(t *testing.T) {
+	sgr, _ := FromSTG(parse(t, handshake), Options{})
+	if v := sgr.CheckPersistency(); len(v) != 0 {
+		t.Fatalf("handshake flagged: %v", v)
+	}
+	if !sgr.OutputPersistent() {
+		t.Fatalf("handshake not output persistent")
+	}
+}
+
+func TestPersistencyInputChoiceAllowed(t *testing.T) {
+	// Free choice between two inputs: firing one disables the other —
+	// reported, but as an allowed input choice.
+	src := `
+.model ch
+.inputs a b
+.outputs r
+.graph
+r+ P
+P a+ b+
+a+ a-
+b+ b-
+a- M
+b- M
+M r-
+r- r+
+.marking { <r-,r+> }
+.end
+`
+	sgr, err := FromSTG(parse(t, src), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs := sgr.CheckPersistency()
+	if len(vs) == 0 {
+		t.Fatalf("input choice not reported")
+	}
+	for _, v := range vs {
+		if !v.Input {
+			t.Fatalf("input choice misclassified: %v", v)
+		}
+		if v.String() == "" {
+			t.Fatalf("empty violation text")
+		}
+	}
+	if !sgr.OutputPersistent() {
+		t.Fatalf("input choices must not break output persistency")
+	}
+}
+
+func TestPersistencyOutputViolation(t *testing.T) {
+	// A choice place offering both an output (x+) and an input (b+):
+	// the environment firing b+ withdraws x+\'s excitation — a glitch.
+	src := `
+.model bad
+.inputs b
+.outputs a x
+.graph
+a+ P
+P x+ b+
+x+ a-
+a- x-
+x- M
+b+ a-/2
+a-/2 b-
+b- M
+M a+
+.marking { M }
+.end
+`
+	g := parse(t, src)
+	sgr, err := FromSTG(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sgr.OutputPersistent() {
+		t.Fatalf("output/input race not detected")
+	}
+	found := false
+	for _, v := range sgr.CheckPersistency() {
+		if !v.Input && v.Enabled == "x+" && v.Fired == "b+" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("expected x+ disabled by b+: %v", sgr.CheckPersistency())
+	}
+}

@@ -1,0 +1,127 @@
+// Package sg implements state graphs: the reachable-marking automata of
+// signal transition graphs with consistent binary state codes, CSC/USC
+// conflict analysis, ε-quotients (the paper's modular state graphs) with
+// the Figure-3 phase-merge calculus, state-signal expansion and implied
+// logic extraction.
+package sg
+
+import "fmt"
+
+// Phase is the 4-valued assignment a state signal takes in a state:
+// stable low (P0), stable high (P1), excited to rise (PUp: level still 0,
+// the + transition is enabled) or excited to fall (PDown: level still 1).
+type Phase uint8
+
+const (
+	P0 Phase = iota
+	P1
+	PUp
+	PDown
+)
+
+func (p Phase) String() string {
+	switch p {
+	case P0:
+		return "0"
+	case P1:
+		return "1"
+	case PUp:
+		return "Up"
+	case PDown:
+		return "Down"
+	}
+	return fmt.Sprintf("Phase(%d)", uint8(p))
+}
+
+// Level is the binary value a phase contributes to the state code:
+// an excited signal still holds its pre-transition level.
+func (p Phase) Level() uint8 {
+	if p == P1 || p == PDown {
+		return 1
+	}
+	return 0
+}
+
+// EdgeCompatible reports whether phase b may follow phase a along a state
+// graph edge that is not a transition of the state signal itself. The
+// allowed relation is
+//
+//	{(x,x)} ∪ {(0,Up), (Up,1), (1,Down), (Down,0)}
+//
+// It encodes both consistent state assignment (no 0→1 level jump without
+// an Up phase) and semi-modularity (an excited signal stays excited until
+// it fires: Up may not revert to 0, Down may not revert to 1). The
+// excluded pairs are exactly the paper's Figure 3 cases (j) and (k).
+func EdgeCompatible(a, b Phase) bool {
+	if a == b {
+		return true
+	}
+	switch a {
+	case P0:
+		return b == PUp
+	case PUp:
+		return b == P1
+	case P1:
+		return b == PDown
+	case PDown:
+		return b == P0
+	}
+	return false
+}
+
+// EdgeCompatibleIO refines EdgeCompatible for edges the circuit cannot
+// delay: input-signal transitions (and dummy events) are fired by the
+// environment, so an inserted signal's transition cannot be ordered
+// before them. Completing an excitation across such an edge — (Up,1) or
+// (Down,0) — would require exactly that ordering and is forbidden;
+// becoming excited across it — (0,Up), (1,Down) — is fine.
+func EdgeCompatibleIO(a, b Phase, inputEdge bool) bool {
+	if !EdgeCompatible(a, b) {
+		return false
+	}
+	if inputEdge && ((a == PUp && b == P1) || (a == PDown && b == P0)) {
+		return false
+	}
+	return true
+}
+
+// PhaseSet is a bitmask over the four phases.
+type PhaseSet uint8
+
+// Add returns s with phase p included.
+func (s PhaseSet) Add(p Phase) PhaseSet { return s | 1<<p }
+
+// Has reports whether p is in s.
+func (s PhaseSet) Has(p Phase) bool { return s&(1<<p) != 0 }
+
+// JoinPhases merges the phases of the states of an ε-connected class into
+// the single phase of the merged modular-graph state, per the paper's
+// Figure 3:
+//
+//	{x}              → x        (cases a–d)
+//	⊆{0,Up,1} with Up → Up       (cases f, g: the signal rises inside the class)
+//	⊆{1,Down,0} with Down → Down (cases h, i)
+//
+// Any other combination — {0,1} with no excitation, or both Up and Down
+// present (case e / j / k) — is inconsistent, and the signal whose
+// removal produced the class cannot be removed.
+func JoinPhases(s PhaseSet) (Phase, bool) {
+	if s == 0 {
+		return P0, false
+	}
+	hasUp, hasDown := s.Has(PUp), s.Has(PDown)
+	switch {
+	case hasUp && hasDown:
+		return P0, false
+	case hasUp:
+		return PUp, true
+	case hasDown:
+		return PDown, true
+	case s.Has(P0) && s.Has(P1):
+		return P0, false
+	case s.Has(P1):
+		return P1, true
+	default:
+		return P0, true
+	}
+}

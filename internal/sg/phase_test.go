@@ -1,0 +1,99 @@
+package sg
+
+import "testing"
+
+func TestPhaseLevel(t *testing.T) {
+	cases := []struct {
+		p    Phase
+		want uint8
+	}{
+		{P0, 0}, {P1, 1}, {PUp, 0}, {PDown, 1},
+	}
+	for _, c := range cases {
+		if got := c.p.Level(); got != c.want {
+			t.Errorf("Level(%v) = %d, want %d", c.p, got, c.want)
+		}
+	}
+}
+
+// TestEdgeCompatible pins the full 16-entry relation: the monotone phase
+// progression 0 → Up → 1 → Down → 0 plus stutter.
+func TestEdgeCompatible(t *testing.T) {
+	allowed := map[[2]Phase]bool{
+		{P0, P0}: true, {P1, P1}: true, {PUp, PUp}: true, {PDown, PDown}: true,
+		{P0, PUp}: true, {PUp, P1}: true, {P1, PDown}: true, {PDown, P0}: true,
+	}
+	phases := []Phase{P0, P1, PUp, PDown}
+	for _, a := range phases {
+		for _, b := range phases {
+			want := allowed[[2]Phase{a, b}]
+			if got := EdgeCompatible(a, b); got != want {
+				t.Errorf("EdgeCompatible(%v,%v) = %v, want %v", a, b, got, want)
+			}
+		}
+	}
+}
+
+// TestFigure3Cases exhaustively checks the ε-merge calculus against the
+// paper's Figure 3: cases (a)-(d) merge equal phases, (f)-(i) absorb an
+// adjacent stable phase into the excited one, and the remaining
+// combinations — (e), (j), (k) — are inconsistent.
+func TestFigure3Cases(t *testing.T) {
+	mk := func(ps ...Phase) PhaseSet {
+		var s PhaseSet
+		for _, p := range ps {
+			s = s.Add(p)
+		}
+		return s
+	}
+	cases := []struct {
+		name string
+		set  PhaseSet
+		want Phase
+		ok   bool
+	}{
+		{"a: {0}", mk(P0), P0, true},
+		{"b: {1}", mk(P1), P1, true},
+		{"c: {Up}", mk(PUp), PUp, true},
+		{"d: {Down}", mk(PDown), PDown, true},
+		{"f: {0,Up}", mk(P0, PUp), PUp, true},
+		{"g: {Up,1}", mk(PUp, P1), PUp, true},
+		{"h: {1,Down}", mk(P1, PDown), PDown, true},
+		{"i: {Down,0}", mk(PDown, P0), PDown, true},
+		{"chain {0,Up,1}", mk(P0, PUp, P1), PUp, true},
+		{"chain {1,Down,0}", mk(P1, PDown, P0), PDown, true},
+		{"e: {Up,Down}", mk(PUp, PDown), 0, false},
+		{"j: {0,1}", mk(P0, P1), 0, false},
+		{"k: {0,1,Up,Down}", mk(P0, P1, PUp, PDown), 0, false},
+		{"{Up,Down,0}", mk(PUp, PDown, P0), 0, false},
+		{"empty", 0, 0, false},
+	}
+	for _, c := range cases {
+		got, ok := JoinPhases(c.set)
+		if ok != c.ok || (ok && got != c.want) {
+			t.Errorf("%s: JoinPhases = %v,%v want %v,%v", c.name, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+// TestJoinConsistentWithEdgeRelation: any two phases adjacent under
+// EdgeCompatible must join consistently (ε-merging states along a
+// compatible edge is always legal), and the join must be one of the two.
+func TestJoinConsistentWithEdgeRelation(t *testing.T) {
+	phases := []Phase{P0, P1, PUp, PDown}
+	for _, a := range phases {
+		for _, b := range phases {
+			if !EdgeCompatible(a, b) {
+				continue
+			}
+			j, ok := JoinPhases(PhaseSet(0).Add(a).Add(b))
+			if !ok {
+				t.Errorf("compatible pair (%v,%v) fails to join", a, b)
+				continue
+			}
+			if j != a && j != b {
+				t.Errorf("join(%v,%v) = %v, not one of the operands", a, b, j)
+			}
+		}
+	}
+}

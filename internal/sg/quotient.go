@@ -1,0 +1,178 @@
+package sg
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Merged is the result of an ε-quotient: the modular state graph plus the
+// cover relation back to the originating graph (the paper's §3.4
+// definition: cover(M_k) is the merged state that M_k collapses into).
+type Merged struct {
+	Graph *Graph
+	Orig  *Graph
+	// Cover maps each original state index to its merged state index.
+	Cover []int
+	// Members lists, per merged state, the original states it covers.
+	Members [][]int
+}
+
+// Quotient silences the transitions of every base signal in silencedMask
+// (labelling them ε, together with any dummy edges), merges ε-connected
+// states, joins state-signal phases with the Figure-3 calculus, and
+// returns the modular state graph. ok is false when some ε-class has an
+// inconsistent phase join (the paper's guard: a signal whose removal puts
+// an Up and a Down of some state signal in one class cannot be removed).
+func (g *Graph) Quotient(silencedMask uint64) (m *Merged, ok bool) {
+	isEps := func(e Edge) bool {
+		return e.Sig < 0 || silencedMask&(1<<e.Sig) != 0
+	}
+
+	// Union-find over ε-connected states.
+	parent := make([]int, len(g.States))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			if ra > rb {
+				ra, rb = rb, ra
+			}
+			parent[rb] = ra
+		}
+	}
+	for _, e := range g.Edges {
+		if isEps(e) {
+			union(e.From, e.To)
+		}
+	}
+
+	// Number merged states in order of their smallest member.
+	index := make(map[int]int)
+	var members [][]int
+	cover := make([]int, len(g.States))
+	for s := range g.States {
+		r := find(s)
+		mi, seen := index[r]
+		if !seen {
+			mi = len(members)
+			index[r] = mi
+			members = append(members, nil)
+		}
+		cover[s] = mi
+		members[mi] = append(members[mi], s)
+	}
+
+	active := g.Active &^ silencedMask
+	mg := &Graph{
+		Name:    g.Name,
+		Base:    append([]SignalInfo(nil), g.Base...),
+		Active:  active,
+		States:  make([]State, len(members)),
+		Out:     make([][]int, len(members)),
+		In:      make([][]int, len(members)),
+		Initial: cover[g.Initial],
+	}
+
+	// Merged codes: members agree on all active bits because ε edges only
+	// move silenced signals.
+	for mi, ms := range members {
+		mg.States[mi] = State{Code: g.States[ms[0]].Code & active}
+	}
+
+	// Phase joins.
+	allOK := true
+	for _, ss := range g.StateSigs {
+		joined := make([]Phase, len(members))
+		for mi, ms := range members {
+			var set PhaseSet
+			for _, s := range ms {
+				set = set.Add(ss.Phases[s])
+			}
+			p, jok := JoinPhases(set)
+			if !jok {
+				allOK = false
+			}
+			joined[mi] = p
+		}
+		mg.StateSigs = append(mg.StateSigs, StateSignal{Name: ss.Name, Phases: joined})
+	}
+
+	// Edges: keep non-ε edges, re-pointed and deduplicated.
+	type ekey struct {
+		from, to, sig int
+		dir           int
+	}
+	seen := make(map[ekey]bool)
+	for _, e := range g.Edges {
+		if isEps(e) {
+			continue
+		}
+		ne := Edge{From: cover[e.From], To: cover[e.To], Sig: e.Sig, Dir: e.Dir}
+		if ne.From == ne.To {
+			// Impossible for active signals (the bit flips); defensive.
+			continue
+		}
+		k := ekey{ne.From, ne.To, ne.Sig, int(ne.Dir)}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		mg.addEdge(ne)
+	}
+
+	return &Merged{Graph: mg, Orig: g, Cover: cover, Members: members}, allOK
+}
+
+// ImpliedOf returns the per-merged-state implied-value probe for signal o
+// needed by OutputConflicts: the union of the implied values of the
+// covered original states.
+func (m *Merged) ImpliedOf(o int) func(state int) (has0, has1 bool) {
+	memo := make([][2]bool, len(m.Members))
+	for mi, ms := range m.Members {
+		for _, s := range ms {
+			if m.Orig.ImpliedValue(s, o) == 1 {
+				memo[mi][1] = true
+			} else {
+				memo[mi][0] = true
+			}
+		}
+	}
+	return func(state int) (bool, bool) { return memo[state][0], memo[state][1] }
+}
+
+// PropagateStateSignal copies the phases solved on the merged graph back
+// to every covered state of the original graph (the paper's propagate(),
+// Figure 5) and appends the signal to the original graph.
+func (m *Merged) PropagateStateSignal(name string, mergedPhases []Phase) error {
+	if len(mergedPhases) != len(m.Graph.States) {
+		return fmt.Errorf("sg: %d phases for %d merged states", len(mergedPhases), len(m.Graph.States))
+	}
+	phases := make([]Phase, len(m.Orig.States))
+	for s := range m.Orig.States {
+		phases[s] = mergedPhases[m.Cover[s]]
+	}
+	m.Orig.StateSigs = append(m.Orig.StateSigs, StateSignal{Name: name, Phases: phases})
+	return nil
+}
+
+// SignalNamesIn lists the base signal names selected by mask, sorted.
+func (g *Graph) SignalNamesIn(mask uint64) []string {
+	var out []string
+	for i, b := range g.Base {
+		if mask&(1<<i) != 0 {
+			out = append(out, b.Name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,103 @@
+package sg
+
+import (
+	"sort"
+
+	"asyncsyn/internal/stg"
+)
+
+// Region is a maximal connected set of states in which one transition of
+// a signal is enabled (an excitation region, ER) — the unit in which
+// state-signal insertion theory reasons about where a transition "lives".
+type Region struct {
+	Sig    int
+	Dir    stg.Dir
+	States []int
+}
+
+// ExcitationRegions returns the excitation regions of base signal sig:
+// the connected components (in the underlying undirected state graph) of
+// the set of states with an enabled sig-transition, split by direction.
+// A well-formed speed-independent specification has one region per
+// transition instance of the signal.
+func (g *Graph) ExcitationRegions(sig int) []Region {
+	// States where sig± is enabled.
+	enabled := make(map[int]stg.Dir)
+	for _, e := range g.Edges {
+		if e.Sig == sig {
+			enabled[e.From] = e.Dir
+		}
+	}
+	visited := make(map[int]bool)
+	var regions []Region
+	keys := make([]int, 0, len(enabled))
+	for s := range enabled {
+		keys = append(keys, s)
+	}
+	sort.Ints(keys)
+	for _, start := range keys {
+		if visited[start] {
+			continue
+		}
+		dir := enabled[start]
+		var comp []int
+		stack := []int{start}
+		visited[start] = true
+		for len(stack) > 0 {
+			s := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			comp = append(comp, s)
+			walk := func(other int) {
+				if d, ok := enabled[other]; ok && d == dir && !visited[other] {
+					visited[other] = true
+					stack = append(stack, other)
+				}
+			}
+			for _, ei := range g.Out[s] {
+				walk(g.Edges[ei].To)
+			}
+			for _, ei := range g.In[s] {
+				walk(g.Edges[ei].From)
+			}
+		}
+		sort.Ints(comp)
+		regions = append(regions, Region{Sig: sig, Dir: dir, States: comp})
+	}
+	sort.Slice(regions, func(i, j int) bool { return regions[i].States[0] < regions[j].States[0] })
+	return regions
+}
+
+// RegionStats summarises the excitation structure of the whole graph:
+// per signal, the number of rising and falling regions and the largest
+// region size. Signals whose region count exceeds their transition
+// instance count indicate fragmented (hazard-prone) excitation.
+type RegionStats struct {
+	Signal  string
+	Rising  int
+	Falling int
+	MaxSize int
+}
+
+// AllRegionStats computes RegionStats for every base signal.
+func (g *Graph) AllRegionStats() []RegionStats {
+	var out []RegionStats
+	for sig, b := range g.Base {
+		if g.Active&(1<<sig) == 0 {
+			continue
+		}
+		rs := g.ExcitationRegions(sig)
+		st := RegionStats{Signal: b.Name}
+		for _, r := range rs {
+			if r.Dir == stg.Rising {
+				st.Rising++
+			} else {
+				st.Falling++
+			}
+			if len(r.States) > st.MaxSize {
+				st.MaxSize = len(r.States)
+			}
+		}
+		out = append(out, st)
+	}
+	return out
+}

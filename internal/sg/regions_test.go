@@ -1,0 +1,108 @@
+package sg
+
+import (
+	"testing"
+
+	"asyncsyn/internal/stg"
+)
+
+func TestExcitationRegionsHandshake(t *testing.T) {
+	sgr, _ := FromSTG(parse(t, handshake), Options{})
+	ackIdx, _ := sgr.SignalIndex("ack")
+	regions := sgr.ExcitationRegions(ackIdx)
+	// One rising and one falling region, each a single state.
+	if len(regions) != 2 {
+		t.Fatalf("regions = %d, want 2", len(regions))
+	}
+	var rising, falling int
+	for _, r := range regions {
+		if len(r.States) != 1 {
+			t.Errorf("region size %d, want 1", len(r.States))
+		}
+		if r.Dir == stg.Rising {
+			rising++
+		} else {
+			falling++
+		}
+	}
+	if rising != 1 || falling != 1 {
+		t.Fatalf("rising %d falling %d", rising, falling)
+	}
+}
+
+func TestExcitationRegionsTwoPulse(t *testing.T) {
+	sgr, _ := FromSTG(parse(t, twoPulse), Options{})
+	bIdx, _ := sgr.SignalIndex("b")
+	regions := sgr.ExcitationRegions(bIdx)
+	// b has two rising and two falling transitions, all serial: 4 regions.
+	if len(regions) != 4 {
+		t.Fatalf("regions = %d, want 4", len(regions))
+	}
+	// Regions partition: no state in two regions of the same signal.
+	seen := make(map[int]bool)
+	for _, r := range regions {
+		for _, s := range r.States {
+			if seen[s] {
+				t.Fatalf("state %d in two regions", s)
+			}
+			seen[s] = true
+		}
+	}
+}
+
+func TestExcitationRegionsConcurrent(t *testing.T) {
+	// Concurrent fork: x+ is enabled across the whole diamond of the
+	// other branch — one region spanning several states.
+	src := `
+.model fork
+.inputs r
+.outputs x y
+.graph
+r+ x+ y+
+x+ r-
+y+ r-
+r- x- y-
+x- r+
+y- r+
+.marking { <x-,r+> <y-,r+> }
+.end
+`
+	sgr, err := FromSTG(parse(t, src), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	xIdx, _ := sgr.SignalIndex("x")
+	regions := sgr.ExcitationRegions(xIdx)
+	if len(regions) != 2 {
+		t.Fatalf("regions = %d, want 2 (one ER per transition)", len(regions))
+	}
+	for _, r := range regions {
+		// x+ stays enabled while y+ fires: the region has 2 states.
+		if len(r.States) != 2 {
+			t.Errorf("concurrent region size %d, want 2", len(r.States))
+		}
+	}
+}
+
+func TestAllRegionStats(t *testing.T) {
+	sgr, _ := FromSTG(parse(t, twoPulse), Options{})
+	stats := sgr.AllRegionStats()
+	if len(stats) != 2 {
+		t.Fatalf("stats for %d signals", len(stats))
+	}
+	for _, st := range stats {
+		switch st.Signal {
+		case "a":
+			if st.Rising != 1 || st.Falling != 1 {
+				t.Errorf("a: %+v", st)
+			}
+		case "b":
+			if st.Rising != 2 || st.Falling != 2 {
+				t.Errorf("b: %+v", st)
+			}
+		}
+		if st.MaxSize < 1 {
+			t.Errorf("%s: empty regions", st.Signal)
+		}
+	}
+}

@@ -1,0 +1,146 @@
+package sim
+
+import (
+	"testing"
+
+	"asyncsyn/internal/bench"
+	"asyncsyn/internal/core"
+	"asyncsyn/internal/logic"
+	"asyncsyn/internal/stg"
+)
+
+const handshake = `
+.model hs
+.inputs req
+.outputs ack
+.graph
+req+ ack+
+ack+ req-
+req- ack-
+ack- req+
+.marking { <ack-,req+> }
+.end
+`
+
+// buffer gate: ack = req.
+func bufferGate(name, input string, inverted bool) Gate {
+	c := logic.NewCube(1)
+	if inverted {
+		c.SetVar(0, logic.VFalse)
+	} else {
+		c.SetVar(0, logic.VTrue)
+	}
+	return Gate{Name: name, Inputs: []string{input}, Cover: logic.Cover{c}}
+}
+
+func TestCorrectBufferConforms(t *testing.T) {
+	spec, err := stg.ParseString(handshake)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &Circuit{Gates: []Gate{bufferGate("ack", "req", false)}}
+	v := Run(spec, c, map[string]bool{"req": false, "ack": false}, Options{})
+	if len(v) != 0 {
+		t.Fatalf("correct circuit flagged: %v", v)
+	}
+}
+
+func TestInvertedBufferViolates(t *testing.T) {
+	spec, err := stg.ParseString(handshake)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ack = req': immediately excited at reset, fires ack+ the
+	// specification does not enable.
+	c := &Circuit{Gates: []Gate{bufferGate("ack", "req", true)}}
+	v := Run(spec, c, map[string]bool{"req": false, "ack": false}, Options{})
+	if len(v) == 0 {
+		t.Fatalf("inverted circuit not flagged")
+	}
+	if v[0].Kind != "unexpected-output" || v[0].Signal != "ack" {
+		t.Fatalf("violation = %v", v[0])
+	}
+	if v[0].String() == "" {
+		t.Fatalf("empty violation description")
+	}
+}
+
+func TestRandomWalkAgreesWithExhaustive(t *testing.T) {
+	spec, _ := stg.ParseString(handshake)
+	good := &Circuit{Gates: []Gate{bufferGate("ack", "req", false)}}
+	if v := Run(spec, good, map[string]bool{}, Options{RandomWalks: 20, RandomSteps: 100, Seed: 5}); len(v) != 0 {
+		t.Fatalf("random walk flagged a correct circuit: %v", v)
+	}
+	bad := &Circuit{Gates: []Gate{bufferGate("ack", "req", true)}}
+	if v := Run(spec, bad, map[string]bool{}, Options{RandomWalks: 5, RandomSteps: 50, Seed: 5}); len(v) == 0 {
+		t.Fatalf("random walk missed the broken circuit")
+	}
+}
+
+// circuitOf adapts a synthesis result for simulation.
+func circuitOf(res *core.Result) (*Circuit, map[string]bool) {
+	c := &Circuit{}
+	for _, f := range res.Functions {
+		c.Gates = append(c.Gates, Gate{Name: f.Name, Inputs: f.Vars, Cover: f.Cover})
+	}
+	levels := map[string]bool{}
+	init := res.Expanded.States[res.Expanded.Initial].Code
+	for i, b := range res.Expanded.Base {
+		levels[b.Name] = init&(1<<i) != 0
+	}
+	return c, levels
+}
+
+// TestConformanceSuite closed-loop-simulates the synthesized circuit of
+// a representative set of benchmarks against its own specification: the
+// circuit may never produce an output the STG does not enable, and the
+// closed loop may never deadlock.
+func TestConformanceSuite(t *testing.T) {
+	for _, name := range []string{"vbe-ex1", "vbe-ex2", "wrdata", "fifo", "sendr-done",
+		"nousc-ser", "nouse", "atod", "sbuf-read-ctl", "sbuf-send-ctl", "pa", "alloc-outbound"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			spec, err := bench.Load(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := core.Synthesize(spec, core.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Aborted {
+				t.Fatal("aborted")
+			}
+			c, levels := circuitOf(res)
+			if v := Run(spec, c, levels, Options{MaxDepth: 50000}); len(v) != 0 {
+				t.Fatalf("conformance violations: %v", v)
+			}
+		})
+	}
+}
+
+// TestConformanceRandomBig samples trajectories on the big benchmarks
+// where exhaustive product exploration is too large.
+func TestConformanceRandomBig(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for _, name := range []string{"mmu1", "nak-pa", "sbuf-ram-write", "mmu0", "mr1", "mr0",
+		"vbe4a", "pe-rcv-ifc-fc", "ram-read-sbuf", "alex-nonfc", "sbuf-send-pkt2"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			spec, err := bench.Load(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := core.Synthesize(spec, core.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			c, levels := circuitOf(res)
+			if v := Run(spec, c, levels, Options{RandomWalks: 30, RandomSteps: 400, Seed: 7}); len(v) != 0 {
+				t.Fatalf("conformance violations: %v", v)
+			}
+		})
+	}
+}

@@ -1,0 +1,101 @@
+package stg
+
+import (
+	"fmt"
+	"sort"
+
+	"asyncsyn/internal/petri"
+)
+
+// Class is the structural Petri net class of an STG's underlying net —
+// the property that determines which 1990s synthesis methods apply to it
+// (the paper's §1: Lin/Vanbekbergen'92/Yu handle marked graphs, Lavagno
+// live-safe free choice, Vanbekbergen'92b and this paper general nets).
+type Class int
+
+const (
+	// MarkedGraph: every place has exactly one input and one output
+	// transition — pure concurrency, no choice.
+	MarkedGraph Class = iota
+	// StateMachine: every transition has exactly one input and one
+	// output place — pure choice, no concurrency.
+	StateMachine
+	// FreeChoice: whenever a place feeds several transitions, it is the
+	// only input place of each of them (choice is never controlled).
+	FreeChoice
+	// ExtendedFreeChoice: transitions sharing any input place share all
+	// of them.
+	ExtendedFreeChoice
+	// General: none of the above (non-free-choice, e.g. alex-nonfc).
+	General
+)
+
+func (c Class) String() string {
+	switch c {
+	case MarkedGraph:
+		return "marked graph"
+	case StateMachine:
+		return "state machine"
+	case FreeChoice:
+		return "free choice"
+	case ExtendedFreeChoice:
+		return "extended free choice"
+	case General:
+		return "general"
+	}
+	return fmt.Sprintf("Class(%d)", int(c))
+}
+
+// Classify determines the structural class of g's underlying net.
+func (g *G) Classify() Class {
+	mg, sm := true, true
+	for _, p := range g.Net.Places {
+		if len(p.Pre) != 1 || len(p.Post) != 1 {
+			mg = false
+		}
+	}
+	for _, t := range g.Net.Transitions {
+		if len(t.Pre) != 1 || len(t.Post) != 1 {
+			sm = false
+		}
+	}
+	switch {
+	case mg && sm:
+		return MarkedGraph // a simple cycle is both; report the MG view
+	case mg:
+		return MarkedGraph
+	case sm:
+		return StateMachine
+	}
+
+	fc, efc := true, true
+	presetKey := func(t petri.TransID) string {
+		pre := append([]petri.PlaceID(nil), g.Net.Transitions[t].Pre...)
+		sort.Slice(pre, func(a, b int) bool { return pre[a] < pre[b] })
+		return fmt.Sprint(pre)
+	}
+	for _, p := range g.Net.Places {
+		if len(p.Post) < 2 {
+			continue
+		}
+		for _, t := range p.Post {
+			if len(g.Net.Transitions[t].Pre) != 1 {
+				fc = false
+			}
+		}
+		// EFC: all successors of p have identical presets.
+		ref := presetKey(p.Post[0])
+		for _, t := range p.Post[1:] {
+			if presetKey(t) != ref {
+				efc = false
+			}
+		}
+	}
+	switch {
+	case fc:
+		return FreeChoice
+	case efc:
+		return ExtendedFreeChoice
+	}
+	return General
+}

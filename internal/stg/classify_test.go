@@ -1,0 +1,135 @@
+package stg
+
+import "testing"
+
+func classify(t *testing.T, src string) Class {
+	t.Helper()
+	g, err := ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g.Classify()
+}
+
+func TestClassifyMarkedGraph(t *testing.T) {
+	// A pure handshake cycle: every implicit place 1-in/1-out.
+	c := classify(t, `
+.model mg
+.inputs r
+.outputs a
+.graph
+r+ a+
+a+ r-
+r- a-
+a- r+
+.marking { <a-,r+> }
+.end
+`)
+	if c != MarkedGraph {
+		t.Fatalf("class = %v, want marked graph", c)
+	}
+	if c.String() != "marked graph" {
+		t.Fatalf("String = %q", c.String())
+	}
+}
+
+func TestClassifyMarkedGraphWithFork(t *testing.T) {
+	c := classify(t, `
+.model fork
+.inputs r
+.outputs a b
+.graph
+r+ a+ b+
+a+ r-
+b+ r-
+r- a- b-
+a- r+
+b- r+
+.marking { <a-,r+> <b-,r+> }
+.end
+`)
+	if c != MarkedGraph {
+		t.Fatalf("fork/join still a marked graph, got %v", c)
+	}
+}
+
+func TestClassifyFreeChoice(t *testing.T) {
+	// A free choice place plus a fork/join inside one branch (so the net
+	// is not also a state machine).
+	c := classify(t, `
+.model fc
+.inputs a b
+.outputs r x y
+.graph
+r+ P
+P a+ b+
+a+ a- x+
+a- y+
+x+ y+
+y+ x-
+x- y-
+y- M
+b+ b-
+b- M
+M r-
+r- r+
+.marking { <r-,r+> }
+.end
+`)
+	if c != FreeChoice {
+		t.Fatalf("class = %v, want free choice", c)
+	}
+}
+
+func TestClassifyGeneral(t *testing.T) {
+	// alex-nonfc-style asymmetric choice: P feeds a+ and b+, b+ also
+	// needs Q.
+	c := classify(t, `
+.model nfc
+.inputs a b
+.outputs r
+.graph
+r+ P
+P a+ b+
+Q b+
+a+ a-
+b+ b-
+b- Q
+a- M
+b- M
+M r-
+r- r+
+.marking { <r-,r+> Q }
+.end
+`)
+	if c != General {
+		t.Fatalf("class = %v, want general", c)
+	}
+}
+
+func TestClassifyStateMachine(t *testing.T) {
+	// Pure sequence through explicit places: every transition 1-in/1-out,
+	// with a choice place (so not a marked graph).
+	c := classify(t, `
+.model sm
+.inputs a b
+.outputs r
+.graph
+P0 a+ b+
+a+ P1
+b+ P2
+P1 a-
+P2 b-
+a- P3
+b- P3
+P3 r+
+r+ P4
+P4 r-
+r- P0
+.marking { P0 }
+.end
+`)
+	if c != StateMachine {
+		t.Fatalf("class = %v, want state machine", c)
+	}
+}

@@ -1,0 +1,113 @@
+package stg
+
+import "fmt"
+
+// Handshakes builds a master request/acknowledge cycle that forks k
+// concurrent slave handshakes once (rounds=1) or twice (rounds=2); with
+// two rounds the slave codes repeat across rounds, producing CSC
+// conflicts exactly like the mr/mmu benchmarks. The state count grows as
+// roughly 5^k per round.
+func Handshakes(name string, k, rounds int) (*G, error) {
+	if k < 1 || rounds < 1 || rounds > 2 {
+		return nil, fmt.Errorf("need 1..16 branches and 1 or 2 rounds")
+	}
+	if name == "" {
+		name = fmt.Sprintf("hs-%dx%d", k, rounds)
+	}
+	b := NewBuilder(name)
+	b.Inputs("r")
+	for i := 1; i <= k; i++ {
+		b.Inputs(fmt.Sprintf("t%d", i))
+	}
+	b.Outputs("a")
+	for i := 1; i <= k; i++ {
+		b.Outputs(fmt.Sprintf("s%d", i))
+	}
+	// fork runs one round of k concurrent slave handshakes between the
+	// master transitions `from` and `to`.
+	fork := func(from, to, suffix string) {
+		for i := 1; i <= k; i++ {
+			sPlus := fmt.Sprintf("s%d+%s", i, suffix)
+			tPlus := fmt.Sprintf("t%d+%s", i, suffix)
+			sMinus := fmt.Sprintf("s%d-%s", i, suffix)
+			tMinus := fmt.Sprintf("t%d-%s", i, suffix)
+			b.Arc(from, sPlus)
+			b.Chain(sPlus, tPlus, sMinus, tMinus)
+			b.Arc(tMinus, to)
+		}
+	}
+	fork("r+", "a+", "")
+	if rounds == 1 {
+		b.Chain("a+", "r-", "a-")
+	} else {
+		b.Arc("a+", "r-")
+		fork("r-", "a-", "/2")
+	}
+	b.Arc("a-", "r+")
+	b.Token("a-", "r+")
+	return b.Build()
+}
+
+// Ring builds an n-stage FIFO ring: stage i couples handshake (ri, ai)
+// to (r(i+1), a(i+1)); the first request is an input, everything else an
+// output. States grow with the product of stage positions.
+func Ring(name string, n int) (*G, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("need at least two stages")
+	}
+	if name == "" {
+		name = fmt.Sprintf("ring-%d", n)
+	}
+	b := NewBuilder(name)
+	b.Inputs("r1")
+	for i := 2; i <= n; i++ {
+		b.Outputs(fmt.Sprintf("r%d", i))
+	}
+	for i := 1; i <= n; i++ {
+		b.Outputs(fmt.Sprintf("a%d", i))
+	}
+	for i := 1; i <= n; i++ {
+		r := fmt.Sprintf("r%d", i)
+		a := fmt.Sprintf("a%d", i)
+		b.Chain(r+"+", a+"+", r+"-", a+"-")
+		b.Arc(a+"-", r+"+")
+		b.Token(a+"-", r+"+")
+		if i < n {
+			next := fmt.Sprintf("r%d", i+1)
+			b.Arc(a+"+", next+"+")
+			b.Arc(next+"+", a+"-")
+		}
+	}
+	return b.Build()
+}
+
+// Choice builds a free-choice controller: a request place offers k
+// alternative input branches, each acknowledged through its own
+// handshake before the paths merge.
+func Choice(name string, k int) (*G, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("need at least two branches")
+	}
+	if name == "" {
+		name = fmt.Sprintf("choice-%d", k)
+	}
+	b := NewBuilder(name)
+	b.Outputs("req", "ack")
+	froms := make([]string, 0, k)
+	tos := make([]string, 0, k)
+	for i := 1; i <= k; i++ {
+		c := fmt.Sprintf("c%d", i)
+		d := fmt.Sprintf("d%d", i)
+		b.Inputs(c)
+		b.Outputs(d)
+		b.Chain(c+"+", d+"+", c+"-", d+"-")
+		tos = append(tos, c+"+")
+		froms = append(froms, d+"-")
+	}
+	b.Place("psel", []string{"req+"}, tos)
+	b.Place("pmerge", froms, []string{"ack+"})
+	b.Chain("ack+", "req-", "ack-")
+	b.Arc("ack-", "req+")
+	b.Token("ack-", "req+")
+	return b.Build()
+}

@@ -1,0 +1,38 @@
+package stg
+
+import "testing"
+
+// TestRandomWellFormed: every seed yields a valid, consistent STG.
+func TestRandomWellFormed(t *testing.T) {
+	for seed := int64(0); seed < 200; seed++ {
+		g, err := Random(seed, RandomOptions{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if safe, err := g.Net.IsSafe(100000); err != nil || !safe {
+			t.Fatalf("seed %d: not safe (%v)", seed, err)
+		}
+		r, err := g.Net.Reach(1, 0)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if dead := g.Net.Live(r); len(dead) != 0 {
+			t.Fatalf("seed %d: dead transitions %v", seed, dead)
+		}
+	}
+}
+
+func TestRandomDeterministic(t *testing.T) {
+	a, _ := Random(7, RandomOptions{})
+	b, _ := Random(7, RandomOptions{})
+	if Format(a) != Format(b) {
+		t.Fatalf("same seed, different STG")
+	}
+	c, _ := Random(8, RandomOptions{})
+	if Format(a) == Format(c) {
+		t.Fatalf("different seeds, same STG")
+	}
+}

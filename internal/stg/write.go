@@ -1,0 +1,96 @@
+package stg
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"asyncsyn/internal/petri"
+)
+
+// Write renders g in the astg ".g" format accepted by Parse. Implicit
+// places with exactly one fanin and one fanout are rendered as direct
+// transition→transition arcs; all other places appear by name.
+func Write(w io.Writer, g *G) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, ".model %s\n", g.Name)
+	writeDecl := func(dir string, kind Kind) {
+		var names []string
+		for _, s := range g.Signals {
+			if s.Kind == kind {
+				names = append(names, s.Name)
+			}
+		}
+		if len(names) > 0 {
+			fmt.Fprintf(&b, ".%s %s\n", dir, strings.Join(names, " "))
+		}
+	}
+	writeDecl("inputs", Input)
+	writeDecl("outputs", Output)
+	writeDecl("internal", Internal)
+	var dummies []string
+	for t, l := range g.Labels {
+		if l.IsDummy() {
+			dummies = append(dummies, g.Net.Transitions[t].Label)
+		}
+	}
+	if len(dummies) > 0 {
+		fmt.Fprintf(&b, ".dummy %s\n", strings.Join(dummies, " "))
+	}
+
+	b.WriteString(".graph\n")
+	renderedAsArc := make([]bool, len(g.Net.Places))
+	for t := range g.Net.Transitions {
+		var targets []string
+		for _, p := range g.Net.Transitions[t].Post {
+			pl := g.Net.Places[p]
+			if pl.Implicit && len(pl.Pre) == 1 && len(pl.Post) == 1 {
+				targets = append(targets, g.Net.Transitions[pl.Post[0]].Label)
+				renderedAsArc[p] = true
+			} else {
+				targets = append(targets, pl.Name)
+			}
+		}
+		if len(targets) > 0 {
+			fmt.Fprintf(&b, "%s %s\n", g.Net.Transitions[t].Label, strings.Join(targets, " "))
+		}
+	}
+	for p, pl := range g.Net.Places {
+		if renderedAsArc[p] {
+			continue
+		}
+		var targets []string
+		for _, t := range pl.Post {
+			targets = append(targets, g.Net.Transitions[t].Label)
+		}
+		if len(targets) > 0 {
+			fmt.Fprintf(&b, "%s %s\n", pl.Name, strings.Join(targets, " "))
+		}
+	}
+
+	var marks []string
+	for p, k := range g.Net.Initial {
+		for i := 0; i < int(k); i++ {
+			marks = append(marks, markToken(g, petri.PlaceID(p), renderedAsArc[p]))
+		}
+	}
+	fmt.Fprintf(&b, ".marking { %s }\n.end\n", strings.Join(marks, " "))
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func markToken(g *G, p petri.PlaceID, asArc bool) string {
+	pl := g.Net.Places[p]
+	if asArc {
+		return fmt.Sprintf("<%s,%s>",
+			g.Net.Transitions[pl.Pre[0]].Label, g.Net.Transitions[pl.Post[0]].Label)
+	}
+	return pl.Name
+}
+
+// Format renders g as a string in .g format.
+func Format(g *G) string {
+	var sb strings.Builder
+	Write(&sb, g) // strings.Builder never errors
+	return sb.String()
+}

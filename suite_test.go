@@ -1,0 +1,43 @@
+package asyncsyn
+
+import (
+	"testing"
+
+	"asyncsyn/internal/bench"
+)
+
+// TestModularSuite runs modular synthesis over every reconstructed
+// benchmark and checks the invariants every successful run must satisfy.
+func TestModularSuite(t *testing.T) {
+	for _, name := range bench.Available() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			src, err := bench.Source(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			g, err := ParseSTGString(src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c, err := Synthesize(g, Options{Method: Modular})
+			if err != nil {
+				t.Fatalf("synthesize: %v", err)
+			}
+			if c.Aborted {
+				t.Fatalf("aborted (backtrack limit)")
+			}
+			if c.StateSignals < 1 {
+				t.Errorf("no state signals inserted")
+			}
+			if c.FinalStates < c.InitialStates {
+				t.Errorf("final states %d < initial %d", c.FinalStates, c.InitialStates)
+			}
+			if c.Area <= 0 {
+				t.Errorf("area %d", c.Area)
+			}
+			t.Logf("%s: %d→%d states, %d→%d signals, area %d, cpu %v",
+				name, c.InitialStates, c.FinalStates, c.InitialSignals, c.FinalSignals, c.Area, c.CPU)
+		})
+	}
+}
