@@ -112,6 +112,11 @@ const (
 	// to a BDD-based approach with further area reduction. Falls back to
 	// DPLL when the diagram exceeds its node budget.
 	BDD
+	// Portfolio races DPLL against WalkSAT concurrently per formula,
+	// preferring the complete engine's verdict deterministically and
+	// consulting WalkSAT's model only when DPLL exhausts its backtrack
+	// budget. Results never depend on goroutine timing.
+	Portfolio
 )
 
 // Options configures Synthesize.
@@ -137,6 +142,14 @@ type Options struct {
 	MaxStates int
 	// TokenBound is the per-place token bound (default 1: safe nets).
 	TokenBound int
+	// Workers bounds the worker pool used by the pipeline's independent
+	// stages — pre-sort conflict scans, whole-graph CSC analysis, and
+	// per-output logic derivation. 0 means GOMAXPROCS, 1 runs
+	// sequentially. The synthesized circuit (areas, covers, inserted
+	// signal names, clause counts) is bit-for-bit identical for every
+	// value: parallel stages always merge their results in a fixed
+	// order, never first-write-wins.
+	Workers int
 }
 
 // FormulaStat describes one SAT instance solved during synthesis.
@@ -147,6 +160,7 @@ type FormulaStat struct {
 	Clauses  int
 	Literals int
 	Status   string // "SAT", "UNSAT", "BACKTRACK-LIMIT"
+	Engine   string // engine that decided it (portfolio runs record the winner)
 	Time     time.Duration
 }
 
@@ -265,6 +279,7 @@ func synthesizeModular(s *STG, opt Options, start time.Time) (*Circuit, error) {
 		StateGraph:  sgOptions(opt),
 		FullSupport: opt.FullSupport,
 		ExactLogic:  opt.ExactMinimize,
+		Workers:     opt.Workers,
 	})
 	if err != nil {
 		return nil, err
@@ -346,7 +361,7 @@ func synthesizeWholeGraph(s *STG, opt Options, start time.Time) (*Circuit, error
 		Engine:        cscEngine(opt.Engine),
 		Encoding:      csc.Options{ExpandXor: opt.ExpandXor},
 		MaxBacktracks: opt.MaxBacktracks,
-	}, ExactLogic: opt.ExactMinimize}
+	}, ExactLogic: opt.ExactMinimize, Workers: opt.Workers}
 	expanded, _, fallback, expAborted, err := core.ExpandToCSC(full, coreOpt)
 	for _, f := range fallback {
 		c.Formulas = append(c.Formulas, formulaStat("", f))
@@ -396,6 +411,8 @@ func cscEngine(e Engine) csc.Engine {
 		return csc.WalkSAT
 	case BDD:
 		return csc.BDD
+	case Portfolio:
+		return csc.Portfolio
 	default:
 		return csc.DPLL
 	}
@@ -405,7 +422,7 @@ func formulaStat(output string, f csc.FormulaStats) FormulaStat {
 	return FormulaStat{
 		Output: output, Signals: f.Signals, Vars: f.Vars,
 		Clauses: f.Clauses, Literals: f.Literals,
-		Status: f.Status.String(), Time: f.SolveTime,
+		Status: f.Status.String(), Engine: f.Engine, Time: f.SolveTime,
 	}
 }
 

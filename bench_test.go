@@ -19,6 +19,7 @@ import (
 
 	"asyncsyn/internal/bench"
 	"asyncsyn/internal/csc"
+	"asyncsyn/internal/par"
 	"asyncsyn/internal/sg"
 )
 
@@ -80,6 +81,65 @@ func BenchmarkTable1Lavagno(b *testing.B) {
 	for _, name := range append(append([]string{}, bigRows...), fastRows...) {
 		b.Run(name, func(b *testing.B) {
 			benchSynth(b, name, Options{Method: Lavagno, MaxBacktracks: 300000})
+		})
+	}
+}
+
+// benchRowPool synthesizes every big Table-1 row once per iteration,
+// fanned out over a row-level pool of rowWorkers (the cmd/table1
+// -workers layout: a row pool >1 drops each synthesis to sequential
+// stages so the machine is not oversubscribed).
+func benchRowPool(b *testing.B, rowWorkers int) {
+	srcs := make([]string, len(bigRows))
+	for i, name := range bigRows {
+		src, err := bench.Source(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		srcs[i] = src
+	}
+	inner := 0
+	if par.Workers(rowWorkers) > 1 {
+		inner = 1
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := par.Map(len(srcs), rowWorkers, func(j int) (int, error) {
+			g, err := ParseSTGString(srcs[j])
+			if err != nil {
+				return 0, err
+			}
+			c, err := Synthesize(g, Options{Method: Modular, Workers: inner})
+			if err != nil {
+				return 0, err
+			}
+			return c.Area, nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkParallelTable1 measures the row-level worker pool on the big
+// Table-1 rows: all four synthesized one after another vs on a
+// GOMAXPROCS pool. Identical cells either way; only wall-clock moves.
+func BenchmarkParallelTable1(b *testing.B) {
+	b.Run("sequential", func(b *testing.B) { benchRowPool(b, 1) })
+	b.Run("pool", func(b *testing.B) { benchRowPool(b, 0) })
+}
+
+// BenchmarkParallelSynthesize measures the in-pipeline stage pool
+// (conflict scans, CSC analysis, per-signal logic derivation) on each
+// big row: Workers=1 vs Workers=GOMAXPROCS.
+func BenchmarkParallelSynthesize(b *testing.B) {
+	for _, name := range bigRows {
+		b.Run(name+"/workers=1", func(b *testing.B) {
+			benchSynth(b, name, Options{Method: Modular, Workers: 1})
+		})
+		b.Run(name+"/workers=max", func(b *testing.B) {
+			benchSynth(b, name, Options{Method: Modular, Workers: 0})
 		})
 	}
 }

@@ -3,9 +3,14 @@
 //
 // Usage:
 //
-//	modsyn [-method modular|direct|lavagno] [-engine dpll|walksat]
-//	       [-expandxor] [-fullsupport] [-v] file.g
+//	modsyn [-method modular|direct|lavagno] [-engine dpll|walksat|bdd|portfolio]
+//	       [-workers N] [-expandxor] [-fullsupport] [-v] file.g
 //	modsyn -bench name        # synthesize an embedded benchmark
+//
+// -workers N bounds the worker pool for the pipeline's parallel stages
+// (0 = GOMAXPROCS, 1 = sequential); the synthesized circuit is
+// identical for every value. -engine portfolio races DPLL against
+// WalkSAT per SAT formula with a deterministic winner.
 //
 // It prints the synthesized logic equations and the statistics the
 // paper's Table 1 reports: initial/final state and signal counts, the
@@ -23,7 +28,8 @@ import (
 
 func main() {
 	method := flag.String("method", "modular", "synthesis method: modular, direct or lavagno")
-	engine := flag.String("engine", "dpll", "constraint engine: dpll, walksat or bdd")
+	engine := flag.String("engine", "dpll", "constraint engine: dpll, walksat, bdd or portfolio (dpll raced against walksat, deterministic winner)")
+	workers := flag.Int("workers", 0, "worker pool for the parallel pipeline stages (0 = GOMAXPROCS, 1 = sequential; output is identical for any value)")
 	expandXor := flag.Bool("expandxor", false, "use the paper-style expanded CNF for separation constraints")
 	fullSupport := flag.Bool("fullsupport", false, "derive logic over all signals (disable input-set support restriction)")
 	benchName := flag.String("bench", "", "synthesize the named embedded benchmark instead of a file")
@@ -41,6 +47,7 @@ func main() {
 		FullSupport:   *fullSupport,
 		ExactMinimize: *exact,
 		MaxBacktracks: *maxBT,
+		Workers:       *workers,
 	}
 	switch *method {
 	case "modular":
@@ -59,6 +66,8 @@ func main() {
 		opt.Engine = asyncsyn.WalkSAT
 	case "bdd":
 		opt.Engine = asyncsyn.BDD
+	case "portfolio":
+		opt.Engine = asyncsyn.Portfolio
 	default:
 		fatalf("unknown engine %q", *engine)
 	}
@@ -144,8 +153,12 @@ func main() {
 			if out == "" {
 				out = "(global)"
 			}
-			fmt.Printf("  %-10s m=%d  %5d vars %7d clauses  %s  %v\n",
-				out, f.Signals, f.Vars, f.Clauses, f.Status, f.Time)
+			eng := f.Engine
+			if eng == "" {
+				eng = "dpll"
+			}
+			fmt.Printf("  %-10s m=%d  %5d vars %7d clauses  %s  %s  %v\n",
+				out, f.Signals, f.Vars, f.Clauses, f.Status, eng, f.Time)
 		}
 	}
 }

@@ -10,6 +10,12 @@
 //	table1 -clauses         # SAT formula sizes: direct vs modular
 //	table1 -summary         # area/time ratios (the paper's 12%/9% claims)
 //	table1 -bench mr0       # a single row
+//	table1 -workers 8       # synthesize benchmark rows on a worker pool
+//
+// -workers N (0 = GOMAXPROCS, 1 = sequential) fans the independent
+// benchmark rows out over a bounded worker pool; rows are always
+// printed in table order and every cell is identical to a sequential
+// run — the pool changes wall-clock only.
 package main
 
 import (
@@ -20,6 +26,7 @@ import (
 
 	"asyncsyn"
 	"asyncsyn/internal/bench"
+	"asyncsyn/internal/par"
 )
 
 func main() {
@@ -27,6 +34,7 @@ func main() {
 	summary := flag.Bool("summary", false, "print aggregate area/time comparisons")
 	one := flag.String("bench", "", "run a single benchmark")
 	maxBT := flag.Int64("maxbacktracks", 300000, "SAT backtrack budget per formula")
+	workers := flag.Int("workers", 0, "worker pool over benchmark rows (0 = GOMAXPROCS, 1 = sequential; cells are identical for any value)")
 	flag.Parse()
 
 	names := bench.Names()
@@ -36,11 +44,11 @@ func main() {
 
 	switch {
 	case *clauses:
-		clauseTable(names, *maxBT)
+		clauseTable(names, *maxBT, *workers)
 	case *summary:
-		summaryTable(names, *maxBT)
+		summaryTable(names, *maxBT, *workers)
 	default:
-		fullTable(names, *maxBT)
+		fullTable(names, *maxBT, *workers)
 	}
 }
 
@@ -49,7 +57,7 @@ type run struct {
 	err error
 }
 
-func synth(name string, method asyncsyn.Method, maxBT int64) run {
+func synth(name string, method asyncsyn.Method, maxBT int64, workers int) run {
 	src, err := bench.Source(name)
 	if err != nil {
 		return run{err: err}
@@ -58,8 +66,36 @@ func synth(name string, method asyncsyn.Method, maxBT int64) run {
 	if err != nil {
 		return run{err: err}
 	}
-	c, err := asyncsyn.Synthesize(g, asyncsyn.Options{Method: method, MaxBacktracks: maxBT})
+	c, err := asyncsyn.Synthesize(g, asyncsyn.Options{Method: method, MaxBacktracks: maxBT, Workers: workers})
 	return run{c: c, err: err}
+}
+
+// rowRuns holds the three method runs of one table row.
+type rowRuns struct{ m, d, l run }
+
+// innerWorkers picks the per-synthesis stage-pool budget: when the rows
+// themselves fan out, each synthesis runs its stages sequentially (the
+// row pool already saturates the cores); when rows are sequential, the
+// stage pool gets the whole machine.
+func innerWorkers(rowWorkers int) int {
+	if par.Workers(rowWorkers) > 1 {
+		return 1
+	}
+	return 0
+}
+
+// computeRows synthesizes every row on the worker pool; results come
+// back in table order regardless of which worker finished first.
+func computeRows(names []string, maxBT int64, workers int) []rowRuns {
+	inner := innerWorkers(workers)
+	rows, _ := par.Map(len(names), workers, func(i int) (rowRuns, error) {
+		return rowRuns{
+			m: synth(names[i], asyncsyn.Modular, maxBT, inner),
+			d: synth(names[i], asyncsyn.Direct, maxBT, inner),
+			l: synth(names[i], asyncsyn.Lavagno, maxBT, inner),
+		}, nil
+	})
+	return rows
 }
 
 func cell(r run) (states, signals, area, cpu string) {
@@ -74,7 +110,8 @@ func cell(r run) (states, signals, area, cpu string) {
 	}
 }
 
-func fullTable(names []string, maxBT int64) {
+func fullTable(names []string, maxBT int64, workers int) {
+	rows := computeRows(names, maxBT, workers)
 	fmt.Println("Table 1 reproduction (reconstructed suite; paper numbers in parentheses)")
 	fmt.Printf("%-16s %11s | %21s | %21s | %21s\n",
 		"", "initial", "modular (ours)", "direct (Vanbekbergen)", "lavagno-style")
@@ -83,11 +120,9 @@ func fullTable(names []string, maxBT int64) {
 		"st", "sig", "area", "cpu",
 		"st", "sig", "area", "cpu",
 		"st", "sig", "area", "cpu")
-	for _, name := range names {
+	for i, name := range names {
 		e, _ := bench.Find(name)
-		m := synth(name, asyncsyn.Modular, maxBT)
-		d := synth(name, asyncsyn.Direct, maxBT)
-		l := synth(name, asyncsyn.Lavagno, maxBT)
+		m, d, l := rows[i].m, rows[i].d, rows[i].l
 		if m.err != nil {
 			fmt.Fprintf(os.Stderr, "table1: %s modular: %v\n", name, m.err)
 		}
@@ -139,11 +174,12 @@ func paperCPU(p bench.Paper) string {
 	return fmt.Sprintf("%.2f", p.CPU)
 }
 
-func clauseTable(names []string, maxBT int64) {
+func clauseTable(names []string, maxBT int64, workers int) {
 	fmt.Println("SAT formula sizes: direct whole-graph formula vs modular formulas")
 	fmt.Println("(paper-style expanded CNF — no auxiliary variables — as in the")
 	fmt.Println(" mmu0 claim: a 35,386-clause direct formula vs three small ones)")
 	fmt.Printf("%-16s | %10s %10s | %s\n", "STG", "direct-cls", "direct-var", "modular formulas (clauses/vars each)")
+	inner := innerWorkers(workers)
 	synthX := func(name string, method asyncsyn.Method) run {
 		src, err := bench.Source(name)
 		if err != nil {
@@ -153,12 +189,15 @@ func clauseTable(names []string, maxBT int64) {
 		if err != nil {
 			return run{err: err}
 		}
-		c, err := asyncsyn.Synthesize(g, asyncsyn.Options{Method: method, MaxBacktracks: maxBT, ExpandXor: true})
+		c, err := asyncsyn.Synthesize(g, asyncsyn.Options{Method: method, MaxBacktracks: maxBT, ExpandXor: true, Workers: inner})
 		return run{c: c, err: err}
 	}
-	for _, name := range names {
-		d := synthX(name, asyncsyn.Direct)
-		m := synthX(name, asyncsyn.Modular)
+	type pair struct{ d, m run }
+	rows, _ := par.Map(len(names), workers, func(i int) (pair, error) {
+		return pair{d: synthX(names[i], asyncsyn.Direct), m: synthX(names[i], asyncsyn.Modular)}, nil
+	})
+	for i, name := range names {
+		d, m := rows[i].d, rows[i].m
 		dc, dv := "-", "-"
 		if d.err == nil && len(d.c.Formulas) > 0 {
 			// Largest formula attempted by the direct method.
@@ -180,23 +219,24 @@ func clauseTable(names []string, maxBT int64) {
 	}
 }
 
-func summaryTable(names []string, maxBT int64) {
+func summaryTable(names []string, maxBT int64, workers int) {
+	rows := computeRows(names, maxBT, workers)
 	var areaMD, areaD, areaML, areaL int
 	var cpuMD, cpuD, cpuML, cpuL time.Duration
 	var nD, nL int
-	for _, name := range names {
-		m := synth(name, asyncsyn.Modular, maxBT)
+	for i := range names {
+		m := rows[i].m
 		if m.err != nil || m.c.Aborted {
 			continue
 		}
-		if d := synth(name, asyncsyn.Direct, maxBT); d.err == nil && !d.c.Aborted {
+		if d := rows[i].d; d.err == nil && !d.c.Aborted {
 			areaMD += m.c.Area
 			areaD += d.c.Area
 			cpuMD += m.c.CPU
 			cpuD += d.c.CPU
 			nD++
 		}
-		if l := synth(name, asyncsyn.Lavagno, maxBT); l.err == nil && !l.c.Aborted {
+		if l := rows[i].l; l.err == nil && !l.c.Aborted {
 			areaML += m.c.Area
 			areaL += l.c.Area
 			cpuML += m.c.CPU

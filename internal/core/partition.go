@@ -17,6 +17,10 @@ type SATOptions struct {
 	MaxSignals    int   // per modular graph; default 6
 	NamePrefix    string
 	BDDNodeLimit  int // BDD engine budget; default one million nodes
+	// Workers bounds the worker pool for the conflict scans inside the
+	// partition pass (0 = GOMAXPROCS, 1 = sequential); it has no effect
+	// on results, only on wall-clock.
+	Workers int
 }
 
 // solveOptions adapts SATOptions to the csc attempt interface.
@@ -69,7 +73,7 @@ func PartitionSAT(g *sg.Graph, is InputSet, opt SATOptions) (*PartitionResult, e
 		MergedStates: merged.Graph.NumStates(),
 		MergedEdges:  len(merged.Graph.Edges),
 	}
-	conf := sg.OutputConflicts(merged.Graph, merged.ImpliedOf(is.Output))
+	conf := sg.OutputConflictsWorkers(merged.Graph, merged.ImpliedOf(is.Output), opt.Workers)
 	res.Ncsc, res.Lb = conf.N(), conf.LowerBound
 	if conf.N() == 0 {
 		return res, nil
@@ -118,7 +122,7 @@ func PartitionSAT(g *sg.Graph, is InputSet, opt SATOptions) (*PartitionResult, e
 	implied := merged.ImpliedOf(is.Output)
 	before := len(merged.Graph.StateSigs)
 	inserted, stats, aborted, err := csc.InsertIncremental(merged.Graph,
-		func() *sg.Conflicts { return sg.OutputConflicts(merged.Graph, implied) },
+		func() *sg.Conflicts { return sg.OutputConflictsWorkers(merged.Graph, implied, opt.Workers) },
 		opt.solveOptions(), opt.MaxSignals)
 	res.Formulas = append(res.Formulas, stats...)
 	if aborted {

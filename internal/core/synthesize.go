@@ -7,6 +7,7 @@ import (
 
 	"asyncsyn/internal/csc"
 	"asyncsyn/internal/logic"
+	"asyncsyn/internal/par"
 	"asyncsyn/internal/sat"
 	"asyncsyn/internal/sg"
 	"asyncsyn/internal/stg"
@@ -30,10 +31,22 @@ type Options struct {
 	// exact strategy) instead of the ESPRESSO heuristic loop, falling
 	// back to the heuristic when prime enumeration explodes.
 	ExactLogic bool
+	// Workers bounds the worker pool used by the pipeline's independent
+	// stages (pre-sort conflict scans, whole-graph CSC analysis, and
+	// per-signal logic derivation). 0 means GOMAXPROCS; 1 runs
+	// sequentially. The synthesized circuit is bit-for-bit identical for
+	// every value — parallel stages always reduce in a fixed order
+	// (DESIGN.md §3.8).
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
 	o.SAT = o.SAT.withDefaults()
+	if o.SAT.Workers == 0 {
+		// The partition passes inherit the pipeline's worker budget
+		// unless explicitly overridden.
+		o.SAT.Workers = o.Workers
+	}
 	if o.MaxExpandIters == 0 {
 		o.MaxExpandIters = 3
 	}
@@ -121,15 +134,30 @@ func Synthesize(spec *stg.G, opt Options) (*Result, error) {
 	// Figure 5) resolve most of the remaining outputs' conflicts for
 	// free. The reverse order forces one module to invent several
 	// entangled signals at once, which measurably degrades area.
+	//
+	// Each output's conflict count is computed exactly once, with the
+	// independent full-graph scans fanned out over the worker pool (the
+	// comparator itself must stay cheap: it runs O(n log n) times).
 	outs := nonInputsByName(full)
-	sort.SliceStable(outs, func(i, j int) bool {
-		ni, _ := outputStats(full, nil, outs[i])
-		nj, _ := outputStats(full, nil, outs[j])
-		if ni != nj {
-			return ni > nj
-		}
-		return full.Base[outs[i]].Name < full.Base[outs[j]].Name
+	counts, _ := par.Map(len(outs), opt.Workers, func(i int) (int, error) {
+		n, _ := outputStats(full, nil, outs[i])
+		return n, nil
 	})
+	order := make([]int, len(outs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		if counts[order[i]] != counts[order[j]] {
+			return counts[order[i]] > counts[order[j]]
+		}
+		return full.Base[outs[order[i]]].Name < full.Base[outs[order[j]]].Name
+	})
+	sorted := make([]int, len(outs))
+	for i, oi := range order {
+		sorted[i] = outs[oi]
+	}
+	outs = sorted
 	supports := make(map[int]InputSet)
 	passSigs := make(map[int][]string) // output → state-signal names kept or added in its pass
 	for _, o := range outs {
@@ -185,7 +213,7 @@ func Synthesize(spec *stg.G, opt Options) (*Result, error) {
 	// Residual whole-graph conflicts (the integration of local solutions
 	// is not guaranteed optimal or even complete in theory; in practice
 	// this pass is a no-op).
-	if conf := sg.Analyze(full); conf.N() > 0 {
+	if conf := sg.AnalyzeWorkers(full, opt.Workers); conf.N() > 0 {
 		dr, err := csc.Solve(full, csc.SolveOptions{
 			Engine: opt.SAT.Engine, Encoding: opt.SAT.Encoding,
 			MaxBacktracks: opt.SAT.MaxBacktracks, NamePrefix: opt.SAT.NamePrefix,
@@ -254,7 +282,9 @@ func ExpandToCSC(g *sg.Graph, opt Options) (expanded *sg.Graph, iters int, fallb
 		if err != nil {
 			return nil, iters, fallback, false, err
 		}
-		conf := sg.Analyze(expanded)
+		// The expanded graph is the largest object in the pipeline; its
+		// conflict scan fans out over the code groups.
+		conf := sg.AnalyzeWorkers(expanded, opt.Workers)
 		if conf.N() == 0 {
 			return expanded, iters, fallback, false, nil
 		}
@@ -409,6 +439,11 @@ func overlapUSC(g *sg.Graph, cscPairs []sg.Pair) []sg.Pair {
 // their pass), falling back to wider supports if the restricted table is
 // ill defined; inserted state signals and any signal without a record use
 // the full support.
+//
+// Every signal's cover is independent of the others, so the table
+// extraction and ESPRESSO minimization fan out over the worker pool and
+// the functions are collected in sorted-name order — the same order the
+// sequential loop produced.
 func DeriveLogic(expanded, full *sg.Graph, supports map[int]InputSet, passSigs map[int][]string, opt Options) ([]Function, error) {
 	nb := len(full.Base)
 	fullMask := uint64(0)
@@ -416,8 +451,9 @@ func DeriveLogic(expanded, full *sg.Graph, supports map[int]InputSet, passSigs m
 		fullMask |= 1 << i
 	}
 
-	var fns []Function
-	for _, sigIdx := range nonInputsByName(expanded) {
+	sigs := nonInputsByName(expanded)
+	fns, err := par.Map(len(sigs), opt.Workers, func(si int) (Function, error) {
+		sigIdx := sigs[si]
 		var masks []uint64
 		if is, ok := supportFor(expanded, full, sigIdx, supports); ok && !opt.FullSupport {
 			restricted := is.Mask | 1<<uint(sigIdx)
@@ -446,7 +482,7 @@ func DeriveLogic(expanded, full *sg.Graph, supports map[int]InputSet, passSigs m
 			}
 		}
 		if err != nil {
-			return nil, err
+			return Function{}, err
 		}
 		spec := logic.Spec{NumVars: len(tbl.Vars), On: tbl.On, Off: tbl.Off}
 		var cover logic.Cover
@@ -459,9 +495,12 @@ func DeriveLogic(expanded, full *sg.Graph, supports map[int]InputSet, passSigs m
 			cover, err = logic.Minimize(spec, opt.Logic)
 		}
 		if err != nil {
-			return nil, fmt.Errorf("minimizing %q: %w", tbl.Signal, err)
+			return Function{}, fmt.Errorf("minimizing %q: %w", tbl.Signal, err)
 		}
-		fns = append(fns, Function{Name: tbl.Signal, Vars: tbl.Vars, Cover: cover})
+		return Function{Name: tbl.Signal, Vars: tbl.Vars, Cover: cover}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return fns, nil
 }

@@ -2,9 +2,11 @@ package csc
 
 import (
 	"errors"
+	"sync/atomic"
 	"time"
 
 	"asyncsyn/internal/bdd"
+	"asyncsyn/internal/par"
 	"asyncsyn/internal/sat"
 	"asyncsyn/internal/sg"
 )
@@ -15,7 +17,8 @@ import (
 // (grow m) or BacktrackLimit (budget exhausted — abort). The BDD engine
 // falls back to DPLL transparently when its node limit is hit, and
 // returns globally minimum-excitation models, so Tighten is applied only
-// to SAT-engine models.
+// to SAT-engine models. The Portfolio engine races DPLL against WalkSAT
+// concurrently with a deterministic winner (see Engine).
 func Attempt(g *sg.Graph, conf *sg.Conflicts, m int, opt SolveOptions) ([][]sg.Phase, FormulaStats, error) {
 	opt = opt.withDefaults()
 	start := time.Now()
@@ -24,7 +27,7 @@ func Attempt(g *sg.Graph, conf *sg.Conflicts, m int, opt SolveOptions) ([][]sg.P
 		cols, err := SolveBDD(g, conf, m, opt.BDDNodeLimit)
 		stats := FormulaStats{
 			Signals: m, Vars: 2 * m * len(g.States),
-			SolveTime: time.Since(start),
+			SolveTime: time.Since(start), Engine: "bdd",
 		}
 		switch {
 		case err == nil:
@@ -45,14 +48,45 @@ func Attempt(g *sg.Graph, conf *sg.Conflicts, m int, opt SolveOptions) ([][]sg.P
 		return nil, FormulaStats{}, err
 	}
 	var r sat.Result
-	if opt.Engine == WalkSAT {
+	engine := "dpll"
+	switch opt.Engine {
+	case WalkSAT:
 		r = sat.LocalSearch(enc.F, sat.LocalSearchOptions{})
-	} else {
+		engine = "walksat"
+	case Portfolio:
+		// Race the canonical CDCL engine against WalkSAT. The winner is
+		// decided by results alone (par.Race prefers the lowest accepted
+		// index and always waits for DPLL first), so the model — and
+		// every downstream state-signal name and cover — is identical no
+		// matter how the goroutines are scheduled. WalkSAT only matters
+		// when DPLL hits its backtrack budget; since it ran concurrently
+		// the rescue costs no extra wall-clock over the abort itself.
+		var cancel atomic.Bool
+		var widx int
+		r, widx = par.Race(func(i int, res sat.Result) bool {
+			if i == 0 {
+				return res.Status == sat.Sat || res.Status == sat.Unsat
+			}
+			return res.Status == sat.Sat
+		}, &cancel,
+			func() sat.Result {
+				return sat.Solve(enc.F, sat.Limits{MaxBacktracks: opt.MaxBacktracks, Cancel: &cancel})
+			},
+			func() sat.Result {
+				return sat.LocalSearch(enc.F, sat.LocalSearchOptions{Cancel: &cancel})
+			},
+		)
+		engine = "portfolio:dpll"
+		if widx == 1 {
+			engine = "portfolio:walksat"
+		}
+	default:
 		r = sat.Solve(enc.F, sat.Limits{MaxBacktracks: opt.MaxBacktracks})
 	}
 	stats := FormulaStats{
 		Signals: m, Vars: enc.F.NumVars, Clauses: enc.F.NumClauses(),
 		Literals: enc.F.NumLiterals(), Status: r.Status, SolveTime: time.Since(start),
+		Engine: engine,
 	}
 	if r.Status != sat.Sat {
 		return nil, stats, nil

@@ -23,6 +23,14 @@ const (
 	// to a BDD-based approach with further area reduction). It falls
 	// back to DPLL when the diagram exceeds the node limit.
 	BDD
+	// Portfolio races the complete DPLL engine against WalkSAT in
+	// concurrent goroutines per Figure-4 formula. The winner is chosen
+	// deterministically, never by timing: DPLL's verdict (Sat or Unsat)
+	// always takes precedence, and WalkSAT's model is consulted only
+	// when DPLL exhausts its backtrack budget — rescuing instances the
+	// bounded branch-and-bound alone would abort, at no wall-clock cost
+	// since both engines run concurrently.
+	Portfolio
 )
 
 // SolveOptions configures direct CSC solving.
@@ -64,6 +72,10 @@ type FormulaStats struct {
 	Literals  int
 	Status    sat.Status
 	SolveTime time.Duration
+	// Engine names the engine that produced Status ("dpll", "walksat",
+	// "bdd"; "portfolio:dpll" / "portfolio:walksat" record which side of
+	// the race won).
+	Engine string
 }
 
 // Result is the outcome of direct CSC constraint satisfaction.

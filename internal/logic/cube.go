@@ -163,16 +163,22 @@ func (c Cube) Distance(o Cube) int {
 // ConflictVars returns the variables at which c and o disagree (where
 // their intersection is empty).
 func (c Cube) ConflictVars(o Cube) []int {
-	var out []int
+	return c.AppendConflictVars(o, nil)
+}
+
+// AppendConflictVars appends the conflicting variables to dst and
+// returns it, letting hot callers (the EXPAND blocking matrix) reuse
+// one buffer across cubes instead of allocating per pair.
+func (c Cube) AppendConflictVars(o Cube, dst []int) []int {
 	for i := range c.words {
 		m := emptyPairs(c.words[i]&o.words[i]) & validMask(c.n, i)
 		for m != 0 {
 			b := bits.TrailingZeros64(m)
-			out = append(out, i*varsPerWord+b/2)
+			dst = append(dst, i*varsPerWord+b/2)
 			m &= m - 1
 		}
 	}
-	return out
+	return dst
 }
 
 // Supercube returns the smallest cube containing both c and o.

@@ -68,10 +68,14 @@ func Minimize(spec Spec, opt Options) (Cover, error) {
 		off[i] = FromMinterm(spec.NumVars, m)
 	}
 
-	// Initial cover: one cube per ON minterm, expanded.
+	// Initial cover: one cube per ON minterm, expanded. One scratch
+	// buffer set serves every EXPAND call of this minimization (the
+	// measured hot path: the blocking matrix used to be rebuilt from
+	// fresh allocations for every cube of every pass).
+	sc := &expandScratch{}
 	cover := make(Cover, 0, len(spec.On))
 	for _, m := range spec.On {
-		cover = append(cover, expand(FromMinterm(spec.NumVars, m), off, 0))
+		cover = append(cover, expand(FromMinterm(spec.NumVars, m), off, 0, sc))
 	}
 	cover = irredundant(cover, spec.On)
 
@@ -81,7 +85,7 @@ func Minimize(spec Spec, opt Options) (Cover, error) {
 		reduced := reduce(cover, spec.On)
 		next := make(Cover, len(reduced))
 		for i, c := range reduced {
-			next[i] = expand(c, off, pass)
+			next[i] = expand(c, off, pass, sc)
 		}
 		next = irredundant(next, spec.On)
 		lits := next.Literals()
@@ -94,41 +98,76 @@ func Minimize(spec Spec, opt Options) (Cover, error) {
 	return best, nil
 }
 
+// expandScratch holds the EXPAND working set so one allocation batch is
+// reused across every cube of every pass of a minimization. The
+// blocking rows live in one flat slice indexed by rowStart; keep/count
+// are dense per-variable tables (a variable index is always < N).
+type expandScratch struct {
+	lowered  []int
+	rowData  []int // concatenated conflict-var lists
+	rowStart []int // len(rows)+1 offsets into rowData
+	covered  []bool
+	keep     []bool
+	count    []int
+}
+
 // expand grows cube c into a prime not intersecting any OFF cube. The
 // variables kept lowered are chosen by greedy column covering of the
 // blocking matrix (each OFF cube must remain excluded by at least one
 // kept literal); `rot` rotates tie-breaking so successive passes explore
 // different primes.
-func expand(c Cube, off Cover, rot int) Cube {
+func expand(c Cube, off Cover, rot int, sc *expandScratch) Cube {
 	n := c.N()
-	lowered := make([]int, 0, n)
+	sc.lowered = sc.lowered[:0]
 	for v := 0; v < n; v++ {
 		if val := c.Var(v); val == VTrue || val == VFalse {
-			lowered = append(lowered, v)
+			sc.lowered = append(sc.lowered, v)
 		}
 	}
+	lowered := sc.lowered
 	// Blocking rows: for each OFF cube, the set of lowered vars excluding it.
-	type row struct{ vars []int }
-	var rows []row
+	sc.rowData = sc.rowData[:0]
+	sc.rowStart = sc.rowStart[:0]
 	for _, o := range off {
-		cv := c.ConflictVars(o)
-		if len(cv) == 0 {
+		start := len(sc.rowData)
+		sc.rowData = c.AppendConflictVars(o, sc.rowData)
+		if len(sc.rowData) == start {
 			// c intersects OFF — caller bug; keep the cube as is.
 			return c
 		}
-		rows = append(rows, row{cv})
+		sc.rowStart = append(sc.rowStart, start)
 	}
-	keep := make(map[int]bool)
-	covered := make([]bool, len(rows))
-	remaining := len(rows)
+	sc.rowStart = append(sc.rowStart, len(sc.rowData))
+	nrows := len(off)
+	rowVars := func(ri int) []int { return sc.rowData[sc.rowStart[ri]:sc.rowStart[ri+1]] }
+
+	if cap(sc.covered) < nrows {
+		sc.covered = make([]bool, nrows)
+	}
+	covered := sc.covered[:nrows]
+	for i := range covered {
+		covered[i] = false
+	}
+	if cap(sc.keep) < n {
+		sc.keep = make([]bool, n)
+		sc.count = make([]int, n)
+	}
+	keep, count := sc.keep[:n], sc.count[:n]
+	for i := 0; i < n; i++ {
+		keep[i] = false
+	}
+
+	remaining := nrows
 	for remaining > 0 {
 		// Count, per variable, the uncovered rows it blocks.
-		count := make(map[int]int)
-		for ri, r := range rows {
+		for i := 0; i < n; i++ {
+			count[i] = 0
+		}
+		for ri := 0; ri < nrows; ri++ {
 			if covered[ri] {
 				continue
 			}
-			for _, v := range r.vars {
+			for _, v := range rowVars(ri) {
 				count[v]++
 			}
 		}
@@ -140,11 +179,11 @@ func expand(c Cube, off Cover, rot int) Cube {
 			}
 		}
 		keep[bestV] = true
-		for ri, r := range rows {
+		for ri := 0; ri < nrows; ri++ {
 			if covered[ri] {
 				continue
 			}
-			for _, v := range r.vars {
+			for _, v := range rowVars(ri) {
 				if v == bestV {
 					covered[ri] = true
 					remaining--

@@ -3,6 +3,7 @@ package sat
 import (
 	"math"
 	"sort"
+	"sync/atomic"
 )
 
 // Status is a solver outcome.
@@ -48,6 +49,11 @@ type Limits struct {
 	// backtrack budget of the paper's experimental setup).
 	MaxBacktracks int64
 	MaxDecisions  int64
+	// Cancel, when non-nil, is polled at every decision: a true value
+	// stops the search with BacktrackLimit. Used by the portfolio racer
+	// to reap losing engines; a cancelled result is always discarded by
+	// the caller, so the status choice never reaches synthesis output.
+	Cancel *atomic.Bool
 }
 
 // Solve runs a conflict-driven DPLL procedure: two-watched-literal unit
@@ -406,6 +412,10 @@ func (s *solver) run(lim Limits) Result {
 		}
 		s.res.Decisions++
 		if lim.MaxDecisions > 0 && s.res.Decisions > lim.MaxDecisions {
+			s.res.Status = BacktrackLimit
+			return s.res
+		}
+		if lim.Cancel != nil && lim.Cancel.Load() {
 			s.res.Status = BacktrackLimit
 			return s.res
 		}

@@ -1,6 +1,9 @@
 package sat
 
-import "math/rand"
+import (
+	"math/rand"
+	"sync/atomic"
+)
 
 // LocalSearchOptions tunes the WalkSAT-style solver.
 type LocalSearchOptions struct {
@@ -9,6 +12,10 @@ type LocalSearchOptions struct {
 	Noise     float64 // probability of a random walk move (default 0.5)
 	Seed      int64   // RNG seed; runs are deterministic for a fixed seed
 	BreakTies bool    // pick lowest-index variable among ties instead of random
+	// Cancel, when non-nil, is polled periodically: a true value stops
+	// the search with BacktrackLimit (used by the portfolio racer to
+	// reap a losing engine; the result is then discarded).
+	Cancel *atomic.Bool
 }
 
 func (o LocalSearchOptions) withDefaults() LocalSearchOptions {
@@ -125,6 +132,10 @@ func LocalSearch(f *Formula, opt LocalSearchOptions) Result {
 		rebuild()
 		budget := opt.MaxFlips / int64(opt.Restarts)
 		for fl := int64(0); fl < budget; fl++ {
+			if opt.Cancel != nil && fl&1023 == 0 && opt.Cancel.Load() {
+				res.Status = BacktrackLimit
+				return res
+			}
 			if len(unsat) == 0 {
 				res.Status = Sat
 				res.Model = append([]bool(nil), model...)

@@ -3,6 +3,8 @@ package sg
 import (
 	"math/bits"
 	"sort"
+
+	"asyncsyn/internal/par"
 )
 
 // Pair is an unordered state pair (A < B, or A == B for a merged class
@@ -29,27 +31,65 @@ type Conflicts struct {
 // N returns the number of CSC conflict pairs (the paper's N_csc).
 func (c *Conflicts) N() int { return len(c.CSC) }
 
-// Analyze performs full CSC analysis: states are grouped by full code
-// (base signals under the Active mask plus state-signal levels) and
-// compared by enabled non-input signal sets.
-func Analyze(g *Graph) *Conflicts {
+// codeGroups buckets the states of g by full code. The member order of
+// each group and the returned key order are fixed (ascending state,
+// ascending code) regardless of the worker count: only the per-state
+// FullCode computation fans out, the bucketing itself is a serial
+// ordered reduce.
+func codeGroups(g *Graph, workers int) ([]uint64, map[uint64][]int) {
+	n := len(g.States)
+	codes := make([]uint64, n)
+	w := par.Workers(workers)
+	if w <= 1 || n < 256 {
+		for s := 0; s < n; s++ {
+			codes[s] = g.FullCode(s)
+		}
+	} else {
+		chunk := (n + 4*w - 1) / (4 * w)
+		nchunks := (n + chunk - 1) / chunk
+		par.ForEachIndexed(nchunks, w, func(ci int) error {
+			lo, hi := ci*chunk, (ci+1)*chunk
+			if hi > n {
+				hi = n
+			}
+			for s := lo; s < hi; s++ {
+				codes[s] = g.FullCode(s)
+			}
+			return nil
+		})
+	}
 	groups := make(map[uint64][]int)
-	for s := range g.States {
-		c := g.FullCode(s)
-		groups[c] = append(groups[c], s)
+	for s := 0; s < n; s++ {
+		groups[codes[s]] = append(groups[codes[s]], s)
 	}
 	keys := make([]uint64, 0, len(groups))
 	for k := range groups {
 		keys = append(keys, k)
 	}
 	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys, groups
+}
 
-	res := &Conflicts{}
-	for _, k := range keys {
-		states := groups[k]
-		if len(states) > res.MaxGroup {
-			res.MaxGroup = len(states)
-		}
+// Analyze performs full CSC analysis: states are grouped by full code
+// (base signals under the Active mask plus state-signal levels) and
+// compared by enabled non-input signal sets.
+func Analyze(g *Graph) *Conflicts { return AnalyzeWorkers(g, 1) }
+
+// AnalyzeWorkers is Analyze with the group scans fanned out over a
+// bounded worker pool (workers <= 0 means GOMAXPROCS). Each code group
+// is independent, so groups are scanned in parallel and their pair
+// lists concatenated in ascending code order — the exact order the
+// sequential scan produces, for any worker count.
+func AnalyzeWorkers(g *Graph, workers int) *Conflicts {
+	keys, groups := codeGroups(g, workers)
+
+	type groupRes struct {
+		csc, usc []Pair
+		classes  int
+	}
+	results, _ := par.Map(len(keys), workers, func(ki int) (groupRes, error) {
+		states := groups[keys[ki]]
+		var r groupRes
 		// Behaviour classes within the group.
 		classOf := make([]uint64, len(states))
 		classes := make(map[uint64]bool)
@@ -61,13 +101,24 @@ func Analyze(g *Graph) *Conflicts {
 			for j := i + 1; j < len(states); j++ {
 				p := Pair{states[i], states[j]}
 				if classOf[i] != classOf[j] {
-					res.CSC = append(res.CSC, p)
+					r.csc = append(r.csc, p)
 				} else {
-					res.USC = append(res.USC, p)
+					r.usc = append(r.usc, p)
 				}
 			}
 		}
-		if lb := ceilLog2(len(classes)); lb > res.LowerBound {
+		r.classes = len(classes)
+		return r, nil
+	})
+
+	res := &Conflicts{}
+	for ki, r := range results {
+		if n := len(groups[keys[ki]]); n > res.MaxGroup {
+			res.MaxGroup = n
+		}
+		res.CSC = append(res.CSC, r.csc...)
+		res.USC = append(res.USC, r.usc...)
+		if lb := ceilLog2(r.classes); lb > res.LowerBound {
 			res.LowerBound = lb
 		}
 	}
@@ -81,23 +132,23 @@ func Analyze(g *Graph) *Conflicts {
 // impliedOf gives the set of implied values for a state (a merged state
 // may carry both from its members; such a state conflicts with itself).
 func OutputConflicts(g *Graph, impliedOf func(state int) (has0, has1 bool)) *Conflicts {
-	groups := make(map[uint64][]int)
-	for s := range g.States {
-		c := g.FullCode(s)
-		groups[c] = append(groups[c], s)
-	}
-	keys := make([]uint64, 0, len(groups))
-	for k := range groups {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return OutputConflictsWorkers(g, impliedOf, 1)
+}
 
-	res := &Conflicts{}
-	for _, k := range keys {
-		states := groups[k]
-		if len(states) > res.MaxGroup {
-			res.MaxGroup = len(states)
-		}
+// OutputConflictsWorkers is OutputConflicts over a bounded worker pool,
+// with the same ordered-reduce guarantee as AnalyzeWorkers. impliedOf
+// must be safe for concurrent calls (the probes built by Merged.ImpliedOf
+// read a precomputed table and are).
+func OutputConflictsWorkers(g *Graph, impliedOf func(state int) (has0, has1 bool), workers int) *Conflicts {
+	keys, groups := codeGroups(g, workers)
+
+	type groupRes struct {
+		csc, usc []Pair
+		both     bool // group implies both values → lower bound 1
+	}
+	results, _ := par.Map(len(keys), workers, func(ki int) (groupRes, error) {
+		states := groups[keys[ki]]
+		var r groupRes
 		type imp struct{ has0, has1 bool }
 		imps := make([]imp, len(states))
 		group0, group1 := false, false
@@ -107,20 +158,31 @@ func OutputConflicts(g *Graph, impliedOf func(state int) (has0, has1 bool)) *Con
 			group0 = group0 || h0
 			group1 = group1 || h1
 			if h0 && h1 {
-				res.CSC = append(res.CSC, Pair{s, s})
+				r.csc = append(r.csc, Pair{s, s})
 			}
 		}
 		for i := 0; i < len(states); i++ {
 			for j := i + 1; j < len(states); j++ {
 				p := Pair{states[i], states[j]}
 				if (imps[i].has0 && imps[j].has1) || (imps[i].has1 && imps[j].has0) {
-					res.CSC = append(res.CSC, p)
+					r.csc = append(r.csc, p)
 				} else {
-					res.USC = append(res.USC, p)
+					r.usc = append(r.usc, p)
 				}
 			}
 		}
-		if group0 && group1 && res.LowerBound == 0 {
+		r.both = group0 && group1
+		return r, nil
+	})
+
+	res := &Conflicts{}
+	for ki, r := range results {
+		if n := len(groups[keys[ki]]); n > res.MaxGroup {
+			res.MaxGroup = n
+		}
+		res.CSC = append(res.CSC, r.csc...)
+		res.USC = append(res.USC, r.usc...)
+		if r.both && res.LowerBound == 0 {
 			res.LowerBound = 1
 		}
 	}

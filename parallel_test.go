@@ -1,0 +1,92 @@
+package asyncsyn
+
+// Determinism contract of the parallel pipeline (DESIGN.md §3.8): the
+// synthesized circuit is bit-for-bit identical for every Workers value,
+// and the portfolio engine agrees with plain DPLL whenever DPLL decides
+// within its budget.
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"asyncsyn/internal/bench"
+)
+
+// fingerprint flattens every externally visible synthesis result into a
+// single comparable string: counts, area, inserted-signal names, and
+// the full SOP cover of every function.
+func fingerprint(c *Circuit) string {
+	s := fmt.Sprintf("states=%d->%d signals=%d->%d statesigs=%d area=%d aborted=%v\n",
+		c.InitialStates, c.FinalStates, c.InitialSignals, c.FinalSignals,
+		c.StateSignals, c.Area, c.Aborted)
+	for _, f := range c.Functions {
+		s += f.String() + "\n"
+	}
+	for _, m := range c.Modules {
+		s += fmt.Sprintf("module %s merged=%d conflicts=%d new=%d inputs=%v\n",
+			m.Output, m.MergedStates, m.Conflicts, m.NewSignals, m.InputSet)
+	}
+	return s
+}
+
+func synthWorkers(t *testing.T, name string, opt Options) *Circuit {
+	t.Helper()
+	src, err := bench.Source(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := ParseSTGString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Synthesize(g, opt)
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	return c
+}
+
+func TestDeterminismAcrossWorkers(t *testing.T) {
+	names := []string{"vbe4a", "nak-pa", "sbuf-ram-write"}
+	if !testing.Short() {
+		names = append(names, "mmu1")
+	}
+	workerSet := []int{1, 2, 3, runtime.GOMAXPROCS(0)}
+	for _, name := range names {
+		t.Run(name, func(t *testing.T) {
+			want := fingerprint(synthWorkers(t, name, Options{Workers: 1}))
+			for _, w := range workerSet {
+				got := fingerprint(synthWorkers(t, name, Options{Workers: w}))
+				if got != want {
+					t.Errorf("Workers=%d diverges from Workers=1:\n--- got ---\n%s--- want ---\n%s", w, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestPortfolioDeterminism pins the racing engine's contract: repeated
+// portfolio runs are identical to each other, and — because the DPLL
+// verdict is always preferred when it decides within budget — identical
+// to a plain DPLL run.
+func TestPortfolioDeterminism(t *testing.T) {
+	for _, name := range []string{"vbe4a", "nak-pa", "sbuf-send-ctl"} {
+		t.Run(name, func(t *testing.T) {
+			dpll := fingerprint(synthWorkers(t, name, Options{Engine: DPLL}))
+			p1 := synthWorkers(t, name, Options{Engine: Portfolio})
+			p2 := fingerprint(synthWorkers(t, name, Options{Engine: Portfolio}))
+			if got := fingerprint(p1); got != p2 {
+				t.Errorf("portfolio is not self-consistent:\n--- run1 ---\n%s--- run2 ---\n%s", got, p2)
+			}
+			if got := fingerprint(p1); got != dpll {
+				t.Errorf("portfolio diverges from dpll:\n--- portfolio ---\n%s--- dpll ---\n%s", got, dpll)
+			}
+			for _, f := range p1.Formulas {
+				if f.Engine != "portfolio:dpll" && f.Engine != "portfolio:walksat" {
+					t.Errorf("formula %q engine = %q, want portfolio:*", f.Output, f.Engine)
+				}
+			}
+		})
+	}
+}
