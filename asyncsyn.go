@@ -22,6 +22,8 @@
 package asyncsyn
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"time"
@@ -31,9 +33,55 @@ import (
 	"asyncsyn/internal/dot"
 	"asyncsyn/internal/lavagno"
 	"asyncsyn/internal/logic"
+	"asyncsyn/internal/pipeline"
 	"asyncsyn/internal/sg"
 	"asyncsyn/internal/stg"
+	"asyncsyn/internal/synerr"
+	"asyncsyn/internal/trace"
 )
+
+// Error taxonomy. Every failure mode of the pipeline is identified by
+// one of these sentinels, testable with errors.Is regardless of how many
+// layers of context wrapping the error accumulated on the way up.
+var (
+	// ErrCanceled reports that the run was stopped by its context
+	// (cancellation or Options.Timeout). Errors matching ErrCanceled
+	// also match the underlying context error (context.Canceled or
+	// context.DeadlineExceeded).
+	ErrCanceled = synerr.ErrCanceled
+	// ErrBacktrackLimit reports a SAT backtrack budget exhausted before a
+	// verdict — the paper's "SAT Backtrack Limit" table entries. The
+	// Synthesize facade maps it to Circuit.Aborted instead of an error.
+	ErrBacktrackLimit = synerr.ErrBacktrackLimit
+	// ErrStateLimit reports that reachability exceeded Options.MaxStates.
+	ErrStateLimit = synerr.ErrStateLimit
+	// ErrModuleUnsolvable reports a modular graph whose CSC constraints
+	// admit no solution within the signal cap, even widened.
+	ErrModuleUnsolvable = synerr.ErrModuleUnsolvable
+	// ErrConflictsPersist reports coding conflicts surviving every
+	// repair round (incremental insertion or expansion refinement).
+	ErrConflictsPersist = synerr.ErrConflictsPersist
+)
+
+// Tracer receives synthesis progress events: one StageStart/StageEnd
+// pair per pipeline stage and one FormulaSolved per SAT instance.
+// Implementations must be safe for concurrent use.
+type Tracer = trace.Tracer
+
+// StageEvent describes a pipeline stage boundary.
+type StageEvent = trace.StageEvent
+
+// FormulaEvent describes one solved SAT formula.
+type FormulaEvent = trace.FormulaEvent
+
+// StageStat records one pipeline stage's timing in a Circuit.
+type StageStat = pipeline.StageStat
+
+// NewJSONTracer returns a Tracer writing one JSON object per line to w.
+func NewJSONTracer(w io.Writer) Tracer { return trace.NewJSON(w) }
+
+// NewLogTracer returns a Tracer writing human-readable lines to w.
+func NewLogTracer(w io.Writer) Tracer { return trace.NewLog(w) }
 
 // STG is a parsed or programmatically built signal transition graph.
 type STG struct {
@@ -150,6 +198,14 @@ type Options struct {
 	// value: parallel stages always merge their results in a fixed
 	// order, never first-write-wins.
 	Workers int
+	// Timeout bounds the wall-clock time of a run (0 = none). An expired
+	// timeout surfaces as an error matching ErrCanceled and
+	// context.DeadlineExceeded. Uncanceled runs are unaffected: the
+	// cancellation polls are read-only, so output stays bit-identical.
+	Timeout time.Duration
+	// Tracer, when non-nil, receives stage and formula events for the
+	// run (see NewJSONTracer and NewLogTracer).
+	Tracer Tracer
 }
 
 // FormulaStat describes one SAT instance solved during synthesis.
@@ -209,6 +265,9 @@ type ModuleReport struct {
 	MergedStates int
 	Conflicts    int
 	NewSignals   int
+	// Widened is true when the output's restricted module was unsolvable
+	// and the reported pass ran on a widened input set.
+	Widened bool
 }
 
 // Circuit is the result of synthesis.
@@ -233,10 +292,25 @@ type Circuit struct {
 	Functions []Function
 	Modules   []ModuleReport // modular method only
 	Formulas  []FormulaStat
+	// Stages records the per-stage timings of the pipeline run.
+	Stages []StageStat
 
 	// initialLevels records the reset level of every signal (including
 	// inserted state signals) for closed-loop verification.
 	initialLevels map[string]bool
+}
+
+// setStateSignals fixes the single source of truth for the inserted
+// state-signal count: the growth of the signal set when the final
+// (expanded) graph exists — which already accounts for pruning and
+// expansion-refinement signals — and the solver's inserted count
+// otherwise (aborted runs that never reached expansion).
+func (c *Circuit) setStateSignals(inserted int) {
+	if c.FinalSignals > 0 {
+		c.StateSignals = c.FinalSignals - c.InitialSignals
+	} else {
+		c.StateSignals = inserted
+	}
 }
 
 // Function returns the function driving the named signal.
@@ -254,12 +328,30 @@ func (c *Circuit) Function(name string) (Function, bool) {
 // specification; a backtrack-limit abort is reported via Circuit.Aborted
 // instead (partial statistics are still returned).
 func Synthesize(s *STG, opt Options) (*Circuit, error) {
+	return SynthesizeContext(context.Background(), s, opt)
+}
+
+// SynthesizeContext is Synthesize under a caller-supplied context:
+// canceling ctx (or exceeding Options.Timeout) stops the run promptly —
+// every long-running loop in the pipeline polls the context, down to
+// the SAT engines' inner branch loops — and returns an error matching
+// ErrCanceled. Uncanceled runs produce bit-identical circuits to
+// Synthesize: the polls are read-only.
+func SynthesizeContext(ctx context.Context, s *STG, opt Options) (*Circuit, error) {
 	start := time.Now()
+	if opt.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opt.Timeout)
+		defer cancel()
+	}
+	if opt.Tracer != nil {
+		ctx = trace.With(ctx, opt.Tracer, s.g.Name, opt.Method.String())
+	}
 	switch opt.Method {
 	case Modular:
-		return synthesizeModular(s, opt, start)
+		return synthesizeModular(ctx, s, opt, start)
 	case Direct, Lavagno:
-		return synthesizeWholeGraph(s, opt, start)
+		return synthesizeWholeGraph(ctx, s, opt, start)
 	default:
 		return nil, fmt.Errorf("asyncsyn: unknown method %v", opt.Method)
 	}
@@ -269,8 +361,25 @@ func sgOptions(opt Options) sg.Options {
 	return sg.Options{Bound: opt.TokenBound, MaxStates: opt.MaxStates}
 }
 
-func synthesizeModular(s *STG, opt Options, start time.Time) (*Circuit, error) {
-	res, err := core.Synthesize(s.g, core.Options{
+// finishAborted maps the internal error taxonomy to the facade's abort
+// contract: a backtrack-limit exhaustion anywhere in the pipeline is not
+// an error but a reported abort (the paper's Table 1 prints those runs
+// with their partial statistics). Every other error — including
+// cancellation — surfaces as an error.
+func finishAborted(c *Circuit, err error, start time.Time) (*Circuit, error, bool) {
+	c.CPU = time.Since(start)
+	if err == nil {
+		return c, nil, true
+	}
+	if errors.Is(err, synerr.ErrBacktrackLimit) && !errors.Is(err, synerr.ErrCanceled) {
+		c.Aborted = true
+		return c, nil, true
+	}
+	return nil, err, false
+}
+
+func synthesizeModular(ctx context.Context, s *STG, opt Options, start time.Time) (*Circuit, error) {
+	res, err := core.Synthesize(ctx, s.g, core.Options{
 		SAT: core.SATOptions{
 			Engine:        cscEngine(opt.Engine),
 			Encoding:      csc.Options{ExpandXor: opt.ExpandXor},
@@ -281,23 +390,21 @@ func synthesizeModular(s *STG, opt Options, start time.Time) (*Circuit, error) {
 		ExactLogic:  opt.ExactMinimize,
 		Workers:     opt.Workers,
 	})
-	if err != nil {
+	if res == nil {
 		return nil, err
 	}
 	c := &Circuit{
 		Name: res.Name, Method: Modular,
 		InitialStates: res.InitialStates, InitialSignals: res.InitialSignals,
 		FinalStates: res.FinalStates, FinalSignals: res.FinalSignals,
-		StateSignals: res.Inserted, Area: res.Area,
-		Aborted: res.Aborted, CPU: time.Since(start),
+		Area: res.Area, Stages: res.Stages,
 	}
-	if res.FinalSignals > 0 {
-		c.StateSignals = res.FinalSignals - res.InitialSignals
-	}
+	c.setStateSignals(res.Inserted)
 	for _, o := range res.Outputs {
 		c.Modules = append(c.Modules, ModuleReport{
 			Output: o.Output, InputSet: o.InputSet,
 			MergedStates: o.MergedStates, Conflicts: o.Ncsc, NewSignals: o.NewSignals,
+			Widened: o.Widened,
 		})
 		for _, f := range o.Formulas {
 			c.Formulas = append(c.Formulas, formulaStat(o.Output, f))
@@ -310,86 +417,94 @@ func synthesizeModular(s *STG, opt Options, start time.Time) (*Circuit, error) {
 		c.Functions = append(c.Functions, newFunction(f))
 	}
 	c.initialLevels = initialLevelsOf(res.Expanded)
-	return c, nil
+	c, err, _ = finishAborted(c, err, start)
+	return c, err
 }
 
-func synthesizeWholeGraph(s *STG, opt Options, start time.Time) (*Circuit, error) {
-	full, err := sg.FromSTG(s.g, sgOptions(opt))
-	if err != nil {
-		return nil, err
-	}
-	c := &Circuit{
-		Name: s.g.Name, Method: opt.Method,
-		InitialStates: full.NumStates(), InitialSignals: len(full.Base),
-	}
-	var formulas []csc.FormulaStats
-	var inserted int
-	var aborted bool
-	switch opt.Method {
-	case Direct:
-		dr, err := csc.Solve(full, csc.SolveOptions{
-			Engine:        cscEngine(opt.Engine),
-			Encoding:      csc.Options{ExpandXor: opt.ExpandXor},
-			MaxBacktracks: opt.MaxBacktracks,
-		})
-		if dr != nil {
-			formulas, inserted, aborted = dr.Formulas, dr.Inserted, dr.Aborted
-		}
-		if err != nil {
-			return nil, err
-		}
-	case Lavagno:
-		lr, err := lavagno.Solve(full, lavagno.Options{MaxBacktracks: opt.MaxBacktracks})
-		if lr != nil {
-			formulas, inserted, aborted = lr.Formulas, lr.Inserted, lr.Aborted
-		}
-		if err != nil {
-			return nil, err
-		}
-	}
-	for _, f := range formulas {
-		c.Formulas = append(c.Formulas, formulaStat("", f))
-	}
-	c.StateSignals = inserted
-	if aborted {
-		c.Aborted = true
-		c.CPU = time.Since(start)
-		return c, nil
-	}
-
+// synthesizeWholeGraph runs the Direct and Lavagno baselines as a stage
+// list on the shared pipeline driver: elaborate → csc → expand → logic.
+func synthesizeWholeGraph(ctx context.Context, s *STG, opt Options, start time.Time) (*Circuit, error) {
+	c := &Circuit{Name: s.g.Name, Method: opt.Method}
 	coreOpt := core.Options{SAT: core.SATOptions{
 		Engine:        cscEngine(opt.Engine),
 		Encoding:      csc.Options{ExpandXor: opt.ExpandXor},
 		MaxBacktracks: opt.MaxBacktracks,
 	}, ExactLogic: opt.ExactMinimize, Workers: opt.Workers}
-	expanded, _, fallback, expAborted, err := core.ExpandToCSC(full, coreOpt)
-	for _, f := range fallback {
-		c.Formulas = append(c.Formulas, formulaStat("", f))
-	}
-	if err != nil {
-		return nil, err
-	}
-	if expAborted {
-		c.Aborted = true
-		c.CPU = time.Since(start)
-		return c, nil
-	}
-	c.FinalStates = expanded.NumStates()
-	c.FinalSignals = len(expanded.Base)
-	c.StateSignals = c.FinalSignals - c.InitialSignals
 
-	fns, err := core.DeriveLogic(expanded, full, nil, nil, coreOpt)
-	if err != nil {
-		return nil, err
+	var (
+		full     *sg.Graph
+		expanded *sg.Graph
+		inserted int
+	)
+	stages := []pipeline.Stage{
+		{Name: "elaborate", Run: func(ctx context.Context) error {
+			g, err := sg.FromSTGContext(ctx, s.g, sgOptions(opt))
+			if err != nil {
+				return err
+			}
+			full = g
+			c.InitialStates = full.NumStates()
+			c.InitialSignals = len(full.Base)
+			return nil
+		}},
+		{Name: "csc", Run: func(ctx context.Context) error {
+			switch opt.Method {
+			case Direct:
+				dr, err := csc.Solve(ctx, full, csc.SolveOptions{
+					Engine:        cscEngine(opt.Engine),
+					Encoding:      csc.Options{ExpandXor: opt.ExpandXor},
+					MaxBacktracks: opt.MaxBacktracks,
+				})
+				if dr != nil {
+					inserted = dr.Inserted
+					for _, f := range dr.Formulas {
+						c.Formulas = append(c.Formulas, formulaStat("", f))
+					}
+				}
+				return err
+			default: // Lavagno
+				lr, err := lavagno.Solve(ctx, full, lavagno.Options{MaxBacktracks: opt.MaxBacktracks})
+				if lr != nil {
+					inserted = lr.Inserted
+					for _, f := range lr.Formulas {
+						c.Formulas = append(c.Formulas, formulaStat("", f))
+					}
+				}
+				return err
+			}
+		}},
+		{Name: "expand", Run: func(ctx context.Context) error {
+			exp, _, fallback, err := core.ExpandToCSC(ctx, full, coreOpt)
+			for _, f := range fallback {
+				c.Formulas = append(c.Formulas, formulaStat("", f))
+			}
+			if err != nil {
+				return err
+			}
+			expanded = exp
+			c.FinalStates = expanded.NumStates()
+			c.FinalSignals = len(expanded.Base)
+			return nil
+		}},
+		{Name: "logic", Run: func(ctx context.Context) error {
+			fns, err := core.DeriveLogic(ctx, expanded, full, nil, nil, coreOpt)
+			if err != nil {
+				return err
+			}
+			for _, f := range fns {
+				nf := newFunction(f)
+				c.Functions = append(c.Functions, nf)
+				c.Area += nf.Literals()
+			}
+			c.initialLevels = initialLevelsOf(expanded)
+			return nil
+		}},
 	}
-	for _, f := range fns {
-		nf := newFunction(f)
-		c.Functions = append(c.Functions, nf)
-		c.Area += nf.Literals()
-	}
-	c.initialLevels = initialLevelsOf(expanded)
-	c.CPU = time.Since(start)
-	return c, nil
+	stats, err := pipeline.Run(ctx, stages)
+	c.Stages = stats
+	c.setStateSignals(inserted)
+	c, err, _ = finishAborted(c, err, start)
+	return c, err
 }
 
 // initialLevelsOf extracts the reset code of the final state graph.

@@ -4,13 +4,16 @@
 // Usage:
 //
 //	modsyn [-method modular|direct|lavagno] [-engine dpll|walksat|bdd|portfolio]
-//	       [-workers N] [-expandxor] [-fullsupport] [-v] file.g
+//	       [-workers N] [-timeout D] [-trace file] [-expandxor] [-fullsupport] [-v] file.g
 //	modsyn -bench name        # synthesize an embedded benchmark
 //
 // -workers N bounds the worker pool for the pipeline's parallel stages
 // (0 = GOMAXPROCS, 1 = sequential); the synthesized circuit is
 // identical for every value. -engine portfolio races DPLL against
-// WalkSAT per SAT formula with a deterministic winner.
+// WalkSAT per SAT formula with a deterministic winner. -timeout bounds
+// the run's wall-clock time (e.g. -timeout 30s). -trace writes one JSON
+// line per pipeline stage and per SAT formula to the given file ("-"
+// for stderr).
 //
 // It prints the synthesized logic equations and the statistics the
 // paper's Table 1 reports: initial/final state and signal counts, the
@@ -18,6 +21,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -40,6 +44,8 @@ func main() {
 	verilog := flag.Bool("verilog", false, "print the circuit as a structural Verilog module")
 	dotSTG := flag.Bool("dot", false, "print the STG in Graphviz DOT format and exit")
 	verify := flag.Bool("verify", false, "closed-loop-simulate the circuit against the specification")
+	timeout := flag.Duration("timeout", 0, "wall-clock bound for the run (0 = none; e.g. 30s)")
+	tracePath := flag.String("trace", "", "write JSON-lines trace events (stage and formula) to this file (\"-\" = stderr)")
 	flag.Parse()
 
 	opt := asyncsyn.Options{
@@ -48,6 +54,19 @@ func main() {
 		ExactMinimize: *exact,
 		MaxBacktracks: *maxBT,
 		Workers:       *workers,
+		Timeout:       *timeout,
+	}
+	if *tracePath != "" {
+		w := os.Stderr
+		if *tracePath != "-" {
+			f, err := os.Create(*tracePath)
+			if err != nil {
+				fatalf("trace: %v", err)
+			}
+			defer f.Close()
+			w = f
+		}
+		opt.Tracer = asyncsyn.NewJSONTracer(w)
 	}
 	switch *method {
 	case "modular":
@@ -103,6 +122,9 @@ func main() {
 	}
 
 	c, err := asyncsyn.Synthesize(g, opt)
+	if errors.Is(err, asyncsyn.ErrCanceled) && *timeout > 0 {
+		fatalf("synthesize: timed out after %v: %v", *timeout, err)
+	}
 	if err != nil {
 		fatalf("synthesize: %v", err)
 	}

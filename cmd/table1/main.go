@@ -11,11 +11,15 @@
 //	table1 -summary         # area/time ratios (the paper's 12%/9% claims)
 //	table1 -bench mr0       # a single row
 //	table1 -workers 8       # synthesize benchmark rows on a worker pool
+//	table1 -trace t.jsonl   # JSON trace of every stage and SAT formula
 //
 // -workers N (0 = GOMAXPROCS, 1 = sequential) fans the independent
 // benchmark rows out over a bounded worker pool; rows are always
 // printed in table order and every cell is identical to a sequential
-// run — the pool changes wall-clock only.
+// run — the pool changes wall-clock only. -trace streams one JSON line
+// per pipeline stage and per SAT formula across all rows and methods
+// to the given file ("-" = stderr); each line carries its model and
+// method labels, so interleaved rows stay attributable.
 package main
 
 import (
@@ -35,7 +39,22 @@ func main() {
 	one := flag.String("bench", "", "run a single benchmark")
 	maxBT := flag.Int64("maxbacktracks", 300000, "SAT backtrack budget per formula")
 	workers := flag.Int("workers", 0, "worker pool over benchmark rows (0 = GOMAXPROCS, 1 = sequential; cells are identical for any value)")
+	tracePath := flag.String("trace", "", "write JSON-lines trace events (stage and formula) to this file (\"-\" = stderr)")
 	flag.Parse()
+
+	if *tracePath != "" {
+		w := os.Stderr
+		if *tracePath != "-" {
+			f, err := os.Create(*tracePath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "table1: trace: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			w = f
+		}
+		tracer = asyncsyn.NewJSONTracer(w)
+	}
 
 	names := bench.Names()
 	if *one != "" {
@@ -57,6 +76,11 @@ type run struct {
 	err error
 }
 
+// tracer, when non-nil, receives stage and formula events from every
+// synthesis this process runs. The JSON tracer serializes its writes,
+// so the shared instance is safe under -workers fan-out.
+var tracer asyncsyn.Tracer
+
 func synth(name string, method asyncsyn.Method, maxBT int64, workers int) run {
 	src, err := bench.Source(name)
 	if err != nil {
@@ -66,7 +90,7 @@ func synth(name string, method asyncsyn.Method, maxBT int64, workers int) run {
 	if err != nil {
 		return run{err: err}
 	}
-	c, err := asyncsyn.Synthesize(g, asyncsyn.Options{Method: method, MaxBacktracks: maxBT, Workers: workers})
+	c, err := asyncsyn.Synthesize(g, asyncsyn.Options{Method: method, MaxBacktracks: maxBT, Workers: workers, Tracer: tracer})
 	return run{c: c, err: err}
 }
 
@@ -189,7 +213,7 @@ func clauseTable(names []string, maxBT int64, workers int) {
 		if err != nil {
 			return run{err: err}
 		}
-		c, err := asyncsyn.Synthesize(g, asyncsyn.Options{Method: method, MaxBacktracks: maxBT, ExpandXor: true, Workers: inner})
+		c, err := asyncsyn.Synthesize(g, asyncsyn.Options{Method: method, MaxBacktracks: maxBT, ExpandXor: true, Workers: inner, Tracer: tracer})
 		return run{c: c, err: err}
 	}
 	type pair struct{ d, m run }

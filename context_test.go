@@ -1,0 +1,226 @@
+package asyncsyn
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"asyncsyn/internal/bench"
+)
+
+func loadBench(t *testing.T, name string) *STG {
+	t.Helper()
+	src, err := bench.Source(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := ParseSTGString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestSynthesizeContextCancelMidSAT: canceling the context while the
+// direct method's DPLL search is deep in mmu0's whole-graph formula (a
+// multi-second search) must return within 50ms with an error matching
+// both ErrCanceled and context.Canceled.
+func TestSynthesizeContextCancelMidSAT(t *testing.T) {
+	g := loadBench(t, "mmu0")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	var canceledAt atomic.Int64
+	timer := time.AfterFunc(20*time.Millisecond, func() {
+		canceledAt.Store(time.Now().UnixNano())
+		cancel()
+	})
+	defer timer.Stop()
+
+	c, err := SynthesizeContext(ctx, g, Options{Method: Direct, MaxBacktracks: 1 << 40})
+	returned := time.Now()
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("canceled run returned err=%v c=%+v", err, c)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled error should also match context.Canceled: %v", err)
+	}
+	at := canceledAt.Load()
+	if at == 0 {
+		t.Fatal("run finished before the cancel fired; pick a bigger benchmark")
+	}
+	if lag := returned.Sub(time.Unix(0, at)); lag > 50*time.Millisecond {
+		t.Fatalf("returned %v after cancellation, want under 50ms", lag)
+	}
+	if c != nil {
+		t.Fatalf("canceled run returned a circuit")
+	}
+}
+
+// TestSynthesizeContextCancelModular: the modular pipeline honors an
+// already-canceled context before doing any work.
+func TestSynthesizeContextCancelModular(t *testing.T) {
+	g := loadBench(t, "mmu0")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	_, err := SynthesizeContext(ctx, g, Options{})
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("pre-canceled run returned %v", err)
+	}
+	if el := time.Since(start); el > 50*time.Millisecond {
+		t.Fatalf("pre-canceled run took %v", el)
+	}
+}
+
+// TestOptionsTimeout: an expired Options.Timeout surfaces as an error
+// matching both ErrCanceled and context.DeadlineExceeded.
+func TestOptionsTimeout(t *testing.T) {
+	g := loadBench(t, "mmu0")
+	_, err := Synthesize(g, Options{Method: Direct, MaxBacktracks: 1 << 40, Timeout: 5 * time.Millisecond})
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("timed-out run returned %v", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("timeout error should also match context.DeadlineExceeded: %v", err)
+	}
+}
+
+// TestCancellationDoesNotPerturbResults: a generous timeout that never
+// fires must leave the circuit bit-identical to an unbounded run — the
+// cancellation polls are read-only.
+func TestCancellationDoesNotPerturbResults(t *testing.T) {
+	base, err := Synthesize(loadBench(t, "pa"), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	timed, err := Synthesize(loadBench(t, "pa"), Options{Timeout: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Area != timed.Area || base.FinalSignals != timed.FinalSignals ||
+		base.FinalStates != timed.FinalStates || len(base.Functions) != len(timed.Functions) {
+		t.Fatalf("timeout-armed run differs: %+v vs %+v", base, timed)
+	}
+	for i := range base.Functions {
+		if base.Functions[i].String() != timed.Functions[i].String() {
+			t.Fatalf("function %d differs: %s vs %s", i, base.Functions[i], timed.Functions[i])
+		}
+	}
+}
+
+// TestJSONTracerWellFormed: a traced modular run emits one well-formed
+// JSON line per stage boundary and per SAT formula, labelled with the
+// run's model and method.
+func TestJSONTracerWellFormed(t *testing.T) {
+	var buf bytes.Buffer
+	g := loadBench(t, "vbe-ex1")
+	c, err := Synthesize(g, Options{Tracer: NewJSONTracer(&buf)})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	starts := make(map[string]int)
+	ends := make(map[string]int)
+	formulas := 0
+	lines := 0
+	for _, line := range bytes.Split(bytes.TrimSpace(buf.Bytes()), []byte("\n")) {
+		lines++
+		var ev struct {
+			Type   string  `json:"type"`
+			Model  string  `json:"model"`
+			Method string  `json:"method"`
+			Stage  string  `json:"stage"`
+			Status string  `json:"status"`
+			Vars   int     `json:"vars"`
+			MS     float64 `json:"ms"`
+		}
+		if err := json.Unmarshal(line, &ev); err != nil {
+			t.Fatalf("line %d not well-formed JSON: %v\n%s", lines, err, line)
+		}
+		if ev.Model != "vbe-ex1" || ev.Method != "modular" {
+			t.Fatalf("line %d mislabelled: %s", lines, line)
+		}
+		switch ev.Type {
+		case "stage_start":
+			starts[ev.Stage]++
+		case "stage_end":
+			ends[ev.Stage]++
+		case "formula":
+			formulas++
+			if ev.Stage == "" || ev.Status == "" || ev.Vars == 0 {
+				t.Fatalf("formula line %d incomplete: %s", lines, line)
+			}
+		default:
+			t.Fatalf("line %d has unknown type %q", lines, ev.Type)
+		}
+	}
+	for _, stage := range []string{"elaborate", "modules", "residual", "expand", "logic"} {
+		if starts[stage] != 1 || ends[stage] != 1 {
+			t.Fatalf("stage %q: %d starts, %d ends (want exactly 1 each)", stage, starts[stage], ends[stage])
+		}
+	}
+	if formulas != len(c.Formulas) {
+		t.Fatalf("%d formula events for %d solved formulas", formulas, len(c.Formulas))
+	}
+	if formulas == 0 {
+		t.Fatal("no formula events")
+	}
+}
+
+// TestStageStatsReported: every method's Circuit carries its pipeline's
+// stage timings.
+func TestStageStatsReported(t *testing.T) {
+	want := map[Method][]string{
+		Modular: {"elaborate", "modules", "residual", "expand", "logic"},
+		Direct:  {"elaborate", "csc", "expand", "logic"},
+		Lavagno: {"elaborate", "csc", "expand", "logic"},
+	}
+	for method, stages := range want {
+		c, err := Synthesize(loadBench(t, "vbe-ex1"), Options{Method: method})
+		if err != nil {
+			t.Fatalf("%v: %v", method, err)
+		}
+		if len(c.Stages) != len(stages) {
+			t.Fatalf("%v: %d stages, want %d: %+v", method, len(c.Stages), len(stages), c.Stages)
+		}
+		for i, s := range c.Stages {
+			if s.Name != stages[i] {
+				t.Fatalf("%v stage %d = %q, want %q", method, i, s.Name, stages[i])
+			}
+			if s.Err != "" {
+				t.Fatalf("%v stage %q failed: %s", method, s.Name, s.Err)
+			}
+		}
+	}
+}
+
+// TestStateSignalsSingleSource: StateSignals is always the growth of the
+// signal set — FinalSignals − InitialSignals — for every method
+// (satellite of the redundant-assignment fix: the modular path used to
+// overwrite the reconciled value with the raw insertion count, which
+// disagrees whenever pruning or expansion refinement ran).
+func TestStateSignalsSingleSource(t *testing.T) {
+	for _, name := range []string{"vbe-ex1", "pa"} {
+		var counts []int
+		for _, method := range []Method{Modular, Direct, Lavagno} {
+			c, err := Synthesize(loadBench(t, name), Options{Method: method})
+			if err != nil {
+				t.Fatalf("%s/%v: %v", name, method, err)
+			}
+			if c.Aborted {
+				continue
+			}
+			if c.StateSignals != c.FinalSignals-c.InitialSignals {
+				t.Fatalf("%s/%v: StateSignals=%d but signals grew %d→%d",
+					name, method, c.StateSignals, c.InitialSignals, c.FinalSignals)
+			}
+			counts = append(counts, c.StateSignals)
+		}
+		t.Logf("%s inserted per method: %v", name, counts)
+	}
+}

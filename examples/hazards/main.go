@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -21,7 +22,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := core.Synthesize(spec, core.Options{})
+	res, err := core.Synthesize(context.Background(), spec, core.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -10,9 +10,12 @@
 package bdd
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
+
+	"asyncsyn/internal/synerr"
 )
 
 // Node is a BDD node reference. 0 and 1 are the terminal constants.
@@ -40,6 +43,9 @@ type Pool struct {
 	unique map[nodeData]Node
 	iteC   map[[3]Node]Node
 	limit  int
+
+	ctx   context.Context
+	polls int
 }
 
 const termLevel = int32(1) << 30
@@ -66,7 +72,21 @@ func (p *Pool) Size() int { return len(p.nodes) }
 
 func (p *Pool) level(n Node) int32 { return p.nodes[n].level }
 
+// SetContext attaches a cancellation context to the pool: every BDD
+// operation funnels through mk, which polls it periodically, so a long
+// apply/conjunction chain stops promptly (with an error matching
+// synerr.ErrCanceled) when the synthesis run is canceled.
+func (p *Pool) SetContext(ctx context.Context) { p.ctx = ctx }
+
 func (p *Pool) mk(level int32, lo, hi Node) (Node, error) {
+	if p.ctx != nil {
+		p.polls++
+		if p.polls&4095 == 0 {
+			if err := p.ctx.Err(); err != nil {
+				return 0, synerr.Canceled(err)
+			}
+		}
+	}
 	if lo == hi {
 		return lo, nil
 	}

@@ -1,11 +1,14 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"asyncsyn/internal/csc"
 	"asyncsyn/internal/sat"
 	"asyncsyn/internal/sg"
+	"asyncsyn/internal/synerr"
 )
 
 // SATOptions configures the constraint-satisfaction side of modular
@@ -53,7 +56,6 @@ type PartitionResult struct {
 	Ncsc         int
 	Lb           int
 	NewSignals   int
-	Aborted      bool
 	Formulas     []csc.FormulaStats
 }
 
@@ -62,7 +64,13 @@ type PartitionResult struct {
 // state-signal count from the lower bound on UNSAT, the paper's
 // Figure 4), and propagates the new assignments back to g through the
 // cover relation (Figure 5). The graph g is extended in place.
-func PartitionSAT(g *sg.Graph, is InputSet, opt SATOptions) (*PartitionResult, error) {
+//
+// A module whose constraints cannot be satisfied within the signal cap
+// returns an error matching synerr.ErrModuleUnsolvable (callers widen
+// the input set and retry); budget exhaustion matches
+// synerr.ErrBacktrackLimit and a canceled ctx synerr.ErrCanceled, both
+// of which are surfaced unwrapped because widening cannot help them.
+func PartitionSAT(ctx context.Context, g *sg.Graph, is InputSet, opt SATOptions) (*PartitionResult, error) {
 	opt = opt.withDefaults()
 	gw := withStateSigs(g, is.StateSigs)
 	merged, ok := gw.Quotient(is.Silenced)
@@ -102,7 +110,7 @@ func PartitionSAT(g *sg.Graph, is InputSet, opt SATOptions) (*PartitionResult, e
 		jointCap = opt.MaxSignals
 	}
 	for ; m <= jointCap; m++ {
-		cols, stats, err := csc.Attempt(merged.Graph, conf, m, opt.solveOptions())
+		cols, stats, err := csc.Attempt(ctx, merged.Graph, conf, m, opt.solveOptions())
 		if err != nil {
 			return res, err
 		}
@@ -115,22 +123,22 @@ func PartitionSAT(g *sg.Graph, is InputSet, opt SATOptions) (*PartitionResult, e
 			res.NewSignals = m
 			return res, nil
 		case sat.BacktrackLimit:
-			res.Aborted = true
-			return res, nil
+			return res, fmt.Errorf("core: modular graph for %q, joint %d-signal formula: %w",
+				g.Base[is.Output].Name, m, synerr.ErrBacktrackLimit)
 		}
 	}
 	implied := merged.ImpliedOf(is.Output)
 	before := len(merged.Graph.StateSigs)
-	inserted, stats, aborted, err := csc.InsertIncremental(merged.Graph,
+	inserted, stats, err := csc.InsertIncremental(ctx, merged.Graph,
 		func() *sg.Conflicts { return sg.OutputConflictsWorkers(merged.Graph, implied, opt.Workers) },
 		opt.solveOptions(), opt.MaxSignals)
 	res.Formulas = append(res.Formulas, stats...)
-	if aborted {
-		res.Aborted = true
-		return res, nil
-	}
 	if err != nil {
-		return res, fmt.Errorf("core: no modular solution for %q: %w", g.Base[is.Output].Name, err)
+		if errors.Is(err, synerr.ErrBacktrackLimit) || errors.Is(err, synerr.ErrCanceled) {
+			return res, err
+		}
+		return res, fmt.Errorf("core: no modular solution for %q: %w: %w",
+			g.Base[is.Output].Name, synerr.ErrModuleUnsolvable, err)
 	}
 	for k := before; k < len(merged.Graph.StateSigs); k++ {
 		propagate(merged.Graph.StateSigs[k].Phases)

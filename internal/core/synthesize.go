@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"time"
@@ -8,9 +10,12 @@ import (
 	"asyncsyn/internal/csc"
 	"asyncsyn/internal/logic"
 	"asyncsyn/internal/par"
+	"asyncsyn/internal/pipeline"
 	"asyncsyn/internal/sat"
 	"asyncsyn/internal/sg"
 	"asyncsyn/internal/stg"
+	"asyncsyn/internal/synerr"
+	"asyncsyn/internal/trace"
 )
 
 // Options configures modular synthesis.
@@ -63,7 +68,11 @@ type OutputReport struct {
 	Ncsc         int
 	Lb           int
 	NewSignals   int
-	Formulas     []csc.FormulaStats
+	// Widened is true when the restricted module was unsolvable and the
+	// reported pass ran on a widened input set (non-inputs restored, or
+	// the full graph).
+	Widened  bool
+	Formulas []csc.FormulaStats
 }
 
 // Function is one synthesized logic function: a prime-irredundant
@@ -83,7 +92,10 @@ func (f Function) String() string {
 	return fmt.Sprintf("%s = %s", f.Name, f.Cover.Format(f.Vars))
 }
 
-// Result is a completed synthesis run.
+// Result is a completed synthesis run. On error the result still carries
+// whatever the completed stages produced (reports, formula stats, stage
+// timings); the error's identity is in the synerr taxonomy
+// (ErrBacktrackLimit, ErrCanceled, ErrConflictsPersist, ...).
 type Result struct {
 	Name           string
 	InitialStates  int
@@ -91,7 +103,6 @@ type Result struct {
 	FinalStates    int
 	FinalSignals   int
 	Inserted       int
-	Aborted        bool
 	ExpandIters    int
 	Outputs        []OutputReport
 	// Fallback records whole-graph SAT passes needed after the per-output
@@ -101,6 +112,9 @@ type Result struct {
 	Functions []Function
 	Area      int
 	Time      time.Duration
+	// Stages records the per-stage timings of the pipeline run, including
+	// a failed stage (its Err field is set).
+	Stages []pipeline.StageStat
 
 	// Full is the complete state graph with inserted phase columns;
 	// Expanded is the final binary state graph the logic was derived from.
@@ -113,27 +127,111 @@ type Result struct {
 // build and solve the modular state graph, and propagate the assignments;
 // finally expand Σ with the state-signal transitions and derive a
 // prime-irredundant cover for every non-input signal.
-func Synthesize(spec *stg.G, opt Options) (*Result, error) {
+//
+// The run is a pipeline of stages (elaborate → modules → residual →
+// expand → logic) executed by the shared pipeline driver: ctx cancels
+// between and within stages (an error matching synerr.ErrCanceled), and
+// a tracer carried by ctx receives one event per stage and per SAT
+// formula. The returned Result is non-nil even on error and carries the
+// completed stages' data.
+func Synthesize(ctx context.Context, spec *stg.G, opt Options) (*Result, error) {
 	opt = opt.withDefaults()
 	start := time.Now()
+	res := &Result{Name: spec.Name}
 
-	full, err := sg.FromSTG(spec, opt.StateGraph)
+	var (
+		full     *sg.Graph
+		supports map[int]InputSet
+		passSigs map[int][]string
+	)
+
+	stages := []pipeline.Stage{
+		{Name: "elaborate", Run: func(ctx context.Context) error {
+			g, err := sg.FromSTGContext(ctx, spec, opt.StateGraph)
+			if err != nil {
+				return err
+			}
+			full = g
+			res.InitialStates = full.NumStates()
+			res.InitialSignals = len(full.Base)
+			res.Full = full
+			return nil
+		}},
+		{Name: "modules", Run: func(ctx context.Context) error {
+			var err error
+			supports, passSigs, err = runModules(ctx, full, spec, opt, res)
+			return err
+		}},
+		{Name: "residual", Run: func(ctx context.Context) error {
+			// Residual whole-graph conflicts (the integration of local
+			// solutions is not guaranteed optimal or even complete in
+			// theory; in practice this pass is a no-op).
+			if conf := sg.AnalyzeWorkers(full, opt.Workers); conf.N() > 0 {
+				dr, err := csc.Solve(ctx, full, csc.SolveOptions{
+					Engine: opt.SAT.Engine, Encoding: opt.SAT.Encoding,
+					MaxBacktracks: opt.SAT.MaxBacktracks, NamePrefix: opt.SAT.NamePrefix,
+				})
+				if dr != nil {
+					res.Fallback = append(res.Fallback, dr.Formulas...)
+					res.Inserted += dr.Inserted
+				}
+				if err != nil {
+					return fmt.Errorf("residual conflicts: %w", err)
+				}
+			}
+			// Drop state signals made redundant by the integration of the
+			// local solutions (the paper notes modular synthesis is not
+			// signal-optimal; this recovers the obvious waste).
+			if removed := csc.Prune(full); len(removed) > 0 {
+				res.Inserted -= len(removed)
+			}
+			return nil
+		}},
+		{Name: "expand", Run: func(ctx context.Context) error {
+			expanded, iters, fallback, err := ExpandToCSC(ctx, full, opt)
+			res.Fallback = append(res.Fallback, fallback...)
+			res.ExpandIters = iters
+			if err != nil {
+				return err
+			}
+			res.Expanded = expanded
+			res.FinalStates = expanded.NumStates()
+			res.FinalSignals = len(expanded.Base)
+			return nil
+		}},
+		{Name: "logic", Run: func(ctx context.Context) error {
+			fns, err := DeriveLogic(ctx, res.Expanded, full, supports, passSigs, opt)
+			if err != nil {
+				return err
+			}
+			res.Functions = fns
+			for _, f := range fns {
+				res.Area += f.Literals()
+			}
+			return nil
+		}},
+	}
+
+	stats, err := pipeline.Run(ctx, stages)
+	res.Stages = stats
+	res.Time = time.Since(start)
 	if err != nil {
-		return nil, err
+		return res, err
 	}
-	res := &Result{
-		Name:           spec.Name,
-		InitialStates:  full.NumStates(),
-		InitialSignals: len(full.Base),
-		Full:           full,
-	}
+	return res, nil
+}
 
-	// Per-output modular passes. The most-conflicted output goes first:
-	// its module contains the structural core of the coding problem, and
-	// the signals inserted for it (propagated globally, the paper's
-	// Figure 5) resolve most of the remaining outputs' conflicts for
-	// free. The reverse order forces one module to invent several
-	// entangled signals at once, which measurably degrades area.
+// runModules executes the per-output modular passes: input-set
+// determination, modular CSC solving with the widening fallback chain,
+// and global propagation. It fills res.Outputs/res.Inserted and returns
+// the per-output supports and pass signals needed by logic derivation.
+func runModules(ctx context.Context, full *sg.Graph, spec *stg.G, opt Options, res *Result) (map[int]InputSet, map[int][]string, error) {
+	// The most-conflicted output goes first: its module contains the
+	// structural core of the coding problem, and the signals inserted for
+	// it (propagated globally, the paper's Figure 5) resolve most of the
+	// remaining outputs' conflicts for free. The reverse order forces one
+	// module to invent several entangled signals at once, which measurably
+	// degrades area.
 	//
 	// Each output's conflict count is computed exactly once, with the
 	// independent full-graph scans fanned out over the worker pool (the
@@ -161,26 +259,9 @@ func Synthesize(spec *stg.G, opt Options) (*Result, error) {
 	supports := make(map[int]InputSet)
 	passSigs := make(map[int][]string) // output → state-signal names kept or added in its pass
 	for _, o := range outs {
-		is := DetermineInputSet(full, spec, o)
+		octx := trace.WithOutput(ctx, full.Base[o].Name)
 		before := len(full.StateSigs)
-		pr, err := PartitionSAT(full, is, opt.SAT)
-		if err != nil {
-			// The module can be unsolvable when its input set retains too
-			// few output edges for the new signals' transitions to complete
-			// across (the input-properness restriction: excitations cannot
-			// finish across environment-driven edges). Widen the module —
-			// first with every non-input signal, then to the full graph.
-			for _, wider := range []InputSet{widenNonInputs(full, is), widenAll(full, o)} {
-				pr, err = PartitionSAT(full, wider, opt.SAT)
-				if err == nil {
-					is = wider
-					break
-				}
-			}
-		}
-		if err != nil {
-			return nil, fmt.Errorf("output %q: %w", full.Base[o].Name, err)
-		}
+		is, pr, widened, err := solveModule(octx, full, DetermineInputSet(full, spec, o), opt.SAT)
 		supports[o] = is
 		for _, k := range is.StateSigs {
 			passSigs[o] = append(passSigs[o], full.StateSigs[k].Name)
@@ -189,82 +270,56 @@ func Synthesize(spec *stg.G, opt Options) (*Result, error) {
 			passSigs[o] = append(passSigs[o], full.StateSigs[k].Name)
 		}
 		rep := OutputReport{
-			Output:       full.Base[o].Name,
-			InputSet:     full.SignalNamesIn(is.Mask),
-			MergedStates: pr.MergedStates,
-			MergedEdges:  pr.MergedEdges,
-			Ncsc:         pr.Ncsc,
-			Lb:           pr.Lb,
-			NewSignals:   pr.NewSignals,
-			Formulas:     pr.Formulas,
+			Output:   full.Base[o].Name,
+			InputSet: full.SignalNamesIn(is.Mask),
+			Widened:  widened,
+		}
+		if pr != nil {
+			rep.MergedStates = pr.MergedStates
+			rep.MergedEdges = pr.MergedEdges
+			rep.Ncsc = pr.Ncsc
+			rep.Lb = pr.Lb
+			rep.NewSignals = pr.NewSignals
+			rep.Formulas = pr.Formulas
 		}
 		for _, k := range is.StateSigs {
 			rep.StateSigs = append(rep.StateSigs, full.StateSigs[k].Name)
 		}
 		res.Outputs = append(res.Outputs, rep)
-		res.Inserted += pr.NewSignals
-		if pr.Aborted {
-			res.Aborted = true
-			res.Time = time.Since(start)
-			return res, nil
-		}
-	}
-
-	// Residual whole-graph conflicts (the integration of local solutions
-	// is not guaranteed optimal or even complete in theory; in practice
-	// this pass is a no-op).
-	if conf := sg.AnalyzeWorkers(full, opt.Workers); conf.N() > 0 {
-		dr, err := csc.Solve(full, csc.SolveOptions{
-			Engine: opt.SAT.Engine, Encoding: opt.SAT.Encoding,
-			MaxBacktracks: opt.SAT.MaxBacktracks, NamePrefix: opt.SAT.NamePrefix,
-		})
-		if dr != nil {
-			res.Fallback = append(res.Fallback, dr.Formulas...)
-			res.Inserted += dr.Inserted
-			res.Aborted = res.Aborted || dr.Aborted
+		if pr != nil {
+			res.Inserted += pr.NewSignals
 		}
 		if err != nil {
-			return nil, fmt.Errorf("residual conflicts: %w", err)
-		}
-		if res.Aborted {
-			res.Time = time.Since(start)
-			return res, nil
+			return supports, passSigs, fmt.Errorf("output %q: %w", full.Base[o].Name, err)
 		}
 	}
+	return supports, passSigs, nil
+}
 
-	// Drop state signals made redundant by the integration of the local
-	// solutions (the paper notes modular synthesis is not signal-optimal;
-	// this recovers the obvious waste).
-	if removed := csc.Prune(full); len(removed) > 0 {
-		res.Inserted -= len(removed)
+// solveModule runs partition_sat on the output's input set, widening the
+// module when its restricted form is unsolvable: an input set can retain
+// too few output edges for the new signals' transitions to complete
+// across (the input-properness restriction: excitations cannot finish
+// across environment-driven edges). The chain retries first with every
+// non-input signal restored, then on the full graph. Budget exhaustion
+// and cancellation skip the chain entirely — widening only ever makes
+// those formulas harder — and cancellation also breaks out of it.
+// widened reports whether the returned result came from a widened set.
+func solveModule(ctx context.Context, full *sg.Graph, is InputSet, opt SATOptions) (InputSet, *PartitionResult, bool, error) {
+	pr, err := PartitionSAT(ctx, full, is, opt)
+	if err == nil || errors.Is(err, synerr.ErrBacktrackLimit) || errors.Is(err, synerr.ErrCanceled) {
+		return is, pr, false, err
 	}
-
-	// Expansion; repair any conflicts the interleaving introduced.
-	expanded, iters, fallback, aborted, err := ExpandToCSC(full, opt)
-	res.Fallback = append(res.Fallback, fallback...)
-	res.ExpandIters = iters
-	if err != nil {
-		return nil, err
+	for _, wider := range []InputSet{widenNonInputs(full, is), widenAll(full, is.Output)} {
+		pr, err = PartitionSAT(ctx, full, wider, opt)
+		if err == nil {
+			return wider, pr, true, nil
+		}
+		if errors.Is(err, synerr.ErrCanceled) {
+			break
+		}
 	}
-	if aborted {
-		res.Aborted = true
-		res.Time = time.Since(start)
-		return res, nil
-	}
-	res.Expanded = expanded
-	res.FinalStates = expanded.NumStates()
-	res.FinalSignals = len(expanded.Base)
-
-	// Logic derivation with per-output support restriction.
-	res.Functions, err = DeriveLogic(expanded, full, supports, passSigs, opt)
-	if err != nil {
-		return nil, err
-	}
-	for _, f := range res.Functions {
-		res.Area += f.Literals()
-	}
-	res.Time = time.Since(start)
-	return res, nil
+	return is, pr, false, err
 }
 
 // ExpandToCSC expands the phase columns of g into explicit signals. If
@@ -275,30 +330,36 @@ func Synthesize(spec *stg.G, opt Options) (*Result, error) {
 // counterexample-guided refinement: the expansion is the checker, the
 // small graph the solver), up to opt.MaxExpandIters rounds. g is
 // modified in place when refinement signals are added.
-func ExpandToCSC(g *sg.Graph, opt Options) (expanded *sg.Graph, iters int, fallback []csc.FormulaStats, aborted bool, err error) {
+//
+// iters reports the number of expansion rounds actually run; when
+// conflicts survive every round the returned error matches
+// synerr.ErrConflictsPersist and iters equals opt.MaxExpandIters (no
+// refinement is attempted after the final expansion — its result could
+// never be checked).
+func ExpandToCSC(ctx context.Context, g *sg.Graph, opt Options) (expanded *sg.Graph, iters int, fallback []csc.FormulaStats, err error) {
 	opt = opt.withDefaults()
-	for iters = 1; iters <= opt.MaxExpandIters; iters++ {
+	for iters = 1; ; iters++ {
 		expanded, err = g.Expand()
 		if err != nil {
-			return nil, iters, fallback, false, err
+			return nil, iters, fallback, err
 		}
 		// The expanded graph is the largest object in the pipeline; its
 		// conflict scan fans out over the code groups.
 		conf := sg.AnalyzeWorkers(expanded, opt.Workers)
 		if conf.N() == 0 {
-			return expanded, iters, fallback, false, nil
+			return expanded, iters, fallback, nil
+		}
+		if iters >= opt.MaxExpandIters {
+			return nil, iters, fallback, fmt.Errorf("core: CSC conflicts persist after %d expansion rounds: %w",
+				opt.MaxExpandIters, synerr.ErrConflictsPersist)
 		}
 		refined := refinementConflicts(g, expanded, conf)
-		stats, ab, rerr := solveRefinement(g, refined, opt, iters)
+		stats, rerr := solveRefinement(ctx, g, refined, opt, iters)
 		fallback = append(fallback, stats...)
 		if rerr != nil {
-			return nil, iters, fallback, false, rerr
-		}
-		if ab {
-			return nil, iters, fallback, true, nil
+			return nil, iters, fallback, rerr
 		}
 	}
-	return nil, iters, fallback, false, fmt.Errorf("core: CSC conflicts persist after %d expansion rounds", opt.MaxExpandIters)
 }
 
 // refinementConflicts maps expanded-graph conflict pairs back to g's
@@ -334,11 +395,12 @@ func refinementConflicts(g, expanded *sg.Graph, conf *sg.Conflicts) *sg.Conflict
 // solveRefinement inserts state signals into g separating the refined
 // conflict pairs: one joint attempt at m=1, then greedy incremental
 // insertion (cascaded instances cannot be reached by growing m jointly).
-func solveRefinement(g *sg.Graph, conf *sg.Conflicts, opt Options, round int) ([]csc.FormulaStats, bool, error) {
+// Budget exhaustion returns an error matching synerr.ErrBacktrackLimit.
+func solveRefinement(ctx context.Context, g *sg.Graph, conf *sg.Conflicts, opt Options, round int) ([]csc.FormulaStats, error) {
 	var stats []csc.FormulaStats
-	cols, st, err := csc.Attempt(g, conf, 1, opt.SAT.solveOptions())
+	cols, st, err := csc.Attempt(ctx, g, conf, 1, opt.SAT.solveOptions())
 	if err != nil {
-		return stats, false, err
+		return stats, err
 	}
 	stats = append(stats, st)
 	switch st.Status {
@@ -347,9 +409,9 @@ func solveRefinement(g *sg.Graph, conf *sg.Conflicts, opt Options, round int) ([
 			Name:   fmt.Sprintf("%sx%d_%d", opt.SAT.NamePrefix, round, len(g.StateSigs)),
 			Phases: cols[0],
 		})
-		return stats, false, nil
+		return stats, nil
 	case sat.BacktrackLimit:
-		return stats, true, nil
+		return stats, fmt.Errorf("core: expansion refinement round %d: %w", round, synerr.ErrBacktrackLimit)
 	}
 
 	// Incremental: re-evaluate which refined pairs remain unseparated
@@ -367,12 +429,12 @@ func solveRefinement(g *sg.Graph, conf *sg.Conflicts, opt Options, round int) ([
 	}
 	sopt := opt.SAT.solveOptions()
 	sopt.NamePrefix = fmt.Sprintf("%sx%d_", opt.SAT.NamePrefix, round)
-	_, istats, aborted, err := csc.InsertIncremental(g, refresh, sopt, opt.SAT.MaxSignals)
+	_, istats, err := csc.InsertIncremental(ctx, g, refresh, sopt, opt.SAT.MaxSignals)
 	stats = append(stats, istats...)
 	if err != nil {
-		return stats, aborted, fmt.Errorf("core: expansion refinement: %w", err)
+		return stats, fmt.Errorf("core: expansion refinement: %w", err)
 	}
-	return stats, aborted, nil
+	return stats, nil
 }
 
 // stablySeparated reports whether some state signal holds stable
@@ -444,7 +506,7 @@ func overlapUSC(g *sg.Graph, cscPairs []sg.Pair) []sg.Pair {
 // extraction and ESPRESSO minimization fan out over the worker pool and
 // the functions are collected in sorted-name order — the same order the
 // sequential loop produced.
-func DeriveLogic(expanded, full *sg.Graph, supports map[int]InputSet, passSigs map[int][]string, opt Options) ([]Function, error) {
+func DeriveLogic(ctx context.Context, expanded, full *sg.Graph, supports map[int]InputSet, passSigs map[int][]string, opt Options) ([]Function, error) {
 	nb := len(full.Base)
 	fullMask := uint64(0)
 	for i := range expanded.Base {
@@ -487,12 +549,15 @@ func DeriveLogic(expanded, full *sg.Graph, supports map[int]InputSet, passSigs m
 		spec := logic.Spec{NumVars: len(tbl.Vars), On: tbl.On, Off: tbl.Off}
 		var cover logic.Cover
 		if opt.ExactLogic {
-			cover, err = logic.MinimizeExact(spec, logic.ExactOptions{})
+			cover, err = logic.MinimizeExactContext(ctx, spec, logic.ExactOptions{})
+			if err != nil && errors.Is(err, synerr.ErrCanceled) {
+				return Function{}, err
+			}
 		}
 		if !opt.ExactLogic || err != nil {
 			// Heuristic path, also the fallback when exact minimization
 			// exceeds its prime or search budget.
-			cover, err = logic.Minimize(spec, opt.Logic)
+			cover, err = logic.MinimizeContext(ctx, spec, opt.Logic)
 		}
 		if err != nil {
 			return Function{}, fmt.Errorf("minimizing %q: %w", tbl.Signal, err)

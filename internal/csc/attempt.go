@@ -1,6 +1,7 @@
 package csc
 
 import (
+	"context"
 	"errors"
 	"sync/atomic"
 	"time"
@@ -9,6 +10,8 @@ import (
 	"asyncsyn/internal/par"
 	"asyncsyn/internal/sat"
 	"asyncsyn/internal/sg"
+	"asyncsyn/internal/synerr"
+	"asyncsyn/internal/trace"
 )
 
 // Attempt tries to find phase columns for m new state signals resolving
@@ -19,12 +22,16 @@ import (
 // returns globally minimum-excitation models, so Tighten is applied only
 // to SAT-engine models. The Portfolio engine races DPLL against WalkSAT
 // concurrently with a deterministic winner (see Engine).
-func Attempt(g *sg.Graph, conf *sg.Conflicts, m int, opt SolveOptions) ([][]sg.Phase, FormulaStats, error) {
+//
+// ctx cancels the solve mid-formula (every engine polls it); a canceled
+// attempt returns an error matching synerr.ErrCanceled. Each completed
+// formula is also reported to the tracer carried by ctx, if any.
+func Attempt(ctx context.Context, g *sg.Graph, conf *sg.Conflicts, m int, opt SolveOptions) ([][]sg.Phase, FormulaStats, error) {
 	opt = opt.withDefaults()
 	start := time.Now()
 
 	if opt.Engine == BDD {
-		cols, err := SolveBDD(g, conf, m, opt.BDDNodeLimit)
+		cols, err := SolveBDD(ctx, g, conf, m, opt.BDDNodeLimit)
 		stats := FormulaStats{
 			Signals: m, Vars: 2 * m * len(g.States),
 			SolveTime: time.Since(start), Engine: "bdd",
@@ -32,9 +39,11 @@ func Attempt(g *sg.Graph, conf *sg.Conflicts, m int, opt SolveOptions) ([][]sg.P
 		switch {
 		case err == nil:
 			stats.Status = sat.Sat
+			emitFormula(ctx, stats)
 			return cols, stats, nil
 		case errors.Is(err, ErrUnsatisfiable):
 			stats.Status = sat.Unsat
+			emitFormula(ctx, stats)
 			return nil, stats, nil
 		case errors.Is(err, bdd.ErrNodeLimit):
 			// Fall through to the SAT engine below.
@@ -51,7 +60,7 @@ func Attempt(g *sg.Graph, conf *sg.Conflicts, m int, opt SolveOptions) ([][]sg.P
 	engine := "dpll"
 	switch opt.Engine {
 	case WalkSAT:
-		r = sat.LocalSearch(enc.F, sat.LocalSearchOptions{})
+		r = sat.LocalSearch(enc.F, sat.LocalSearchOptions{Ctx: ctx})
 		engine = "walksat"
 	case Portfolio:
 		// Race the canonical CDCL engine against WalkSAT. The winner is
@@ -70,10 +79,10 @@ func Attempt(g *sg.Graph, conf *sg.Conflicts, m int, opt SolveOptions) ([][]sg.P
 			return res.Status == sat.Sat
 		}, &cancel,
 			func() sat.Result {
-				return sat.Solve(enc.F, sat.Limits{MaxBacktracks: opt.MaxBacktracks, Cancel: &cancel})
+				return sat.Solve(enc.F, sat.Limits{MaxBacktracks: opt.MaxBacktracks, Cancel: &cancel, Ctx: ctx})
 			},
 			func() sat.Result {
-				return sat.LocalSearch(enc.F, sat.LocalSearchOptions{Cancel: &cancel})
+				return sat.LocalSearch(enc.F, sat.LocalSearchOptions{Cancel: &cancel, Ctx: ctx})
 			},
 		)
 		engine = "portfolio:dpll"
@@ -81,17 +90,37 @@ func Attempt(g *sg.Graph, conf *sg.Conflicts, m int, opt SolveOptions) ([][]sg.P
 			engine = "portfolio:walksat"
 		}
 	default:
-		r = sat.Solve(enc.F, sat.Limits{MaxBacktracks: opt.MaxBacktracks})
+		r = sat.Solve(enc.F, sat.Limits{MaxBacktracks: opt.MaxBacktracks, Ctx: ctx})
 	}
 	stats := FormulaStats{
 		Signals: m, Vars: enc.F.NumVars, Clauses: enc.F.NumClauses(),
 		Literals: enc.F.NumLiterals(), Status: r.Status, SolveTime: time.Since(start),
 		Engine: engine,
 	}
+	if r.Status == sat.Canceled {
+		return nil, stats, synerr.Canceled(ctx.Err())
+	}
+	emitFormula(ctx, stats)
 	if r.Status != sat.Sat {
 		return nil, stats, nil
 	}
 	cols := enc.DecodePhases(r.Model)
 	Tighten(g, conf, cols)
 	return cols, stats, nil
+}
+
+// emitFormula reports a solved formula to the tracer carried by ctx.
+func emitFormula(ctx context.Context, st FormulaStats) {
+	if !trace.Enabled(ctx) {
+		return
+	}
+	trace.Formula(ctx, trace.FormulaEvent{
+		Signals:  st.Signals,
+		Vars:     st.Vars,
+		Clauses:  st.Clauses,
+		Literals: st.Literals,
+		Status:   st.Status.String(),
+		Engine:   st.Engine,
+		Duration: st.SolveTime,
+	})
 }

@@ -1,6 +1,7 @@
 package csc
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -11,7 +12,7 @@ import (
 func TestSolveBDDResolvesTwoPulse(t *testing.T) {
 	g := graph(t, twoPulse)
 	conf := sg.Analyze(g)
-	cols, err := SolveBDD(g, conf, 1, 0)
+	cols, err := SolveBDD(context.Background(), g, conf, 1, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,10 +58,10 @@ func TestSolveBDDUnsatGrowth(t *testing.T) {
 	if conf.LowerBound < 2 {
 		t.Fatalf("pa lower bound = %d, expected ≥ 2", conf.LowerBound)
 	}
-	if _, err := SolveBDD(g, conf, 1, 0); !errors.Is(err, ErrUnsatisfiable) {
+	if _, err := SolveBDD(context.Background(), g, conf, 1, 0); !errors.Is(err, ErrUnsatisfiable) {
 		t.Fatalf("m=1 should be unsatisfiable, got %v", err)
 	}
-	cols, err := SolveBDD(g, conf, 2, 0)
+	cols, err := SolveBDD(context.Background(), g, conf, 2, 0)
 	if err != nil {
 		t.Fatalf("m=2: %v", err)
 	}
@@ -73,11 +74,11 @@ func TestSolveBDDNodeLimitFallsBackViaAttempt(t *testing.T) {
 	g := graph(t, twoPulse)
 	conf := sg.Analyze(g)
 	// Tiny node limit: SolveBDD must fail with ErrNodeLimit...
-	if _, err := SolveBDD(g, conf, 1, 16); err == nil {
+	if _, err := SolveBDD(context.Background(), g, conf, 1, 16); err == nil {
 		t.Fatalf("tiny node limit should fail")
 	}
 	// ...and Attempt must transparently fall back to the SAT engine.
-	cols, stats, err := Attempt(g, conf, 1, SolveOptions{Engine: BDD, BDDNodeLimit: 16})
+	cols, stats, err := Attempt(context.Background(), g, conf, 1, SolveOptions{Engine: BDD, BDDNodeLimit: 16})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,10 +89,10 @@ func TestSolveBDDNodeLimitFallsBackViaAttempt(t *testing.T) {
 
 func TestSolveBDDRejectsBadInput(t *testing.T) {
 	g := graph(t, twoPulse)
-	if _, err := SolveBDD(g, &sg.Conflicts{CSC: []sg.Pair{{A: 0, B: 0}}}, 1, 0); err == nil {
+	if _, err := SolveBDD(context.Background(), g, &sg.Conflicts{CSC: []sg.Pair{{A: 0, B: 0}}}, 1, 0); err == nil {
 		t.Fatalf("self pair accepted")
 	}
-	if _, err := SolveBDD(g, sg.Analyze(g), 0, 0); err == nil {
+	if _, err := SolveBDD(context.Background(), g, sg.Analyze(g), 0, 0); err == nil {
 		t.Fatalf("m=0 accepted")
 	}
 }
@@ -99,11 +100,11 @@ func TestSolveBDDRejectsBadInput(t *testing.T) {
 // TestBDDDirectSolve runs the whole direct flow with the BDD engine.
 func TestBDDDirectSolve(t *testing.T) {
 	g := graph(t, twoPulse)
-	res, err := Solve(g, SolveOptions{Engine: BDD})
+	res, err := Solve(context.Background(), g, SolveOptions{Engine: BDD})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Aborted || res.Inserted < 1 {
+	if res.Inserted < 1 {
 		t.Fatalf("%+v", res)
 	}
 	if conf := sg.Analyze(g); conf.N() != 0 {

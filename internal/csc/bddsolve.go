@@ -1,6 +1,7 @@
 package csc
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -20,8 +21,9 @@ var ErrUnsatisfiable = errors.New("csc: constraints unsatisfiable")
 // is the one with the FEWEST excited states (minimum-cost model over the
 // excitation bits), which directly minimises the expanded state graph
 // and hence the derived logic. Returns bdd.ErrNodeLimit when the
-// diagram explodes; callers fall back to the SAT engine.
-func SolveBDD(g *sg.Graph, conf *sg.Conflicts, m int, nodeLimit int) ([][]sg.Phase, error) {
+// diagram explodes; callers fall back to the SAT engine. ctx cancels
+// the conjunction chain mid-apply (an error matching synerr.ErrCanceled).
+func SolveBDD(ctx context.Context, g *sg.Graph, conf *sg.Conflicts, m int, nodeLimit int) ([][]sg.Phase, error) {
 	if m <= 0 {
 		return nil, fmt.Errorf("csc: need at least one state signal")
 	}
@@ -39,6 +41,7 @@ func SolveBDD(g *sg.Graph, conf *sg.Conflicts, m int, nodeLimit int) ([][]sg.Pha
 	bVar := func(s, k int) int { return 2*(s*m+k) + 1 }
 
 	p := bdd.New(nodeLimit)
+	p.SetContext(ctx)
 	acc := bdd.True
 
 	conj := func(f bdd.Node) error {

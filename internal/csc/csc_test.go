@@ -1,12 +1,15 @@
 package csc
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
 
 	"asyncsyn/internal/bench"
 	"asyncsyn/internal/sat"
 	"asyncsyn/internal/sg"
+	"asyncsyn/internal/synerr"
 	"asyncsyn/internal/stg"
 )
 
@@ -176,11 +179,11 @@ func TestExpandXorClauseGrowth(t *testing.T) {
 
 func TestSolveDirectResolvesConflicts(t *testing.T) {
 	g := graph(t, twoPulse)
-	res, err := Solve(g, SolveOptions{})
+	res, err := Solve(context.Background(), g, SolveOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Aborted || res.Inserted < 1 {
+	if res.Inserted < 1 {
 		t.Fatalf("direct solve: %+v", res)
 	}
 	if conf := sg.Analyze(g); conf.N() != 0 {
@@ -207,7 +210,7 @@ a- r+
 .marking { <a-,r+> }
 .end
 `)
-	res, err := Solve(g, SolveOptions{})
+	res, err := Solve(context.Background(), g, SolveOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -225,12 +228,9 @@ func TestSolveDirectBacktrackLimit(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Solve(g, SolveOptions{MaxBacktracks: 1})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !res.Aborted {
-		t.Fatalf("1-backtrack budget on mmu1 should abort")
+	res, err := Solve(context.Background(), g, SolveOptions{MaxBacktracks: 1})
+	if !errors.Is(err, synerr.ErrBacktrackLimit) {
+		t.Fatalf("1-backtrack budget on mmu1 should abort, got %v", err)
 	}
 	if len(res.Formulas) == 0 || res.Formulas[len(res.Formulas)-1].Status != sat.BacktrackLimit {
 		t.Fatalf("abort not recorded in formula stats")
@@ -239,12 +239,12 @@ func TestSolveDirectBacktrackLimit(t *testing.T) {
 
 func TestSolveDirectWalkSAT(t *testing.T) {
 	g := graph(t, twoPulse)
-	res, err := Solve(g, SolveOptions{Engine: WalkSAT})
+	_, err := Solve(context.Background(), g, SolveOptions{Engine: WalkSAT})
+	if errors.Is(err, synerr.ErrBacktrackLimit) {
+		t.Skip("local search missed the model under its default budget")
+	}
 	if err != nil {
 		t.Fatal(err)
-	}
-	if res.Aborted {
-		t.Skip("local search missed the model under its default budget")
 	}
 	if conf := sg.Analyze(g); conf.N() != 0 {
 		t.Fatalf("conflicts remain after WalkSAT solve")
@@ -296,7 +296,7 @@ func countExcited(cols [][]sg.Phase) int {
 
 func TestRedundantAndPrune(t *testing.T) {
 	g := graph(t, twoPulse)
-	if _, err := Solve(g, SolveOptions{}); err != nil {
+	if _, err := Solve(context.Background(), g, SolveOptions{}); err != nil {
 		t.Fatal(err)
 	}
 	needed := len(g.StateSigs)

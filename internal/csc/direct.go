@@ -1,11 +1,13 @@
 package csc
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"asyncsyn/internal/sat"
 	"asyncsyn/internal/sg"
+	"asyncsyn/internal/synerr"
 )
 
 // Engine selects the SAT engine used to solve CSC formulas.
@@ -82,9 +84,6 @@ type FormulaStats struct {
 type Result struct {
 	// Inserted is the number of state signals added to the graph.
 	Inserted int
-	// Aborted is true when the backtrack limit was exhausted before a
-	// verdict; the graph then still has CSC conflicts.
-	Aborted bool
 	// Formulas records every SAT instance attempted, in order.
 	Formulas []FormulaStats
 }
@@ -94,7 +93,11 @@ type Result struct {
 // method of Vanbekbergen et al. The graph is modified in place (phase
 // columns are appended). Following the paper's Figure 4 loop, m starts
 // at the conflict lower bound and grows on UNSAT.
-func Solve(g *sg.Graph, opt SolveOptions) (*Result, error) {
+//
+// A backtrack-budget exhaustion returns an error matching
+// synerr.ErrBacktrackLimit (alongside the partial Result); a canceled
+// ctx returns one matching synerr.ErrCanceled.
+func Solve(ctx context.Context, g *sg.Graph, opt SolveOptions) (*Result, error) {
 	opt = opt.withDefaults()
 	res := &Result{}
 	conf := sg.Analyze(g)
@@ -117,7 +120,7 @@ func Solve(g *sg.Graph, opt SolveOptions) (*Result, error) {
 		jointCap = opt.MaxSignals
 	}
 	for ; m <= jointCap; m++ {
-		cols, stats, err := Attempt(g, conf, m, opt)
+		cols, stats, err := Attempt(ctx, g, conf, m, opt)
 		if err != nil {
 			return res, err
 		}
@@ -136,17 +139,15 @@ func Solve(g *sg.Graph, opt SolveOptions) (*Result, error) {
 			}
 			return res, nil
 		case sat.BacktrackLimit:
-			res.Aborted = true
-			return res, nil
+			return res, fmt.Errorf("csc: joint %d-signal formula: %w", m, synerr.ErrBacktrackLimit)
 		case sat.Unsat:
 			// Grow m, then fall through to incremental insertion.
 		}
 	}
-	inserted, stats, aborted, err := InsertIncremental(g,
+	inserted, stats, err := InsertIncremental(ctx, g,
 		func() *sg.Conflicts { return sg.Analyze(g) }, opt, opt.MaxSignals)
 	res.Formulas = append(res.Formulas, stats...)
 	res.Inserted += inserted
-	res.Aborted = aborted
 	if err != nil {
 		return res, err
 	}

@@ -1,10 +1,12 @@
 package csc
 
 import (
+	"context"
 	"fmt"
 
 	"asyncsyn/internal/sat"
 	"asyncsyn/internal/sg"
+	"asyncsyn/internal/synerr"
 )
 
 // InsertIncremental resolves conflicts one state signal at a time: each
@@ -18,12 +20,17 @@ import (
 // whole cascade inside one exponentially symmetric formula, while the
 // greedy loop finds it signal by signal. refresh re-analyses the graph
 // after each insertion; maxSignals bounds the loop.
-func InsertIncremental(g *sg.Graph, refresh func() *sg.Conflicts, opt SolveOptions, maxSignals int) (inserted int, stats []FormulaStats, aborted bool, err error) {
+//
+// Budget exhaustion returns an error matching synerr.ErrBacktrackLimit;
+// running out of signal slots with conflicts left returns one matching
+// synerr.ErrConflictsPersist. Both come with the inserted count and
+// formula stats accumulated so far.
+func InsertIncremental(ctx context.Context, g *sg.Graph, refresh func() *sg.Conflicts, opt SolveOptions, maxSignals int) (inserted int, stats []FormulaStats, err error) {
 	opt = opt.withDefaults()
 	for inserted < maxSignals {
 		conf := refresh()
 		if conf.N() == 0 {
-			return inserted, stats, false, nil
+			return inserted, stats, nil
 		}
 		candidates := []*sg.Conflicts{conf, LargestGroup(g, conf)}
 		for _, p := range conf.CSC {
@@ -31,9 +38,9 @@ func InsertIncremental(g *sg.Graph, refresh func() *sg.Conflicts, opt SolveOptio
 		}
 		progressed := false
 		for _, cand := range candidates {
-			cols, st, aerr := Attempt(g, cand, 1, opt)
+			cols, st, aerr := Attempt(ctx, g, cand, 1, opt)
 			if aerr != nil {
-				return inserted, stats, false, aerr
+				return inserted, stats, aerr
 			}
 			stats = append(stats, st)
 			switch st.Status {
@@ -45,20 +52,20 @@ func InsertIncremental(g *sg.Graph, refresh func() *sg.Conflicts, opt SolveOptio
 				inserted++
 				progressed = true
 			case sat.BacktrackLimit:
-				return inserted, stats, true, nil
+				return inserted, stats, fmt.Errorf("csc: incremental signal %d: %w", inserted, synerr.ErrBacktrackLimit)
 			}
 			if progressed {
 				break
 			}
 		}
 		if !progressed {
-			return inserted, stats, false, fmt.Errorf("csc: no conflict pair separable by a single signal (%d remain)", conf.N())
+			return inserted, stats, fmt.Errorf("csc: no conflict pair separable by a single signal (%d remain): %w", conf.N(), synerr.ErrConflictsPersist)
 		}
 	}
 	if refresh().N() != 0 {
-		return inserted, stats, false, fmt.Errorf("csc: conflicts remain after %d incremental signals", maxSignals)
+		return inserted, stats, fmt.Errorf("csc: conflicts remain after %d incremental signals: %w", maxSignals, synerr.ErrConflictsPersist)
 	}
-	return inserted, stats, false, nil
+	return inserted, stats, nil
 }
 
 // LargestGroup restricts conf to the pairs of the code group with the

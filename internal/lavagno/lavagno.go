@@ -12,12 +12,15 @@
 package lavagno
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"asyncsyn/internal/csc"
 	"asyncsyn/internal/sat"
 	"asyncsyn/internal/sg"
+	"asyncsyn/internal/synerr"
+	"asyncsyn/internal/trace"
 )
 
 // Options configures the baseline.
@@ -43,7 +46,6 @@ func (o Options) withDefaults() Options {
 // Result reports the insertion run.
 type Result struct {
 	Inserted int
-	Aborted  bool
 	Formulas []csc.FormulaStats
 }
 
@@ -53,49 +55,62 @@ type Result struct {
 // the most popular code); consistency, semi-modularity and USC
 // constraints still span the entire graph, which is what makes the
 // method expensive without decomposition.
-func Solve(g *sg.Graph, opt Options) (*Result, error) {
+//
+// Budget exhaustion or an insertion cap reached with conflicts left
+// returns an error matching synerr.ErrBacktrackLimit (Table 1 reports
+// this method aborting on some STGs); a canceled ctx returns one
+// matching synerr.ErrCanceled. Both come with the partial Result.
+func Solve(ctx context.Context, g *sg.Graph, opt Options) (*Result, error) {
 	opt = opt.withDefaults()
 	res := &Result{}
+	solveOne := func(target *sg.Conflicts) (*csc.Encoding, sat.Result, error) {
+		enc, err := csc.Encode(g, target, 1, csc.Options{})
+		if err != nil {
+			return nil, sat.Result{}, err
+		}
+		start := time.Now()
+		r := sat.Solve(enc.F, sat.Limits{MaxBacktracks: opt.MaxBacktracks, Ctx: ctx})
+		st := csc.FormulaStats{
+			Signals: 1, Vars: enc.F.NumVars, Clauses: enc.F.NumClauses(),
+			Literals: enc.F.NumLiterals(), Status: r.Status, SolveTime: time.Since(start),
+			Engine: "dpll",
+		}
+		if r.Status == sat.Canceled {
+			return nil, r, synerr.Canceled(ctx.Err())
+		}
+		res.Formulas = append(res.Formulas, st)
+		trace.Formula(ctx, trace.FormulaEvent{
+			Signals: 1, Vars: st.Vars, Clauses: st.Clauses, Literals: st.Literals,
+			Status: st.Status.String(), Engine: st.Engine, Duration: st.SolveTime,
+		})
+		return enc, r, nil
+	}
 	for res.Inserted < opt.MaxSignals {
 		conf := sg.Analyze(g)
 		if conf.N() == 0 {
 			return res, nil
 		}
 		target := largestGroup(g, conf)
-		enc, err := csc.Encode(g, target, 1, csc.Options{})
+		enc, r, err := solveOne(target)
 		if err != nil {
 			return res, err
 		}
-		start := time.Now()
-		r := sat.Solve(enc.F, sat.Limits{MaxBacktracks: opt.MaxBacktracks})
-		res.Formulas = append(res.Formulas, csc.FormulaStats{
-			Signals: 1, Vars: enc.F.NumVars, Clauses: enc.F.NumClauses(),
-			Literals: enc.F.NumLiterals(), Status: r.Status, SolveTime: time.Since(start),
-		})
 		switch r.Status {
 		case sat.BacktrackLimit:
-			res.Aborted = true
-			return res, nil
+			return res, fmt.Errorf("lavagno: signal %d: %w", res.Inserted, synerr.ErrBacktrackLimit)
 		case sat.Unsat:
 			// One signal cannot split this group under the global
 			// constraints; fall back to separating only its first pair.
 			if len(target.CSC) == 1 {
-				return res, fmt.Errorf("lavagno: conflict pair %v unresolvable with one signal", target.CSC[0])
+				return res, fmt.Errorf("lavagno: conflict pair %v unresolvable with one signal: %w", target.CSC[0], synerr.ErrConflictsPersist)
 			}
 			single := &sg.Conflicts{CSC: target.CSC[:1], USC: append(target.USC, target.CSC[1:]...)}
-			enc, err = csc.Encode(g, single, 1, csc.Options{})
+			enc, r, err = solveOne(single)
 			if err != nil {
 				return res, err
 			}
-			start = time.Now()
-			r = sat.Solve(enc.F, sat.Limits{MaxBacktracks: opt.MaxBacktracks})
-			res.Formulas = append(res.Formulas, csc.FormulaStats{
-				Signals: 1, Vars: enc.F.NumVars, Clauses: enc.F.NumClauses(),
-				Literals: enc.F.NumLiterals(), Status: r.Status, SolveTime: time.Since(start),
-			})
 			if r.Status != sat.Sat {
-				res.Aborted = true
-				return res, nil
+				return res, fmt.Errorf("lavagno: signal %d single-pair fallback: %w", res.Inserted, synerr.ErrBacktrackLimit)
 			}
 		}
 		if r.Status == sat.Sat {
@@ -112,7 +127,7 @@ func Solve(g *sg.Graph, opt Options) (*Result, error) {
 	if conf := sg.Analyze(g); conf.N() != 0 {
 		// Insertion cap exhausted with conflicts left: report the run as
 		// aborted (Table 1 reports this method failing on some STGs).
-		res.Aborted = true
+		return res, fmt.Errorf("lavagno: %d conflicts remain at the %d-signal cap: %w", conf.N(), opt.MaxSignals, synerr.ErrBacktrackLimit)
 	}
 	return res, nil
 }

@@ -1,10 +1,13 @@
 package lavagno
 
 import (
+	"context"
+	"errors"
 	"testing"
 
 	"asyncsyn/internal/bench"
 	"asyncsyn/internal/sg"
+	"asyncsyn/internal/synerr"
 	"asyncsyn/internal/stg"
 )
 
@@ -38,11 +41,11 @@ func load(t *testing.T, src string) *sg.Graph {
 
 func TestSolveSmall(t *testing.T) {
 	g := load(t, twoPulse)
-	res, err := Solve(g, Options{})
+	res, err := Solve(context.Background(), g, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Aborted || res.Inserted < 1 {
+	if res.Inserted < 1 {
 		t.Fatalf("result %+v", res)
 	}
 	if conf := sg.Analyze(g); conf.N() != 0 {
@@ -71,11 +74,11 @@ a- r+
 .marking { <a-,r+> }
 .end
 `)
-	res, err := Solve(g, Options{})
+	res, err := Solve(context.Background(), g, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Inserted != 0 || res.Aborted {
+	if res.Inserted != 0 {
 		t.Fatalf("clean graph: %+v", res)
 	}
 }
@@ -91,12 +94,12 @@ func TestOneSignalPerIteration(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Solve(g, Options{})
+	res, err := Solve(context.Background(), g, Options{})
+	if errors.Is(err, synerr.ErrBacktrackLimit) {
+		t.Skip("pa aborted under default budget")
+	}
 	if err != nil {
 		t.Fatal(err)
-	}
-	if res.Aborted {
-		t.Skip("pa aborted under default budget")
 	}
 	if res.Inserted < 2 {
 		t.Fatalf("pa needs ≥2 signals, got %d", res.Inserted)
@@ -120,11 +123,8 @@ func TestAbortsAtSignalCap(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Solve(g, Options{MaxSignals: 2})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !res.Aborted {
-		t.Fatalf("mmu0 with a 2-signal cap must abort")
+	_, err = Solve(context.Background(), g, Options{MaxSignals: 2})
+	if !errors.Is(err, synerr.ErrBacktrackLimit) {
+		t.Fatalf("mmu0 with a 2-signal cap must abort, got %v", err)
 	}
 }

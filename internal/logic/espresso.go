@@ -1,8 +1,11 @@
 package logic
 
 import (
+	"context"
 	"fmt"
 	"sort"
+
+	"asyncsyn/internal/synerr"
 )
 
 // Spec is a single-output incompletely specified function given by
@@ -54,6 +57,14 @@ type Options struct {
 // minterms, then REDUCE + re-EXPAND passes until the literal count stops
 // improving.
 func Minimize(spec Spec, opt Options) (Cover, error) {
+	return MinimizeContext(context.Background(), spec, opt)
+}
+
+// MinimizeContext is Minimize under a cancellation context, polled
+// between EXPAND/IRREDUNDANT/REDUCE passes so a canceled synthesis run
+// abandons the minimization promptly (with an error matching
+// synerr.ErrCanceled).
+func MinimizeContext(ctx context.Context, spec Spec, opt Options) (Cover, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
@@ -82,6 +93,9 @@ func Minimize(spec Spec, opt Options) (Cover, error) {
 	best := cover
 	bestLits := cover.Literals()
 	for pass := 1; pass < opt.MaxPasses; pass++ {
+		if err := ctx.Err(); err != nil {
+			return nil, synerr.Canceled(err)
+		}
 		reduced := reduce(cover, spec.On)
 		next := make(Cover, len(reduced))
 		for i, c := range reduced {

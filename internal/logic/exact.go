@@ -1,8 +1,11 @@
 package logic
 
 import (
+	"context"
 	"fmt"
 	"sort"
+
+	"asyncsyn/internal/synerr"
 )
 
 // MinimizeExact computes a minimum-literal prime cover of the ON-set —
@@ -14,6 +17,14 @@ import (
 // intended for the function sizes state-graph synthesis produces
 // (guarded by MaxPrimes).
 func MinimizeExact(spec Spec, opt ExactOptions) (Cover, error) {
+	return MinimizeExactContext(context.Background(), spec, opt)
+}
+
+// MinimizeExactContext is MinimizeExact under a cancellation context,
+// polled between phases and periodically inside the branch-and-bound
+// search so a canceled run abandons the covering problem promptly (with
+// an error matching synerr.ErrCanceled).
+func MinimizeExactContext(ctx context.Context, spec Spec, opt ExactOptions) (Cover, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
@@ -25,6 +36,9 @@ func MinimizeExact(spec Spec, opt ExactOptions) (Cover, error) {
 	}
 	if len(spec.On) == 0 {
 		return Cover{}, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, synerr.Canceled(err)
 	}
 
 	primes, err := AllPrimes(spec.NumVars, spec.Off, opt.MaxPrimes)
@@ -46,7 +60,7 @@ func MinimizeExact(spec Spec, opt ExactOptions) (Cover, error) {
 			covers = append(covers, rows)
 		}
 	}
-	sel, err := coverExact(useful, covers, len(spec.On), opt.MaxNodes)
+	sel, err := coverExact(ctx, useful, covers, len(spec.On), opt.MaxNodes)
 	if err != nil {
 		return nil, err
 	}
@@ -123,7 +137,7 @@ func removeContained(cs Cover) Cover {
 // coverExact solves the minimum-literal set cover: pick prime indices
 // covering every ON row. Branch and bound with essentials and row/column
 // dominance.
-func coverExact(primes Cover, covers [][]int, rows int, maxNodes int) ([]int, error) {
+func coverExact(ctx context.Context, primes Cover, covers [][]int, rows int, maxNodes int) ([]int, error) {
 	costs := make([]int, len(primes))
 	for i, p := range primes {
 		costs[i] = p.Literals()
@@ -153,6 +167,11 @@ func coverExact(primes Cover, covers [][]int, rows int, maxNodes int) ([]int, er
 		nodes++
 		if nodes > maxNodes {
 			return fmt.Errorf("logic: exact covering exceeded %d nodes", maxNodes)
+		}
+		if nodes&1023 == 0 {
+			if err := ctx.Err(); err != nil {
+				return synerr.Canceled(err)
+			}
 		}
 		if cost >= bestCost {
 			return nil

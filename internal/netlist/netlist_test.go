@@ -1,6 +1,7 @@
 package netlist
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -98,7 +99,7 @@ func TestSynthesizedNetlist(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := core.Synthesize(spec, core.Options{})
+	res, err := core.Synthesize(context.Background(), spec, core.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

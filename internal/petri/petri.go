@@ -10,9 +10,12 @@
 package petri
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
+
+	"asyncsyn/internal/synerr"
 )
 
 // PlaceID and TransID index into a Net's place and transition tables.
@@ -209,6 +212,15 @@ type Reachability struct {
 // marking, failing if any place accumulates more than bound tokens or if
 // more than maxStates states are generated (0 means no state cap).
 func (n *Net) Reach(bound int, maxStates int) (*Reachability, error) {
+	return n.ReachContext(context.Background(), bound, maxStates)
+}
+
+// ReachContext is Reach under a cancellation context, polled
+// periodically during exploration so a canceled synthesis run stops
+// mid-generation (with an error matching synerr.ErrCanceled) instead of
+// finishing a large state space first. Exceeding maxStates yields an
+// error matching synerr.ErrStateLimit.
+func (n *Net) ReachContext(ctx context.Context, bound int, maxStates int) (*Reachability, error) {
 	if len(n.Initial) != len(n.Places) {
 		return nil, fmt.Errorf("petri: initial marking covers %d of %d places", len(n.Initial), len(n.Places))
 	}
@@ -225,7 +237,7 @@ func (n *Net) Reach(bound int, maxStates int) (*Reachability, error) {
 		}
 		i := len(r.States)
 		if maxStates > 0 && i >= maxStates {
-			return 0, fmt.Errorf("petri: reachability exceeds %d states", maxStates)
+			return 0, fmt.Errorf("petri: reachability exceeds %d states: %w", maxStates, synerr.ErrStateLimit)
 		}
 		r.States = append(r.States, m)
 		r.Out = append(r.Out, nil)
@@ -236,6 +248,11 @@ func (n *Net) Reach(bound int, maxStates int) (*Reachability, error) {
 		return nil, err
 	}
 	for i := 0; i < len(r.States); i++ {
+		if i&1023 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, synerr.Canceled(err)
+			}
+		}
 		m := r.States[i]
 		for _, t := range n.EnabledSet(m) {
 			j, err := push(n.Fire(m, t))

@@ -1,6 +1,7 @@
 package sat
 
 import (
+	"context"
 	"math"
 	"sort"
 	"sync/atomic"
@@ -18,6 +19,10 @@ const (
 	// (the outcome Table 1 reports for the direct method on large
 	// instances).
 	BacktrackLimit
+	// Canceled: the search's context was canceled before a verdict.
+	// Callers translate this to synerr.ErrCanceled; it never appears in
+	// synthesis output.
+	Canceled
 )
 
 func (s Status) String() string {
@@ -28,6 +33,8 @@ func (s Status) String() string {
 		return "UNSAT"
 	case BacktrackLimit:
 		return "BACKTRACK-LIMIT"
+	case Canceled:
+		return "CANCELED"
 	}
 	return "?"
 }
@@ -54,6 +61,12 @@ type Limits struct {
 	// to reap losing engines; a cancelled result is always discarded by
 	// the caller, so the status choice never reaches synthesis output.
 	Cancel *atomic.Bool
+	// Ctx, when non-nil, is polled every few branch-loop iterations: a
+	// canceled context stops the search promptly with Canceled, so a
+	// synthesis run under deadline returns from the middle of a long
+	// DPLL search. Polling never changes the search when the context
+	// stays live, so results are bit-identical with or without it.
+	Ctx context.Context
 }
 
 // Solve runs a conflict-driven DPLL procedure: two-watched-literal unit
@@ -348,6 +361,12 @@ func (s *solver) addLearned(lits []Lit) int32 {
 }
 
 func (s *solver) run(lim Limits) Result {
+	// An already-canceled context never starts the search: small formulas
+	// can otherwise finish before the branch loop's first poll comes due.
+	if lim.Ctx != nil && lim.Ctx.Err() != nil {
+		s.res.Status = Canceled
+		return s.res
+	}
 	// Level-0 units.
 	for ci, c := range s.clauses {
 		if len(c.lits) == 1 {
@@ -365,7 +384,18 @@ func (s *solver) run(lim Limits) Result {
 	conflictsSinceRestart := int64(0)
 	restartLimit := int64(128)
 
+	var loops int64
 	for {
+		// The branch loop is the search's only unbounded loop, so this
+		// is the cancellation point: cheap enough to poll every few
+		// iterations (conflicts and decisions both pass through here),
+		// frequent enough that a canceled run returns within
+		// microseconds, not after the backtrack budget.
+		loops++
+		if lim.Ctx != nil && loops&127 == 0 && lim.Ctx.Err() != nil {
+			s.res.Status = Canceled
+			return s.res
+		}
 		confl := s.propagate()
 		if confl >= 0 {
 			s.res.Backtracks++

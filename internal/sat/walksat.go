@@ -1,6 +1,7 @@
 package sat
 
 import (
+	"context"
 	"math/rand"
 	"sync/atomic"
 )
@@ -16,6 +17,9 @@ type LocalSearchOptions struct {
 	// the search with BacktrackLimit (used by the portfolio racer to
 	// reap a losing engine; the result is then discarded).
 	Cancel *atomic.Bool
+	// Ctx, when non-nil, is polled on the same cadence as Cancel: a
+	// canceled context stops the flip loop promptly with Canceled.
+	Ctx context.Context
 }
 
 func (o LocalSearchOptions) withDefaults() LocalSearchOptions {
@@ -37,6 +41,11 @@ func (o LocalSearchOptions) withDefaults() LocalSearchOptions {
 // the local-search line of SAT work by the paper's second author.
 func LocalSearch(f *Formula, opt LocalSearchOptions) Result {
 	opt = opt.withDefaults()
+	// An already-canceled context never starts the search: small formulas
+	// can otherwise finish before the flip loop's first poll comes due.
+	if opt.Ctx != nil && opt.Ctx.Err() != nil {
+		return Result{Status: Canceled}
+	}
 	if f.hasEmpty {
 		return Result{Status: Unsat}
 	}
@@ -132,9 +141,15 @@ func LocalSearch(f *Formula, opt LocalSearchOptions) Result {
 		rebuild()
 		budget := opt.MaxFlips / int64(opt.Restarts)
 		for fl := int64(0); fl < budget; fl++ {
-			if opt.Cancel != nil && fl&1023 == 0 && opt.Cancel.Load() {
-				res.Status = BacktrackLimit
-				return res
+			if fl&1023 == 0 {
+				if opt.Cancel != nil && opt.Cancel.Load() {
+					res.Status = BacktrackLimit
+					return res
+				}
+				if opt.Ctx != nil && opt.Ctx.Err() != nil {
+					res.Status = Canceled
+					return res
+				}
 			}
 			if len(unsat) == 0 {
 				res.Status = Sat

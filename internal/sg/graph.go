@@ -1,6 +1,7 @@
 package sg
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -141,11 +142,18 @@ func (o Options) withDefaults() Options {
 // inconsistent (the STG violates consistent state coding), or a signal's
 // level cannot be determined.
 func FromSTG(g *stg.G, opt Options) (*Graph, error) {
+	return FromSTGContext(context.Background(), g, opt)
+}
+
+// FromSTGContext is FromSTG under a cancellation context: the
+// reachability exploration polls ctx and stops early (with an error
+// matching synerr.ErrCanceled) when it is canceled.
+func FromSTGContext(ctx context.Context, g *stg.G, opt Options) (*Graph, error) {
 	opt = opt.withDefaults()
 	if len(g.Signals) > MaxSignals {
 		return nil, fmt.Errorf("sg: %d signals exceed the %d-signal limit", len(g.Signals), MaxSignals)
 	}
-	r, err := g.Net.Reach(opt.Bound, opt.MaxStates)
+	r, err := g.Net.ReachContext(ctx, opt.Bound, opt.MaxStates)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"testing"
 
 	"asyncsyn/internal/bench"
@@ -104,12 +105,9 @@ func TestConformanceSuite(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			res, err := core.Synthesize(spec, core.Options{})
+			res, err := core.Synthesize(context.Background(), spec, core.Options{})
 			if err != nil {
 				t.Fatal(err)
-			}
-			if res.Aborted {
-				t.Fatal("aborted")
 			}
 			c, levels := circuitOf(res)
 			if v := Run(spec, c, levels, Options{MaxDepth: 50000}); len(v) != 0 {
@@ -133,7 +131,7 @@ func TestConformanceRandomBig(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			res, err := core.Synthesize(spec, core.Options{})
+			res, err := core.Synthesize(context.Background(), spec, core.Options{})
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -1,0 +1,48 @@
+package synerr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestCanceledMatchesBothSentinels(t *testing.T) {
+	err := Canceled(context.DeadlineExceeded)
+	if !errors.Is(err, ErrCanceled) {
+		t.Errorf("Canceled does not match ErrCanceled")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("Canceled does not match its cause")
+	}
+	if errors.Is(err, context.Canceled) {
+		t.Errorf("Canceled matches an unrelated context error")
+	}
+	if !strings.Contains(err.Error(), "canceled") {
+		t.Errorf("Error() = %q", err)
+	}
+}
+
+func TestWrappedSentinelsSurviveFmtErrorf(t *testing.T) {
+	base := fmt.Errorf("csc: direct solve: %w", ErrBacktrackLimit)
+	outer := fmt.Errorf("stage csc: %w", base)
+	if !errors.Is(outer, ErrBacktrackLimit) {
+		t.Errorf("double-wrapped sentinel lost")
+	}
+	both := fmt.Errorf("output %q: %w: %w", "y", ErrModuleUnsolvable, base)
+	if !errors.Is(both, ErrModuleUnsolvable) || !errors.Is(both, ErrBacktrackLimit) {
+		t.Errorf("multi-%%w wrapping lost a sentinel")
+	}
+}
+
+func TestSentinelsAreDistinct(t *testing.T) {
+	all := []error{ErrCanceled, ErrBacktrackLimit, ErrStateLimit, ErrModuleUnsolvable, ErrConflictsPersist}
+	for i, a := range all {
+		for j, b := range all {
+			if (i == j) != errors.Is(a, b) {
+				t.Errorf("sentinel identity broken: %v vs %v", a, b)
+			}
+		}
+	}
+}
