@@ -33,6 +33,7 @@ import (
 	"asyncsyn/internal/dot"
 	"asyncsyn/internal/lavagno"
 	"asyncsyn/internal/logic"
+	"asyncsyn/internal/metrics"
 	"asyncsyn/internal/pipeline"
 	"asyncsyn/internal/sg"
 	"asyncsyn/internal/stg"
@@ -82,6 +83,20 @@ func NewJSONTracer(w io.Writer) Tracer { return trace.NewJSON(w) }
 
 // NewLogTracer returns a Tracer writing human-readable lines to w.
 func NewLogTracer(w io.Writer) Tracer { return trace.NewLog(w) }
+
+// Metrics is a thread-safe set of atomic synthesis counters (SAT
+// decisions/conflicts/propagations/learned clauses, WalkSAT flips, BDD
+// nodes, state-graph states explored and merged, ESPRESSO passes,
+// modular passes, formula sizes). Attach one via Options.Metrics; it
+// accumulates across every run it is attached to, and each run's own
+// delta is reported in Circuit.Counters and per stage in
+// Circuit.Stages. Collection is zero-overhead when no collector is
+// attached: hot paths consult the context once per coarse operation and
+// all methods no-op on nil.
+type Metrics = metrics.Collector
+
+// NewMetrics returns an empty metrics collector.
+func NewMetrics() *Metrics { return metrics.New() }
 
 // STG is a parsed or programmatically built signal transition graph.
 type STG struct {
@@ -206,6 +221,12 @@ type Options struct {
 	// Tracer, when non-nil, receives stage and formula events for the
 	// run (see NewJSONTracer and NewLogTracer).
 	Tracer Tracer
+	// Metrics, when non-nil, accumulates the run's counters (see
+	// Metrics); the run's delta also lands in Circuit.Counters and, per
+	// stage, in Circuit.Stages. The deterministic counters (states,
+	// clauses, modules, and — under the default complete engine — the
+	// SAT search statistics) are identical for every Workers value.
+	Metrics *Metrics
 }
 
 // FormulaStat describes one SAT instance solved during synthesis.
@@ -292,8 +313,14 @@ type Circuit struct {
 	Functions []Function
 	Modules   []ModuleReport // modular method only
 	Formulas  []FormulaStat
-	// Stages records the per-stage timings of the pipeline run.
+	// Stages records the per-stage timings of the pipeline run; when
+	// Options.Metrics is set each stage also carries the counters it
+	// advanced.
 	Stages []StageStat
+	// Counters holds this run's metrics deltas keyed by their stable
+	// schema names (sat_decisions, sg_states, modules, ...); nil unless
+	// Options.Metrics was set.
+	Counters map[string]int64
 
 	// initialLevels records the reset level of every signal (including
 	// inserted state signals) for closed-loop verification.
@@ -347,14 +374,28 @@ func SynthesizeContext(ctx context.Context, s *STG, opt Options) (*Circuit, erro
 	if opt.Tracer != nil {
 		ctx = trace.With(ctx, opt.Tracer, s.g.Name, opt.Method.String())
 	}
+	if opt.Metrics != nil {
+		ctx = metrics.With(ctx, opt.Metrics)
+	}
+	before := opt.Metrics.Snapshot()
+	var (
+		c   *Circuit
+		err error
+	)
 	switch opt.Method {
 	case Modular:
-		return synthesizeModular(ctx, s, opt, start)
+		c, err = synthesizeModular(ctx, s, opt, start)
 	case Direct, Lavagno:
-		return synthesizeWholeGraph(ctx, s, opt, start)
+		c, err = synthesizeWholeGraph(ctx, s, opt, start)
 	default:
 		return nil, fmt.Errorf("asyncsyn: unknown method %v", opt.Method)
 	}
+	if c != nil {
+		// The collector may be shared across runs; the circuit reports
+		// only this run's delta.
+		c.Counters = opt.Metrics.Snapshot().Delta(before)
+	}
+	return c, err
 }
 
 func sgOptions(opt Options) sg.Options {

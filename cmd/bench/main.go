@@ -1,0 +1,377 @@
+// Command bench is the metrics-instrumented benchmark harness. It runs
+// the full Table-1 suite across the three synthesis methods (plus the
+// formula-size and scaling sweeps), collects the per-run metrics
+// counters, and emits a versioned, schema-stable JSON record
+// (internal/benchrec) that later runs can be diffed against and that
+// regenerates the measured sections of EXPERIMENTS.md.
+//
+// Usage:
+//
+//	bench -out BENCH_1.json             # run everything, write the record
+//	bench -quick -out q.json            # small rows only, no sweeps
+//	bench -against BENCH_0.json         # run, then diff against a baseline
+//	bench -against old.json new.json    # diff two existing records
+//	bench -render BENCH_0.json          # regenerate EXPERIMENTS.md sections
+//	bench -render BENCH_0.json -check   # verify the doc is in sync
+//
+// The comparison exits non-zero on behaviour drift — areas, state
+// counts, signals, aborts, determinism digests — and prints soft
+// warnings for CPU-time regressions beyond 25% and counter drift.
+// Rows present in only one record are skipped, so a -quick run
+// compares cleanly against a committed full baseline.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strings"
+
+	"asyncsyn"
+	"asyncsyn/internal/bench"
+	"asyncsyn/internal/benchrec"
+	"asyncsyn/internal/par"
+	"asyncsyn/internal/stg"
+)
+
+func main() {
+	out := flag.String("out", "", "write the record as JSON to this path (default: stdout when running)")
+	quick := flag.Bool("quick", false, "run only the small rows (paper initial states ≤ 100) and skip the clause/scaling sweeps")
+	against := flag.String("against", "", "baseline record to compare with; fresh record is an optional positional arg, else the suite runs")
+	render := flag.String("render", "", "regenerate the generated sections of -doc from this record instead of running")
+	doc := flag.String("doc", "EXPERIMENTS.md", "document whose generated sections -render rewrites")
+	check := flag.Bool("check", false, "with -render: verify the doc is already in sync instead of rewriting it")
+	workers := flag.Int("workers", 0, "worker pool over benchmark rows (0 = GOMAXPROCS; results are identical for any value)")
+	maxBT := flag.Int64("maxbacktracks", 300000, "SAT backtrack budget per formula")
+	flag.Parse()
+
+	var err error
+	switch {
+	case *render != "":
+		err = doRender(*render, *doc, *check)
+	case *against != "":
+		err = doCompare(*against, flag.Arg(0), *out, *quick, *workers, *maxBT)
+	default:
+		err = doRun(*out, *quick, *workers, *maxBT)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func doRun(out string, quick bool, workers int, maxBT int64) error {
+	rec, err := runSuite(quick, workers, maxBT)
+	if err != nil {
+		return err
+	}
+	if out == "" {
+		return rec.Encode(os.Stdout)
+	}
+	if err := rec.WriteFile(out); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "bench: wrote %s (%d rows, %d clause rows, %d scaling points)\n",
+		out, len(rec.Rows), len(rec.Clauses), len(rec.Scaling))
+	return nil
+}
+
+func doCompare(baseline, freshPath, out string, quick bool, workers int, maxBT int64) error {
+	old, err := benchrec.ReadFile(baseline)
+	if err != nil {
+		return err
+	}
+	var fresh *benchrec.Record
+	if freshPath != "" {
+		if fresh, err = benchrec.ReadFile(freshPath); err != nil {
+			return err
+		}
+	} else {
+		if fresh, err = runSuite(quick, workers, maxBT); err != nil {
+			return err
+		}
+		if out != "" {
+			if err := fresh.WriteFile(out); err != nil {
+				return err
+			}
+		}
+	}
+	rep := benchrec.Compare(old, fresh, benchrec.CompareOptions{})
+	for _, s := range rep.Soft {
+		fmt.Printf("warn: %s\n", s)
+	}
+	for _, h := range rep.Hard {
+		fmt.Printf("FAIL: %s\n", h)
+	}
+	fmt.Printf("bench: compared %d benchmark×method pairs against %s: %d hard, %d soft\n",
+		rep.Compared, baseline, len(rep.Hard), len(rep.Soft))
+	if rep.Failed() {
+		return fmt.Errorf("behaviour drift against %s", baseline)
+	}
+	return nil
+}
+
+func doRender(recPath, docPath string, check bool) error {
+	rec, err := benchrec.ReadFile(recPath)
+	if err != nil {
+		return err
+	}
+	in, err := os.ReadFile(docPath)
+	if err != nil {
+		return err
+	}
+	rendered, err := benchrec.RenderDoc(in, rec)
+	if err != nil {
+		return err
+	}
+	if check {
+		if !bytes.Equal(in, rendered) {
+			return fmt.Errorf("%s is out of sync with %s; run: go run ./cmd/bench -render %s", docPath, recPath, recPath)
+		}
+		fmt.Fprintf(os.Stderr, "bench: %s is in sync with %s\n", docPath, recPath)
+		return nil
+	}
+	if bytes.Equal(in, rendered) {
+		fmt.Fprintf(os.Stderr, "bench: %s already up to date\n", docPath)
+		return nil
+	}
+	if err := os.WriteFile(docPath, rendered, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "bench: regenerated the generated sections of %s\n", docPath)
+	return nil
+}
+
+// runSuite measures the record: every Table-1 row across the three
+// methods, then (full mode) the clause and scaling sweeps.
+func runSuite(quick bool, workers int, maxBT int64) (*benchrec.Record, error) {
+	names := bench.Names()
+	if quick {
+		var small []string
+		for _, e := range bench.Table1 {
+			if e.InitialStates <= 100 {
+				small = append(small, e.Name)
+			}
+		}
+		names = small
+	}
+
+	rec := &benchrec.Record{
+		Schema: benchrec.SchemaVersion,
+		Env: benchrec.Env{
+			GoVersion:     runtime.Version(),
+			GOOS:          runtime.GOOS,
+			GOARCH:        runtime.GOARCH,
+			NumCPU:        runtime.NumCPU(),
+			GOMAXPROCS:    runtime.GOMAXPROCS(0),
+			Commit:        gitCommit(),
+			Workers:       workers,
+			MaxBacktracks: maxBT,
+			Quick:         quick,
+		},
+	}
+
+	// Rows fan out over the worker pool; like cmd/table1, each synthesis
+	// runs its stages sequentially when the row pool already saturates
+	// the cores, and gets the whole machine when rows are sequential.
+	inner := 0
+	if par.Workers(workers) > 1 {
+		inner = 1
+	}
+	rows, err := par.Map(len(names), workers, func(i int) (benchrec.Row, error) {
+		name := names[i]
+		row := benchrec.Row{Name: name}
+		for _, m := range []struct {
+			method asyncsyn.Method
+			dst    *benchrec.MethodResult
+		}{
+			{asyncsyn.Modular, &row.Modular},
+			{asyncsyn.Direct, &row.Direct},
+			{asyncsyn.Lavagno, &row.Lavagno},
+		} {
+			res, init, initSig := runOne(name, asyncsyn.Options{
+				Method: m.method, MaxBacktracks: maxBT, Workers: inner,
+			})
+			*m.dst = res
+			if init > 0 {
+				row.InitialStates, row.InitialSignals = init, initSig
+			}
+		}
+		fmt.Fprintf(os.Stderr, "bench: %-16s modular %.2fs  direct %.2fs  lavagno %.2fs\n",
+			name, row.Modular.Seconds, row.Direct.Seconds, row.Lavagno.Seconds)
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rec.Rows = rows
+
+	if !quick {
+		if rec.Clauses, err = clauseSweep(maxBT, workers); err != nil {
+			return nil, err
+		}
+		if rec.Scaling, err = scalingSweep(workers); err != nil {
+			return nil, err
+		}
+	}
+	return rec, rec.Validate()
+}
+
+// runOne synthesizes one benchmark with one method, metrics attached,
+// and flattens the circuit into a MethodResult.
+func runOne(name string, opt asyncsyn.Options) (res benchrec.MethodResult, initStates, initSignals int) {
+	src, err := bench.Source(name)
+	if err != nil {
+		return benchrec.MethodResult{Error: err.Error()}, 0, 0
+	}
+	g, err := asyncsyn.ParseSTGString(src)
+	if err != nil {
+		return benchrec.MethodResult{Error: err.Error()}, 0, 0
+	}
+	opt.Metrics = asyncsyn.NewMetrics()
+	c, err := asyncsyn.Synthesize(g, opt)
+	if err != nil {
+		return benchrec.MethodResult{Error: err.Error()}, 0, 0
+	}
+	return flatten(c), c.InitialStates, c.InitialSignals
+}
+
+func flatten(c *asyncsyn.Circuit) benchrec.MethodResult {
+	res := benchrec.MethodResult{
+		Seconds:  c.CPU.Seconds(),
+		Aborted:  c.Aborted,
+		Counters: c.Counters,
+	}
+	for _, st := range c.Stages {
+		res.Stages = append(res.Stages, benchrec.StageTiming{Name: st.Name, Seconds: st.Duration.Seconds()})
+	}
+	if c.Aborted {
+		return res
+	}
+	res.States = c.FinalStates
+	res.Signals = c.FinalSignals
+	res.StateSignals = c.StateSignals
+	res.Area = c.Area
+	res.Digest = digestOf(c)
+	for _, m := range c.Modules {
+		ms := benchrec.ModuleStat{Output: m.Output, States: m.MergedStates, Conflicts: m.Conflicts}
+		// Largest formula the module's pass attempted.
+		for _, f := range c.Formulas {
+			if f.Output == m.Output && f.Clauses > ms.Clauses {
+				ms.Clauses, ms.Vars = f.Clauses, f.Vars
+			}
+		}
+		res.Modules = append(res.Modules, ms)
+	}
+	return res
+}
+
+// digestOf hashes the machine-independent outputs of a run: the circuit
+// shape and every synthesized equation. Workers, GOMAXPROCS and the
+// host never move it; a code change that alters any cover does.
+func digestOf(c *asyncsyn.Circuit) string {
+	parts := []string{fmt.Sprintf("shape %d/%d/%d/%d", c.FinalStates, c.FinalSignals, c.StateSignals, c.Area)}
+	for _, f := range c.Functions {
+		parts = append(parts, f.String())
+	}
+	return benchrec.Digest(parts)
+}
+
+// clauseSweep reproduces the formula-size comparison (paper-style
+// expanded CNF): the direct method's largest formula against every
+// modular formula, on the rows EXPERIMENTS.md reports.
+func clauseSweep(maxBT int64, workers int) ([]benchrec.ClauseRow, error) {
+	names := []string{"mmu0", "mr0", "mr1", "vbe4a"}
+	return par.Map(len(names), workers, func(i int) (benchrec.ClauseRow, error) {
+		name := names[i]
+		cl := benchrec.ClauseRow{Name: name}
+		synth := func(method asyncsyn.Method) (*asyncsyn.Circuit, error) {
+			src, err := bench.Source(name)
+			if err != nil {
+				return nil, err
+			}
+			g, err := asyncsyn.ParseSTGString(src)
+			if err != nil {
+				return nil, err
+			}
+			return asyncsyn.Synthesize(g, asyncsyn.Options{
+				Method: method, MaxBacktracks: maxBT, ExpandXor: true, Workers: 1,
+			})
+		}
+		d, err := synth(asyncsyn.Direct)
+		if err != nil {
+			return cl, fmt.Errorf("clauses %s direct: %w", name, err)
+		}
+		for _, f := range d.Formulas {
+			if f.Clauses > cl.DirectClauses {
+				cl.DirectClauses, cl.DirectVars = f.Clauses, f.Vars
+			}
+		}
+		m, err := synth(asyncsyn.Modular)
+		if err != nil {
+			return cl, fmt.Errorf("clauses %s modular: %w", name, err)
+		}
+		for _, f := range m.Formulas {
+			cl.Modular = append(cl.Modular, benchrec.ClauseFormula{Clauses: f.Clauses, Vars: f.Vars})
+		}
+		fmt.Fprintf(os.Stderr, "bench: clauses %-10s direct %d cls, %d modular formulas\n",
+			name, cl.DirectClauses, len(cl.Modular))
+		return cl, nil
+	})
+}
+
+// scalingSweep runs the parametric handshake family (k concurrent slave
+// handshakes in two phases — the mr/mmu structure) through all three
+// methods, as examples/scaling does.
+func scalingSweep(workers int) ([]benchrec.ScalingRow, error) {
+	const points = 4
+	return par.Map(points, workers, func(i int) (benchrec.ScalingRow, error) {
+		k := i + 1
+		row := benchrec.ScalingRow{K: k}
+		spec, err := stg.Handshakes("", k, 2)
+		if err != nil {
+			return row, err
+		}
+		src := stg.Format(spec)
+		for _, m := range []struct {
+			method asyncsyn.Method
+			dst    *benchrec.ScalCell
+		}{
+			{asyncsyn.Modular, &row.Modular},
+			{asyncsyn.Direct, &row.Direct},
+			{asyncsyn.Lavagno, &row.Lavagno},
+		} {
+			g, err := asyncsyn.ParseSTGString(src)
+			if err != nil {
+				return row, err
+			}
+			c, err := asyncsyn.Synthesize(g, asyncsyn.Options{
+				Method: m.method, MaxBacktracks: 300000, Workers: 1,
+			})
+			if err != nil {
+				return row, fmt.Errorf("scaling k=%d %v: %w", k, m.method, err)
+			}
+			*m.dst = benchrec.ScalCell{Seconds: c.CPU.Seconds(), Area: c.Area, Aborted: c.Aborted}
+			if c.Aborted {
+				m.dst.Area = 0
+			}
+			if row.States == 0 {
+				row.States = c.InitialStates
+			}
+		}
+		fmt.Fprintf(os.Stderr, "bench: scaling k=%d (%d states) done\n", k, row.States)
+		return row, nil
+	})
+}
+
+// gitCommit records the source revision, best effort.
+func gitCommit() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}

@@ -1,8 +1,11 @@
 package asyncsyn_test
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
+	"time"
 
 	"asyncsyn"
 )
@@ -72,6 +75,49 @@ func ExampleCircuit_Verify() {
 	fmt.Printf("violations: %d\n", len(violations))
 	// Output:
 	// violations: 0
+}
+
+// SynthesizeContext obeys deadlines: an expired context stops the run
+// at the next cancellation poll, and the error matches both the
+// package's ErrCanceled sentinel and the underlying context error.
+func ExampleSynthesizeContext() {
+	g, err := asyncsyn.ParseSTGString(twoPulse)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	_, err = asyncsyn.SynthesizeContext(ctx, g, asyncsyn.Options{})
+	fmt.Println(errors.Is(err, asyncsyn.ErrCanceled))
+	fmt.Println(errors.Is(err, context.DeadlineExceeded))
+	// Output:
+	// true
+	// true
+}
+
+// With Options.Metrics attached, Circuit.Stages reports each pipeline
+// stage with the counters it advanced, and Circuit.Counters holds the
+// whole run's deltas under their stable schema names.
+func ExampleSynthesize_stages() {
+	g, err := asyncsyn.ParseSTGString(twoPulse)
+	if err != nil {
+		log.Fatal(err)
+	}
+	c, err := asyncsyn.Synthesize(g, asyncsyn.Options{Metrics: asyncsyn.NewMetrics()})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, st := range c.Stages {
+		fmt.Println(st.Name)
+	}
+	fmt.Println("modules:", c.Counters["modules"])
+	// Output:
+	// elaborate
+	// modules
+	// residual
+	// expand
+	// logic
+	// modules: 1
 }
 
 func ExampleFunction_Eval() {

@@ -1,0 +1,223 @@
+// Package benchrec defines the machine-readable benchmark record that
+// cmd/bench emits (BENCH_<n>.json): a versioned, schema-stable snapshot
+// of the full Table-1 suite across all three synthesis methods, the
+// formula-size sweep, and the scaling sweep, each row carrying areas,
+// state counts, timings, metrics counters and a determinism digest. The
+// package also provides the regression comparator (Compare: hard fail
+// on area/state/digest drift, soft warn on time regression) and the
+// markdown renderer that regenerates the generated sections of
+// EXPERIMENTS.md from a committed record, keeping the experiment
+// documentation provably in sync with the code.
+package benchrec
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// SchemaVersion identifies the record layout. Any breaking change to
+// the JSON field set, the counter names, or the digest recipe must bump
+// it; Compare refuses records with mismatched versions.
+const SchemaVersion = 1
+
+// Env describes the machine and configuration that produced a record.
+type Env struct {
+	GoVersion     string `json:"go_version"`
+	GOOS          string `json:"goos"`
+	GOARCH        string `json:"goarch"`
+	NumCPU        int    `json:"num_cpu"`
+	GOMAXPROCS    int    `json:"gomaxprocs"`
+	Commit        string `json:"commit,omitempty"`
+	Workers       int    `json:"workers"`
+	MaxBacktracks int64  `json:"max_backtracks"`
+	Quick         bool   `json:"quick,omitempty"`
+}
+
+// StageTiming records one pipeline stage of a run.
+type StageTiming struct {
+	Name    string `json:"name"`
+	Seconds float64 `json:"seconds"`
+}
+
+// ModuleStat records one per-output modular pass.
+type ModuleStat struct {
+	Output    string `json:"output"`
+	States    int    `json:"states"`    // merged modular graph states
+	Conflicts int    `json:"conflicts"` // CSC conflict pairs
+	Clauses   int    `json:"clauses,omitempty"` // largest formula of the pass
+	Vars      int    `json:"vars,omitempty"`
+}
+
+// MethodResult is one benchmark × method measurement.
+type MethodResult struct {
+	States       int     `json:"states,omitempty"`
+	Signals      int     `json:"signals,omitempty"`
+	StateSignals int     `json:"state_signals,omitempty"`
+	Area         int     `json:"area,omitempty"`
+	Aborted      bool    `json:"aborted,omitempty"`
+	Error        string  `json:"error,omitempty"`
+	Seconds      float64 `json:"seconds"`
+	// Digest is a short hash of every machine-independent output of the
+	// run (states, signals, areas, function covers). Two runs of the
+	// same code on any machine and any worker count produce the same
+	// digest; a digest drift is a behaviour change.
+	Digest   string           `json:"digest,omitempty"`
+	Counters map[string]int64 `json:"counters,omitempty"`
+	Stages   []StageTiming    `json:"stages,omitempty"`
+	Modules  []ModuleStat     `json:"modules,omitempty"`
+}
+
+// Completed reports whether the run finished with a full circuit.
+func (m MethodResult) Completed() bool { return m.Error == "" && !m.Aborted }
+
+// Row is one Table-1 benchmark across the three methods.
+type Row struct {
+	Name           string       `json:"name"`
+	InitialStates  int          `json:"initial_states"`
+	InitialSignals int          `json:"initial_signals"`
+	Modular        MethodResult `json:"modular"`
+	Direct         MethodResult `json:"direct"`
+	Lavagno        MethodResult `json:"lavagno"`
+}
+
+// ClauseFormula is one modular formula of the clause-size sweep.
+type ClauseFormula struct {
+	Clauses int `json:"clauses"`
+	Vars    int `json:"vars"`
+}
+
+// ClauseRow records the formula-size comparison (paper-style expanded
+// CNF) for one benchmark: the direct method's largest formula against
+// the modular method's per-module formulas.
+type ClauseRow struct {
+	Name          string          `json:"name"`
+	DirectClauses int             `json:"direct_clauses"`
+	DirectVars    int             `json:"direct_vars"`
+	Modular       []ClauseFormula `json:"modular"`
+}
+
+// ScalCell is one method's outcome at one scaling point.
+type ScalCell struct {
+	Seconds float64 `json:"seconds"`
+	Area    int     `json:"area,omitempty"`
+	Aborted bool    `json:"aborted,omitempty"`
+}
+
+// ScalingRow is one point of the parametric handshake sweep.
+type ScalingRow struct {
+	K       int      `json:"k"`
+	States  int      `json:"states"`
+	Modular ScalCell `json:"modular"`
+	Direct  ScalCell `json:"direct"`
+	Lavagno ScalCell `json:"lavagno"`
+}
+
+// Record is one complete benchmark run.
+type Record struct {
+	Schema  int          `json:"schema"`
+	Env     Env          `json:"env"`
+	Rows    []Row        `json:"rows"`
+	Clauses []ClauseRow  `json:"clauses,omitempty"`
+	Scaling []ScalingRow `json:"scaling,omitempty"`
+}
+
+// Validate checks schema version and structural sanity.
+func (r *Record) Validate() error {
+	if r.Schema != SchemaVersion {
+		return fmt.Errorf("benchrec: schema %d, this build reads %d", r.Schema, SchemaVersion)
+	}
+	if len(r.Rows) == 0 {
+		return fmt.Errorf("benchrec: record has no rows")
+	}
+	seen := make(map[string]bool, len(r.Rows))
+	for _, row := range r.Rows {
+		if row.Name == "" {
+			return fmt.Errorf("benchrec: row with empty name")
+		}
+		if seen[row.Name] {
+			return fmt.Errorf("benchrec: duplicate row %q", row.Name)
+		}
+		seen[row.Name] = true
+	}
+	return nil
+}
+
+// Row returns the named row.
+func (r *Record) Row(name string) (Row, bool) {
+	for _, row := range r.Rows {
+		if row.Name == name {
+			return row, true
+		}
+	}
+	return Row{}, false
+}
+
+// Encode writes the record as stable, indented JSON. Map keys are
+// sorted by encoding/json, so equal records produce byte-equal output.
+func (r *Record) Encode(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteFile writes the record to path.
+func (r *Record) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.Encode(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Read parses and validates a record.
+func Read(rd io.Reader) (*Record, error) {
+	dec := json.NewDecoder(rd)
+	dec.DisallowUnknownFields()
+	var r Record
+	if err := dec.Decode(&r); err != nil {
+		return nil, fmt.Errorf("benchrec: %w", err)
+	}
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+// ReadFile reads and validates a record from path.
+func ReadFile(path string) (*Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r, err := Read(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return r, nil
+}
+
+// Digest hashes the machine-independent outputs of a run into a short
+// hex string: the circuit shape (states/signals/areas) plus every
+// function equation, sorted for order independence. parts is the
+// caller-assembled list; sorting and hashing here keeps the recipe in
+// one place.
+func Digest(parts []string) string {
+	sorted := append([]string(nil), parts...)
+	sort.Strings(sorted)
+	h := sha256.New()
+	for _, p := range sorted {
+		io.WriteString(h, p)
+		h.Write([]byte{0})
+	}
+	return hex.EncodeToString(h.Sum(nil))[:12]
+}

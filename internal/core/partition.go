@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"asyncsyn/internal/csc"
+	"asyncsyn/internal/metrics"
 	"asyncsyn/internal/sat"
 	"asyncsyn/internal/sg"
 	"asyncsyn/internal/synerr"
@@ -80,6 +81,10 @@ func PartitionSAT(ctx context.Context, g *sg.Graph, is InputSet, opt SATOptions)
 	res := &PartitionResult{
 		MergedStates: merged.Graph.NumStates(),
 		MergedEdges:  len(merged.Graph.Edges),
+	}
+	if mc := metrics.From(ctx); mc != nil {
+		mc.Add(metrics.Modules, 1)
+		mc.Add(metrics.SGStatesMerged, int64(res.MergedStates))
 	}
 	conf := sg.OutputConflictsWorkers(merged.Graph, merged.ImpliedOf(is.Output), opt.Workers)
 	res.Ncsc, res.Lb = conf.N(), conf.LowerBound

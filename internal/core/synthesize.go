@@ -9,6 +9,7 @@ import (
 
 	"asyncsyn/internal/csc"
 	"asyncsyn/internal/logic"
+	"asyncsyn/internal/metrics"
 	"asyncsyn/internal/par"
 	"asyncsyn/internal/pipeline"
 	"asyncsyn/internal/sat"
@@ -343,6 +344,7 @@ func ExpandToCSC(ctx context.Context, g *sg.Graph, opt Options) (expanded *sg.Gr
 		if err != nil {
 			return nil, iters, fallback, err
 		}
+		metrics.From(ctx).Add(metrics.SGStates, int64(expanded.NumStates()))
 		// The expanded graph is the largest object in the pipeline; its
 		// conflict scan fans out over the code groups.
 		conf := sg.AnalyzeWorkers(expanded, opt.Workers)

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"asyncsyn/internal/bdd"
+	"asyncsyn/internal/metrics"
 	"asyncsyn/internal/par"
 	"asyncsyn/internal/sat"
 	"asyncsyn/internal/sg"
@@ -40,10 +41,12 @@ func Attempt(ctx context.Context, g *sg.Graph, conf *sg.Conflicts, m int, opt So
 		case err == nil:
 			stats.Status = sat.Sat
 			emitFormula(ctx, stats)
+			recordFormula(ctx, stats, sat.Result{})
 			return cols, stats, nil
 		case errors.Is(err, ErrUnsatisfiable):
 			stats.Status = sat.Unsat
 			emitFormula(ctx, stats)
+			recordFormula(ctx, stats, sat.Result{})
 			return nil, stats, nil
 		case errors.Is(err, bdd.ErrNodeLimit):
 			// Fall through to the SAT engine below.
@@ -101,12 +104,33 @@ func Attempt(ctx context.Context, g *sg.Graph, conf *sg.Conflicts, m int, opt So
 		return nil, stats, synerr.Canceled(ctx.Err())
 	}
 	emitFormula(ctx, stats)
+	recordFormula(ctx, stats, r)
 	if r.Status != sat.Sat {
 		return nil, stats, nil
 	}
 	cols := enc.DecodePhases(r.Model)
 	Tighten(g, conf, cols)
 	return cols, stats, nil
+}
+
+// recordFormula accumulates the formula's size and the engine's search
+// statistics into the metrics collector carried by ctx, if any. For
+// portfolio runs r is the deterministic winner's result, so counter
+// totals never depend on goroutine timing under the default engines.
+func recordFormula(ctx context.Context, st FormulaStats, r sat.Result) {
+	mc := metrics.From(ctx)
+	if mc == nil {
+		return
+	}
+	mc.Add(metrics.SATFormulas, 1)
+	mc.Add(metrics.SATClauses, int64(st.Clauses))
+	mc.Add(metrics.SATVars, int64(st.Vars))
+	mc.Add(metrics.SATDecisions, r.Decisions)
+	mc.Add(metrics.SATConflicts, r.Backtracks)
+	mc.Add(metrics.SATPropagations, r.Props)
+	mc.Add(metrics.SATLearned, r.Learned)
+	mc.Add(metrics.SATRestarts, r.Restarts)
+	mc.Add(metrics.WalkSATFlips, r.Flips)
 }
 
 // emitFormula reports a solved formula to the tracer carried by ctx.

@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"asyncsyn/internal/bdd"
+	"asyncsyn/internal/metrics"
 	"asyncsyn/internal/sg"
 )
 
@@ -42,6 +43,10 @@ func SolveBDD(ctx context.Context, g *sg.Graph, conf *sg.Conflicts, m int, nodeL
 
 	p := bdd.New(nodeLimit)
 	p.SetContext(ctx)
+	// The pool's final size is the run's BDD effort — recorded whether
+	// the solve succeeds, proves UNSAT, or hits the node limit (the
+	// fallback SAT engine then adds its own counters on top).
+	defer func() { metrics.From(ctx).Add(metrics.BDDNodes, int64(p.Size())) }()
 	acc := bdd.True
 
 	conj := func(f bdd.Node) error {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 
+	"asyncsyn/internal/metrics"
 	"asyncsyn/internal/synerr"
 )
 
@@ -84,6 +85,8 @@ func MinimizeContext(ctx context.Context, spec Spec, opt Options) (Cover, error)
 	// measured hot path: the blocking matrix used to be rebuilt from
 	// fresh allocations for every cube of every pass).
 	sc := &expandScratch{}
+	mc := metrics.From(ctx)
+	mc.Add(metrics.EspressoExpand, 1)
 	cover := make(Cover, 0, len(spec.On))
 	for _, m := range spec.On {
 		cover = append(cover, expand(FromMinterm(spec.NumVars, m), off, 0, sc))
@@ -96,6 +99,8 @@ func MinimizeContext(ctx context.Context, spec Spec, opt Options) (Cover, error)
 		if err := ctx.Err(); err != nil {
 			return nil, synerr.Canceled(err)
 		}
+		mc.Add(metrics.EspressoReduce, 1)
+		mc.Add(metrics.EspressoExpand, 1)
 		reduced := reduce(cover, spec.On)
 		next := make(Cover, len(reduced))
 		for i, c := range reduced {

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"time"
 
+	"asyncsyn/internal/metrics"
 	"asyncsyn/internal/synerr"
 	"asyncsyn/internal/trace"
 )
@@ -35,6 +36,11 @@ type StageStat struct {
 	// Err holds the stage's failure message ("" on success); the
 	// typed error itself is returned by Run.
 	Err string
+	// Counters holds the metrics counters this stage advanced (the delta
+	// of the run's collector across the stage, keyed by the stable
+	// internal/metrics names); nil when no collector is attached or the
+	// stage advanced nothing.
+	Counters map[string]int64
 }
 
 // Run executes the stages in order. It returns the stats of every
@@ -45,16 +51,19 @@ type StageStat struct {
 // running the stage.
 func Run(ctx context.Context, stages []Stage) ([]StageStat, error) {
 	stats := make([]StageStat, 0, len(stages))
+	collector := metrics.From(ctx)
 	for _, st := range stages {
 		if err := ctx.Err(); err != nil {
 			return stats, synerr.Canceled(err)
 		}
 		sctx := trace.WithStage(ctx, st.Name)
 		trace.StageStart(sctx, st.Name)
+		before := collector.Snapshot()
 		start := time.Now()
 		err := st.Run(sctx)
 		d := time.Since(start)
-		stat := StageStat{Name: st.Name, Duration: d}
+		stat := StageStat{Name: st.Name, Duration: d,
+			Counters: collector.Snapshot().Delta(before)}
 		if err != nil {
 			stat.Err = err.Error()
 		}

@@ -48,6 +48,7 @@ type Result struct {
 	Props      int64
 	Learned    int64
 	Restarts   int64
+	Flips      int64 // local-search flips (WalkSAT only)
 }
 
 // Limits bounds the search. Zero values mean unlimited.

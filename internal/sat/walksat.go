@@ -173,6 +173,7 @@ func LocalSearch(f *Formula, opt LocalSearchOptions) Result {
 			}
 			flip(pick)
 			res.Decisions++
+			res.Flips++
 		}
 	}
 	res.Status = BacktrackLimit

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 
+	"asyncsyn/internal/metrics"
 	"asyncsyn/internal/petri"
 	"asyncsyn/internal/stg"
 )
@@ -157,6 +158,7 @@ func FromSTGContext(ctx context.Context, g *stg.G, opt Options) (*Graph, error) 
 	if err != nil {
 		return nil, err
 	}
+	metrics.From(ctx).Add(metrics.SGStates, int64(len(r.States)))
 
 	sgr := &Graph{
 		Name:    g.Name,
