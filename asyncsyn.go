@@ -34,6 +34,7 @@ import (
 	"asyncsyn/internal/lavagno"
 	"asyncsyn/internal/logic"
 	"asyncsyn/internal/metrics"
+	"asyncsyn/internal/modcache"
 	"asyncsyn/internal/pipeline"
 	"asyncsyn/internal/sg"
 	"asyncsyn/internal/stg"
@@ -97,6 +98,32 @@ type Metrics = metrics.Collector
 
 // NewMetrics returns an empty metrics collector.
 func NewMetrics() *Metrics { return metrics.New() }
+
+// SolveCache is a concurrency-safe module solve cache (see
+// Options.Cache): it maps canonical module-problem signatures to solved
+// state-signal phase columns, answering repeated solves — across
+// outputs, benchmarks, or whole runs — with bit-identical replays. The
+// name is an alias for the internal implementation, so the facade and
+// the pipeline share one type.
+type SolveCache = modcache.Cache
+
+// NewSolveCache returns an empty in-memory solve cache, suitable for
+// sharing via Options.Cache across any number of concurrent runs.
+func NewSolveCache() *SolveCache { return modcache.New() }
+
+// solveCacheFor resolves the cache configuration of one run.
+func solveCacheFor(opt Options) (*SolveCache, error) {
+	switch {
+	case opt.DisableSolveCache:
+		return nil, nil
+	case opt.Cache != nil:
+		return opt.Cache, nil
+	case opt.CacheDir != "":
+		return modcache.NewDisk(opt.CacheDir)
+	default:
+		return modcache.New(), nil
+	}
+}
 
 // STG is a parsed or programmatically built signal transition graph.
 type STG struct {
@@ -227,6 +254,23 @@ type Options struct {
 	// clauses, modules, and — under the default complete engine — the
 	// SAT search statistics) are identical for every Workers value.
 	Metrics *Metrics
+	// Cache, when non-nil, is a module solve cache shared across runs:
+	// module CSC problems whose canonical signatures (and solver
+	// options) match a previous solve are answered by bit-identical
+	// replays instead of fresh SAT searches. Create one with
+	// NewSolveCache. When nil, each run uses its own in-memory cache,
+	// which still deduplicates isomorphic modules within the run.
+	Cache *SolveCache
+	// CacheDir, when non-empty (and Cache is nil), backs the run's
+	// solve cache with content-addressed JSON records under this
+	// directory, persisting solves across processes. The directory is
+	// created if missing.
+	CacheDir string
+	// DisableSolveCache turns the module solve cache off entirely;
+	// every formula is searched from scratch. Results are identical
+	// with or without the cache (pinned by TestCacheBitIdentical) —
+	// this exists for measurement and debugging.
+	DisableSolveCache bool
 }
 
 // FormulaStat describes one SAT instance solved during synthesis.
@@ -238,7 +282,10 @@ type FormulaStat struct {
 	Literals int
 	Status   string // "SAT", "UNSAT", "BACKTRACK-LIMIT"
 	Engine   string // engine that decided it (portfolio runs record the winner)
-	Time     time.Duration
+	// Cached reports that the instance was replayed from the module
+	// solve cache instead of being searched.
+	Cached bool
+	Time   time.Duration
 }
 
 // Function is a synthesized next-state logic function in two-level
@@ -378,15 +425,16 @@ func SynthesizeContext(ctx context.Context, s *STG, opt Options) (*Circuit, erro
 		ctx = metrics.With(ctx, opt.Metrics)
 	}
 	before := opt.Metrics.Snapshot()
-	var (
-		c   *Circuit
-		err error
-	)
+	cache, err := solveCacheFor(opt)
+	if err != nil {
+		return nil, err
+	}
+	var c *Circuit
 	switch opt.Method {
 	case Modular:
-		c, err = synthesizeModular(ctx, s, opt, start)
+		c, err = synthesizeModular(ctx, s, opt, cache, start)
 	case Direct, Lavagno:
-		c, err = synthesizeWholeGraph(ctx, s, opt, start)
+		c, err = synthesizeWholeGraph(ctx, s, opt, cache, start)
 	default:
 		return nil, fmt.Errorf("asyncsyn: unknown method %v", opt.Method)
 	}
@@ -419,12 +467,13 @@ func finishAborted(c *Circuit, err error, start time.Time) (*Circuit, error, boo
 	return nil, err, false
 }
 
-func synthesizeModular(ctx context.Context, s *STG, opt Options, start time.Time) (*Circuit, error) {
+func synthesizeModular(ctx context.Context, s *STG, opt Options, cache *SolveCache, start time.Time) (*Circuit, error) {
 	res, err := core.Synthesize(ctx, s.g, core.Options{
 		SAT: core.SATOptions{
 			Engine:        cscEngine(opt.Engine),
 			Encoding:      csc.Options{ExpandXor: opt.ExpandXor},
 			MaxBacktracks: opt.MaxBacktracks,
+			Cache:         cache,
 		},
 		StateGraph:  sgOptions(opt),
 		FullSupport: opt.FullSupport,
@@ -464,12 +513,13 @@ func synthesizeModular(ctx context.Context, s *STG, opt Options, start time.Time
 
 // synthesizeWholeGraph runs the Direct and Lavagno baselines as a stage
 // list on the shared pipeline driver: elaborate → csc → expand → logic.
-func synthesizeWholeGraph(ctx context.Context, s *STG, opt Options, start time.Time) (*Circuit, error) {
+func synthesizeWholeGraph(ctx context.Context, s *STG, opt Options, cache *SolveCache, start time.Time) (*Circuit, error) {
 	c := &Circuit{Name: s.g.Name, Method: opt.Method}
 	coreOpt := core.Options{SAT: core.SATOptions{
 		Engine:        cscEngine(opt.Engine),
 		Encoding:      csc.Options{ExpandXor: opt.ExpandXor},
 		MaxBacktracks: opt.MaxBacktracks,
+		Cache:         cache,
 	}, ExactLogic: opt.ExactMinimize, Workers: opt.Workers}
 
 	var (
@@ -495,6 +545,7 @@ func synthesizeWholeGraph(ctx context.Context, s *STG, opt Options, start time.T
 					Engine:        cscEngine(opt.Engine),
 					Encoding:      csc.Options{ExpandXor: opt.ExpandXor},
 					MaxBacktracks: opt.MaxBacktracks,
+					Cache:         cache,
 				})
 				if dr != nil {
 					inserted = dr.Inserted
@@ -578,7 +629,8 @@ func formulaStat(output string, f csc.FormulaStats) FormulaStat {
 	return FormulaStat{
 		Output: output, Signals: f.Signals, Vars: f.Vars,
 		Clauses: f.Clauses, Literals: f.Literals,
-		Status: f.Status.String(), Engine: f.Engine, Time: f.SolveTime,
+		Status: f.Status.String(), Engine: f.Engine, Cached: f.Cached,
+		Time: f.SolveTime,
 	}
 }
 

@@ -1,0 +1,76 @@
+package asyncsyn
+
+// Facade contract for the module solve cache: caching is a pure
+// performance layer. Every cache configuration — disabled, the default
+// per-run cache, a shared in-memory cache serving its second run
+// entirely from hits, and an on-disk cache re-read by a fresh process
+// stand-in — must synthesize the bit-identical circuit, at every worker
+// count. This is the acceptance test the cache subsystem is gated on.
+
+import (
+	"fmt"
+	"testing"
+
+	"asyncsyn/internal/benchrec"
+)
+
+// circuitDigest mirrors cmd/bench digestOf: the machine-independent
+// outputs of a run, hashed order-independently.
+func circuitDigest(c *Circuit) string {
+	parts := []string{fmt.Sprintf("shape %d/%d/%d/%d", c.FinalStates, c.FinalSignals, c.StateSignals, c.Area)}
+	for _, f := range c.Functions {
+		parts = append(parts, f.String())
+	}
+	return benchrec.Digest(parts)
+}
+
+func TestCacheBitIdentical(t *testing.T) {
+	for _, name := range []string{"vbe4a", "nak-pa"} {
+		for _, workers := range []int{1, 4} {
+			t.Run(fmt.Sprintf("%s/workers=%d", name, workers), func(t *testing.T) {
+				run := func(opt Options) *Circuit {
+					opt.Workers = workers
+					opt.Metrics = NewMetrics()
+					return synthWorkers(t, name, opt)
+				}
+
+				ref := run(Options{DisableSolveCache: true})
+				want := circuitDigest(ref)
+				if ref.Counters["modcache_hits"]+ref.Counters["modcache_misses"] != 0 {
+					t.Fatalf("DisableSolveCache still touched the cache: %v", ref.Counters)
+				}
+
+				if got := circuitDigest(run(Options{})); got != want {
+					t.Errorf("default per-run cache changed the circuit: %s vs %s", got, want)
+				}
+
+				shared := NewSolveCache()
+				first := run(Options{Cache: shared})
+				if got := circuitDigest(first); got != want {
+					t.Errorf("shared cache cold run changed the circuit: %s vs %s", got, want)
+				}
+				second := run(Options{Cache: shared})
+				if got := circuitDigest(second); got != want {
+					t.Errorf("shared cache warm run changed the circuit: %s vs %s", got, want)
+				}
+				if second.Counters["modcache_hits"] == 0 {
+					t.Errorf("warm run served no cache hits: %v", second.Counters)
+				}
+
+				dir := t.TempDir()
+				if got := circuitDigest(run(Options{CacheDir: dir})); got != want {
+					t.Errorf("disk cache cold run changed the circuit: %s vs %s", got, want)
+				}
+				// A fresh Options.CacheDir run builds a new Cache over the
+				// same directory — the cross-process reuse path.
+				warmDisk := run(Options{CacheDir: dir})
+				if got := circuitDigest(warmDisk); got != want {
+					t.Errorf("disk cache warm run changed the circuit: %s vs %s", got, want)
+				}
+				if warmDisk.Counters["modcache_hits"] == 0 {
+					t.Errorf("disk warm run served no cache hits: %v", warmDisk.Counters)
+				}
+			})
+		}
+	}
+}

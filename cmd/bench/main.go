@@ -46,6 +46,8 @@ func main() {
 	check := flag.Bool("check", false, "with -render: verify the doc is already in sync instead of rewriting it")
 	workers := flag.Int("workers", 0, "worker pool over benchmark rows (0 = GOMAXPROCS; results are identical for any value)")
 	maxBT := flag.Int64("maxbacktracks", 300000, "SAT backtrack budget per formula")
+	cacheDir := flag.String("cachedir", "", "back every run's module solve cache with this directory (persists solves across runs and processes)")
+	requireHits := flag.Bool("requirecachehits", false, "with -against: fail unless the fresh record shows at least one solve-cache hit")
 	flag.Parse()
 
 	var err error
@@ -53,9 +55,9 @@ func main() {
 	case *render != "":
 		err = doRender(*render, *doc, *check)
 	case *against != "":
-		err = doCompare(*against, flag.Arg(0), *out, *quick, *workers, *maxBT)
+		err = doCompare(*against, flag.Arg(0), *out, *quick, *workers, *maxBT, *cacheDir, *requireHits)
 	default:
-		err = doRun(*out, *quick, *workers, *maxBT)
+		err = doRun(*out, *quick, *workers, *maxBT, *cacheDir)
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
@@ -63,8 +65,8 @@ func main() {
 	}
 }
 
-func doRun(out string, quick bool, workers int, maxBT int64) error {
-	rec, err := runSuite(quick, workers, maxBT)
+func doRun(out string, quick bool, workers int, maxBT int64, cacheDir string) error {
+	rec, err := runSuite(quick, workers, maxBT, cacheDir)
 	if err != nil {
 		return err
 	}
@@ -74,12 +76,12 @@ func doRun(out string, quick bool, workers int, maxBT int64) error {
 	if err := rec.WriteFile(out); err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "bench: wrote %s (%d rows, %d clause rows, %d scaling points)\n",
-		out, len(rec.Rows), len(rec.Clauses), len(rec.Scaling))
+	fmt.Fprintf(os.Stderr, "bench: wrote %s (%d rows, %d clause rows, %d scaling points, %d cache rows)\n",
+		out, len(rec.Rows), len(rec.Clauses), len(rec.Scaling), len(rec.Cache))
 	return nil
 }
 
-func doCompare(baseline, freshPath, out string, quick bool, workers int, maxBT int64) error {
+func doCompare(baseline, freshPath, out string, quick bool, workers int, maxBT int64, cacheDir string, requireHits bool) error {
 	old, err := benchrec.ReadFile(baseline)
 	if err != nil {
 		return err
@@ -90,7 +92,7 @@ func doCompare(baseline, freshPath, out string, quick bool, workers int, maxBT i
 			return err
 		}
 	} else {
-		if fresh, err = runSuite(quick, workers, maxBT); err != nil {
+		if fresh, err = runSuite(quick, workers, maxBT, cacheDir); err != nil {
 			return err
 		}
 		if out != "" {
@@ -111,7 +113,29 @@ func doCompare(baseline, freshPath, out string, quick bool, workers int, maxBT i
 	if rep.Failed() {
 		return fmt.Errorf("behaviour drift against %s", baseline)
 	}
+	if requireHits {
+		hits := cacheHits(fresh)
+		if hits == 0 {
+			return fmt.Errorf("-requirecachehits: fresh record shows no solve-cache hits")
+		}
+		fmt.Printf("bench: fresh record shows %d solve-cache hits\n", hits)
+	}
 	return nil
+}
+
+// cacheHits totals every modcache_hits counter in a record, across the
+// per-method run counters and the cache sweep's warm runs.
+func cacheHits(rec *benchrec.Record) int64 {
+	var hits int64
+	for _, row := range rec.Rows {
+		for _, m := range []benchrec.MethodResult{row.Modular, row.Direct, row.Lavagno} {
+			hits += m.Counters["modcache_hits"]
+		}
+	}
+	for _, cr := range rec.Cache {
+		hits += cr.Hits
+	}
+	return hits
 }
 
 func doRender(recPath, docPath string, check bool) error {
@@ -146,8 +170,9 @@ func doRender(recPath, docPath string, check bool) error {
 }
 
 // runSuite measures the record: every Table-1 row across the three
-// methods, then (full mode) the clause and scaling sweeps.
-func runSuite(quick bool, workers int, maxBT int64) (*benchrec.Record, error) {
+// methods, the cache-effectiveness sweep, then (full mode) the clause
+// and scaling sweeps.
+func runSuite(quick bool, workers int, maxBT int64, cacheDir string) (*benchrec.Record, error) {
 	names := bench.Names()
 	if quick {
 		var small []string
@@ -194,6 +219,7 @@ func runSuite(quick bool, workers int, maxBT int64) (*benchrec.Record, error) {
 		} {
 			res, init, initSig := runOne(name, asyncsyn.Options{
 				Method: m.method, MaxBacktracks: maxBT, Workers: inner,
+				CacheDir: cacheDir,
 			})
 			*m.dst = res
 			if init > 0 {
@@ -209,6 +235,9 @@ func runSuite(quick bool, workers int, maxBT int64) (*benchrec.Record, error) {
 	}
 	rec.Rows = rows
 
+	if rec.Cache, err = cacheSweep(maxBT, workers); err != nil {
+		return nil, err
+	}
 	if !quick {
 		if rec.Clauses, err = clauseSweep(maxBT, workers); err != nil {
 			return nil, err
@@ -218,6 +247,71 @@ func runSuite(quick bool, workers int, maxBT int64) (*benchrec.Record, error) {
 		}
 	}
 	return rec, rec.Validate()
+}
+
+// cacheSweep measures solve-cache effectiveness on the small rows (the
+// sweep runs in both quick and full mode): each benchmark is
+// synthesized twice (modular method) against one shared in-memory
+// cache — cold, then warm — recording the wall-clock and module-stage
+// speedup, the warm run's hit/miss counters, and whether the warm run
+// reproduced the cold run's digest bit for bit.
+func cacheSweep(maxBT int64, workers int) ([]benchrec.CacheRow, error) {
+	var names []string
+	for _, e := range bench.Table1 {
+		if e.InitialStates <= 100 {
+			names = append(names, e.Name)
+		}
+	}
+	return par.Map(len(names), workers, func(i int) (benchrec.CacheRow, error) {
+		name := names[i]
+		src, err := bench.Source(name)
+		if err != nil {
+			return benchrec.CacheRow{}, err
+		}
+		cache := asyncsyn.NewSolveCache()
+		run := func() (*asyncsyn.Circuit, error) {
+			g, err := asyncsyn.ParseSTGString(src)
+			if err != nil {
+				return nil, err
+			}
+			return asyncsyn.Synthesize(g, asyncsyn.Options{
+				Method: asyncsyn.Modular, MaxBacktracks: maxBT, Workers: 1,
+				Cache: cache, Metrics: asyncsyn.NewMetrics(),
+			})
+		}
+		cold, err := run()
+		if err != nil {
+			return benchrec.CacheRow{}, fmt.Errorf("cache %s cold: %w", name, err)
+		}
+		warm, err := run()
+		if err != nil {
+			return benchrec.CacheRow{}, fmt.Errorf("cache %s warm: %w", name, err)
+		}
+		row := benchrec.CacheRow{
+			Name:              name,
+			ColdSeconds:       cold.CPU.Seconds(),
+			WarmSeconds:       warm.CPU.Seconds(),
+			ColdModuleSeconds: stageSeconds(cold, "modules"),
+			WarmModuleSeconds: stageSeconds(warm, "modules"),
+			Hits:              warm.Counters["modcache_hits"],
+			Misses:            warm.Counters["modcache_misses"],
+			WarmClauses:       cold.Counters["sat_warm_clauses"],
+			DigestMatch:       digestOf(cold) == digestOf(warm),
+		}
+		fmt.Fprintf(os.Stderr, "bench: cache %-12s modules %.3fs cold -> %.3fs warm, %d hits, digest match %v\n",
+			name, row.ColdModuleSeconds, row.WarmModuleSeconds, row.Hits, row.DigestMatch)
+		return row, nil
+	})
+}
+
+// stageSeconds returns the duration of the named pipeline stage.
+func stageSeconds(c *asyncsyn.Circuit, stage string) float64 {
+	for _, st := range c.Stages {
+		if st.Name == stage {
+			return st.Duration.Seconds()
+		}
+	}
+	return 0
 }
 
 // runOne synthesizes one benchmark with one method, metrics attached,

@@ -4,7 +4,8 @@
 // Usage:
 //
 //	modsyn [-method modular|direct|lavagno] [-engine dpll|walksat|bdd|portfolio]
-//	       [-workers N] [-timeout D] [-trace file] [-expandxor] [-fullsupport] [-v] file.g
+//	       [-workers N] [-timeout D] [-trace file] [-cachedir dir] [-nocache]
+//	       [-expandxor] [-fullsupport] [-v] file.g
 //	modsyn -bench name        # synthesize an embedded benchmark
 //
 // -workers N bounds the worker pool for the pipeline's parallel stages
@@ -44,6 +45,8 @@ func main() {
 	verilog := flag.Bool("verilog", false, "print the circuit as a structural Verilog module")
 	dotSTG := flag.Bool("dot", false, "print the STG in Graphviz DOT format and exit")
 	verify := flag.Bool("verify", false, "closed-loop-simulate the circuit against the specification")
+	cacheDir := flag.String("cachedir", "", "back the module solve cache with JSON records under this directory (persists solves across runs)")
+	noCache := flag.Bool("nocache", false, "disable the module solve cache entirely")
 	timeout := flag.Duration("timeout", 0, "wall-clock bound for the run (0 = none; e.g. 30s)")
 	tracePath := flag.String("trace", "", "write JSON-lines trace events (stage and formula) to this file (\"-\" = stderr)")
 	flag.Parse()
@@ -55,6 +58,9 @@ func main() {
 		MaxBacktracks: *maxBT,
 		Workers:       *workers,
 		Timeout:       *timeout,
+
+		CacheDir:          *cacheDir,
+		DisableSolveCache: *noCache,
 	}
 	if *tracePath != "" {
 		w := os.Stderr

@@ -1,0 +1,88 @@
+package benchrec
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// cacheRecord is testRecord plus a populated cache sweep.
+func cacheRecord() *Record {
+	rec := testRecord()
+	rec.Cache = []CacheRow{
+		{Name: "mr0", ColdSeconds: 0.33, WarmSeconds: 0.12,
+			ColdModuleSeconds: 0.21, WarmModuleSeconds: 0.01,
+			Hits: 6, Misses: 0, WarmClauses: 42, DigestMatch: true},
+		{Name: "vbe-ex1", ColdSeconds: 0.002, WarmSeconds: 0.001,
+			ColdModuleSeconds: 0.001, WarmModuleSeconds: 0.0005,
+			Hits: 1, Misses: 0, DigestMatch: true},
+	}
+	return rec
+}
+
+func TestCacheRowRoundTrip(t *testing.T) {
+	rec := cacheRecord()
+	var buf bytes.Buffer
+	if err := rec.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Cache) != 2 {
+		t.Fatalf("cache rows lost: %d", len(got.Cache))
+	}
+	if got.Cache[0] != rec.Cache[0] || got.Cache[1] != rec.Cache[1] {
+		t.Fatalf("cache row drifted in round trip: %+v", got.Cache)
+	}
+}
+
+func TestCompareCacheDigestMismatchIsHard(t *testing.T) {
+	fresh := cacheRecord()
+	fresh.Cache[0].DigestMatch = false
+	rep := Compare(cacheRecord(), fresh, CompareOptions{})
+	if !rep.Failed() {
+		t.Fatal("warm-run digest divergence not reported as hard failure")
+	}
+	found := false
+	for _, h := range rep.Hard {
+		if strings.Contains(h, "cache mr0") && strings.Contains(h, "digest") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("missing cache digest finding: %v", rep.Hard)
+	}
+}
+
+func TestCompareCacheHitDriftIsSoft(t *testing.T) {
+	fresh := cacheRecord()
+	fresh.Cache[0].Hits = 5
+	rep := Compare(cacheRecord(), fresh, CompareOptions{})
+	if rep.Failed() {
+		t.Fatalf("hit-count movement reported as hard drift: %v", rep.Hard)
+	}
+	found := false
+	for _, s := range rep.Soft {
+		if strings.Contains(s, "cache mr0") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("hit-count movement not surfaced as soft finding: %v", rep.Soft)
+	}
+}
+
+func TestAggregateSectionRendersCache(t *testing.T) {
+	body := AggregateSection(cacheRecord())
+	for _, want := range []string{"solve cache", "2 benchmarks", "hits/misses 7/0", "bit-identical: true"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("aggregate section missing %q:\n%s", want, body)
+		}
+	}
+	// A record with no sweep must not mention the cache at all.
+	if strings.Contains(AggregateSection(testRecord()), "solve cache") {
+		t.Error("cache block rendered for a record without a sweep")
+	}
+}

@@ -84,6 +84,25 @@ func Compare(old, new *Record, opt CompareOptions) *Report {
 		}
 	}
 
+	// Cache sweep: a warm run that fails to reproduce its cold run's
+	// digest is behaviour drift in the fresh record itself; hit/miss
+	// movement between records is advisory (the cacheable-problem set
+	// legitimately moves with the algorithm).
+	for _, ncr := range new.Cache {
+		if !ncr.DigestMatch {
+			rep.Hard = append(rep.Hard, fmt.Sprintf("cache %s: warm run digest diverged from cold run", ncr.Name))
+		}
+		for _, ocr := range old.Cache {
+			if ocr.Name != ncr.Name {
+				continue
+			}
+			if ocr.Hits != ncr.Hits || ocr.Misses != ncr.Misses {
+				rep.Soft = append(rep.Soft, fmt.Sprintf("cache %s: hits/misses %d/%d vs %d/%d",
+					ncr.Name, ocr.Hits, ocr.Misses, ncr.Hits, ncr.Misses))
+			}
+		}
+	}
+
 	for _, nsc := range new.Scaling {
 		for _, osc := range old.Scaling {
 			if osc.K != nsc.K {

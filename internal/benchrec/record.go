@@ -23,7 +23,11 @@ import (
 // SchemaVersion identifies the record layout. Any breaking change to
 // the JSON field set, the counter names, or the digest recipe must bump
 // it; Compare refuses records with mismatched versions.
-const SchemaVersion = 1
+//
+// Version 2: added the cache-effectiveness sweep (Record.Cache), the
+// modcache_* / sat_warm_clauses counters, and the warm-start DPLL
+// seeding that moves SAT models (digests) relative to version 1.
+const SchemaVersion = 2
 
 // Env describes the machine and configuration that produced a record.
 type Env struct {
@@ -40,15 +44,15 @@ type Env struct {
 
 // StageTiming records one pipeline stage of a run.
 type StageTiming struct {
-	Name    string `json:"name"`
+	Name    string  `json:"name"`
 	Seconds float64 `json:"seconds"`
 }
 
 // ModuleStat records one per-output modular pass.
 type ModuleStat struct {
 	Output    string `json:"output"`
-	States    int    `json:"states"`    // merged modular graph states
-	Conflicts int    `json:"conflicts"` // CSC conflict pairs
+	States    int    `json:"states"`            // merged modular graph states
+	Conflicts int    `json:"conflicts"`         // CSC conflict pairs
 	Clauses   int    `json:"clauses,omitempty"` // largest formula of the pass
 	Vars      int    `json:"vars,omitempty"`
 }
@@ -117,6 +121,29 @@ type ScalingRow struct {
 	Lavagno ScalCell `json:"lavagno"`
 }
 
+// CacheRow records the cache-effectiveness measurement for one
+// benchmark: the same modular synthesis run twice against one shared
+// solve cache — cold (empty cache) and warm (fully populated).
+type CacheRow struct {
+	Name string `json:"name"`
+	// ColdSeconds and WarmSeconds are the whole-run wall-clock times.
+	ColdSeconds float64 `json:"cold_seconds"`
+	WarmSeconds float64 `json:"warm_seconds"`
+	// ColdModuleSeconds and WarmModuleSeconds isolate the modules
+	// pipeline stage, where the cached solves live.
+	ColdModuleSeconds float64 `json:"cold_module_seconds"`
+	WarmModuleSeconds float64 `json:"warm_module_seconds"`
+	// Hits and Misses are the warm run's cache counters.
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+	// WarmClauses is the cold run's sat_warm_clauses counter: learned
+	// clauses re-seeded along its widening chains.
+	WarmClauses int64 `json:"warm_clauses,omitempty"`
+	// DigestMatch asserts the warm run reproduced the cold run's
+	// determinism digest bit for bit.
+	DigestMatch bool `json:"digest_match"`
+}
+
 // Record is one complete benchmark run.
 type Record struct {
 	Schema  int          `json:"schema"`
@@ -124,6 +151,7 @@ type Record struct {
 	Rows    []Row        `json:"rows"`
 	Clauses []ClauseRow  `json:"clauses,omitempty"`
 	Scaling []ScalingRow `json:"scaling,omitempty"`
+	Cache   []CacheRow   `json:"cache,omitempty"`
 }
 
 // Validate checks schema version and structural sanity.

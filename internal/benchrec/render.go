@@ -169,6 +169,27 @@ func AggregateSection(rec *Record) string {
 			areaML, areaL, 100*(1-float64(areaML)/float64(areaL)))
 		fmt.Fprintf(&b, "  cpu   modular %.2fs vs lavagno %.2fs (%.1fx)\n", cpuML, cpuL, cpuL/cpuML)
 	}
+	if len(rec.Cache) > 0 {
+		var cold, warm, coldMod, warmMod float64
+		var hits, misses int64
+		match := true
+		for _, cr := range rec.Cache {
+			cold += cr.ColdSeconds
+			warm += cr.WarmSeconds
+			coldMod += cr.ColdModuleSeconds
+			warmMod += cr.WarmModuleSeconds
+			hits += cr.Hits
+			misses += cr.Misses
+			match = match && cr.DigestMatch
+		}
+		fmt.Fprintf(&b, "solve cache (same suite re-run against a warm cache, %d benchmarks):\n", len(rec.Cache))
+		fmt.Fprintf(&b, "  module-solve stage %.3fs cold vs %.3fs warm", coldMod, warmMod)
+		if warmMod > 0 {
+			fmt.Fprintf(&b, " (%.1fx)", coldMod/warmMod)
+		}
+		fmt.Fprintf(&b, "; whole run %.2fs vs %.2fs\n", cold, warm)
+		fmt.Fprintf(&b, "  warm-run hits/misses %d/%d; digests bit-identical: %v\n", hits, misses, match)
+	}
 	b.WriteString("```\n")
 	return b.String()
 }

@@ -7,6 +7,7 @@ import (
 
 	"asyncsyn/internal/csc"
 	"asyncsyn/internal/metrics"
+	"asyncsyn/internal/modcache"
 	"asyncsyn/internal/sat"
 	"asyncsyn/internal/sg"
 	"asyncsyn/internal/synerr"
@@ -25,6 +26,15 @@ type SATOptions struct {
 	// partition pass (0 = GOMAXPROCS, 1 = sequential); it has no effect
 	// on results, only on wall-clock.
 	Workers int
+	// Cache, when non-nil, is the module solve cache shared across
+	// modules (and runs): signature-equal solves are answered by
+	// bit-identical replays instead of fresh searches.
+	Cache *modcache.Cache
+	// Chain, when non-nil, carries reusable learned clauses across the
+	// related SAT formulas of one module's solve chain. PartitionSAT
+	// creates one per call when unset; solveModule shares one across
+	// the widening fallbacks.
+	Chain *csc.WarmChain
 }
 
 // solveOptions adapts SATOptions to the csc attempt interface.
@@ -34,6 +44,8 @@ func (o SATOptions) solveOptions() csc.SolveOptions {
 		Encoding:      o.Encoding,
 		MaxBacktracks: o.MaxBacktracks,
 		BDDNodeLimit:  o.BDDNodeLimit,
+		Cache:         o.Cache,
+		Chain:         o.Chain,
 	}
 }
 
@@ -91,6 +103,15 @@ func PartitionSAT(ctx context.Context, g *sg.Graph, is InputSet, opt SATOptions)
 	if conf.N() == 0 {
 		return res, nil
 	}
+
+	// One warm chain serves every formula solved on this quotient: the
+	// joint widening loop below and the incremental insertions after
+	// it. Rebind drops clauses carried over from a structurally
+	// different quotient (a previous widening attempt of this module).
+	if opt.Chain == nil {
+		opt.Chain = csc.NewWarmChain()
+	}
+	opt.Chain.Rebind(merged.Graph)
 
 	propagate := func(col []sg.Phase) {
 		phases := make([]sg.Phase, len(g.States))

@@ -171,6 +171,7 @@ func Synthesize(ctx context.Context, spec *stg.G, opt Options) (*Result, error) 
 				dr, err := csc.Solve(ctx, full, csc.SolveOptions{
 					Engine: opt.SAT.Engine, Encoding: opt.SAT.Encoding,
 					MaxBacktracks: opt.SAT.MaxBacktracks, NamePrefix: opt.SAT.NamePrefix,
+					BDDNodeLimit: opt.SAT.BDDNodeLimit, Cache: opt.SAT.Cache,
 				})
 				if dr != nil {
 					res.Fallback = append(res.Fallback, dr.Formulas...)
@@ -307,6 +308,13 @@ func runModules(ctx context.Context, full *sg.Graph, spec *stg.G, opt Options, r
 // those formulas harder — and cancellation also breaks out of it.
 // widened reports whether the returned result came from a widened set.
 func solveModule(ctx context.Context, full *sg.Graph, is InputSet, opt SATOptions) (InputSet, *PartitionResult, bool, error) {
+	// One warm chain spans the whole fallback chain. Each PartitionSAT
+	// rebinds it to its own quotient, dropping clauses whenever the
+	// widened quotient is structurally different — clauses learned on a
+	// coarser graph's edges are not implied by a finer one's.
+	if opt.Chain == nil {
+		opt.Chain = csc.NewWarmChain()
+	}
 	pr, err := PartitionSAT(ctx, full, is, opt)
 	if err == nil || errors.Is(err, synerr.ErrBacktrackLimit) || errors.Is(err, synerr.ErrCanceled) {
 		return is, pr, false, err
@@ -339,6 +347,11 @@ func solveModule(ctx context.Context, full *sg.Graph, is InputSet, opt SATOption
 // never be checked).
 func ExpandToCSC(ctx context.Context, g *sg.Graph, opt Options) (expanded *sg.Graph, iters int, fallback []csc.FormulaStats, err error) {
 	opt = opt.withDefaults()
+	// Every refinement round solves formulas on the same graph g (only
+	// phase columns are appended between rounds), so one warm chain
+	// serves them all.
+	opt.SAT.Chain = csc.NewWarmChain()
+	opt.SAT.Chain.Rebind(g)
 	for iters = 1; ; iters++ {
 		expanded, err = g.Expand()
 		if err != nil {

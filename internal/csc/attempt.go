@@ -8,6 +8,7 @@ import (
 
 	"asyncsyn/internal/bdd"
 	"asyncsyn/internal/metrics"
+	"asyncsyn/internal/modcache"
 	"asyncsyn/internal/par"
 	"asyncsyn/internal/sat"
 	"asyncsyn/internal/sg"
@@ -24,41 +25,117 @@ import (
 // to SAT-engine models. The Portfolio engine races DPLL against WalkSAT
 // concurrently with a deterministic winner (see Engine).
 //
+// With opt.Cache set, the solve is answered from the module solve cache
+// when an identical problem (same layout signature, options and
+// warm-chain state — see modcache.Key) was solved before; a hit replays
+// the stored outcome, including the producing solve's warm-chain
+// contribution, so cached and cold runs are bit-identical. With
+// opt.Chain set, DPLL searches are seeded with the chain's reusable
+// learned clauses and contribute their own stable exports back.
+//
 // ctx cancels the solve mid-formula (every engine polls it); a canceled
 // attempt returns an error matching synerr.ErrCanceled. Each completed
 // formula is also reported to the tracer carried by ctx, if any.
 func Attempt(ctx context.Context, g *sg.Graph, conf *sg.Conflicts, m int, opt SolveOptions) ([][]sg.Phase, FormulaStats, error) {
 	opt = opt.withDefaults()
 	start := time.Now()
+	if opt.Cache == nil {
+		cols, stats, _, err := solveUncached(ctx, g, conf, m, opt, start)
+		return cols, stats, err
+	}
 
+	sig := sg.SignatureOf(g, conf)
+	key := modcache.Key{
+		Canon:         sig.Canon,
+		Layout:        sig.Layout,
+		M:             m,
+		Engine:        int(opt.Engine),
+		ExpandXor:     opt.Encoding.ExpandXor,
+		SkipUSC:       opt.Encoding.SkipUSC,
+		MaxBacktracks: int(opt.MaxBacktracks),
+		BDDNodeLimit:  opt.BDDNodeLimit,
+		WarmHash:      opt.Chain.Hash(),
+	}
+	var missStats FormulaStats
+	entry, hit, err := opt.Cache.Do(ctx, key, func() (*modcache.Entry, error) {
+		cols, stats, norm, err := solveUncached(ctx, g, conf, m, opt, start)
+		if err != nil {
+			return nil, err
+		}
+		missStats = stats
+		return &modcache.Entry{
+			Cols: cols, Signals: stats.Signals, Vars: stats.Vars,
+			Clauses: stats.Clauses, Literals: stats.Literals,
+			Status: stats.Status, Engine: stats.Engine, Warm: norm,
+		}, nil
+	})
+	if err != nil {
+		return nil, FormulaStats{}, err
+	}
+	if !hit {
+		return entry.Cols, missStats, nil
+	}
+
+	// Cache hit: replay the stored outcome. The formula-size counters
+	// are recorded from the entry so a cached run reports the same
+	// sat_formulas/sat_clauses/sat_vars totals as a cold one; search
+	// counters (decisions, conflicts, ...) are genuinely zero — no
+	// search ran. The warm-chain contribution is replayed too, so every
+	// later solve of this chain sees the seeds it would have seen cold.
+	stats := FormulaStats{
+		Signals: entry.Signals, Vars: entry.Vars, Clauses: entry.Clauses,
+		Literals: entry.Literals, Status: entry.Status,
+		SolveTime: time.Since(start), Engine: entry.Engine, Cached: true,
+	}
+	emitFormula(ctx, stats)
+	if mc := metrics.From(ctx); mc != nil {
+		mc.Add(metrics.SATFormulas, 1)
+		mc.Add(metrics.SATClauses, int64(stats.Clauses))
+		mc.Add(metrics.SATVars, int64(stats.Vars))
+	}
+	opt.Chain.AbsorbNormalized(entry.Warm)
+	return entry.Cols, stats, nil
+}
+
+// solveUncached is one actual solve: encode, search, decode, tighten.
+// norm is the solve's normalized warm-chain contribution (already
+// absorbed into opt.Chain); callers that cache the outcome store it so
+// hits can replay the absorption.
+func solveUncached(ctx context.Context, g *sg.Graph, conf *sg.Conflicts, m int, opt SolveOptions, start time.Time) (cols [][]sg.Phase, stats FormulaStats, norm [][]sat.Lit, err error) {
 	if opt.Engine == BDD {
-		cols, err := SolveBDD(ctx, g, conf, m, opt.BDDNodeLimit)
-		stats := FormulaStats{
+		bcols, berr := SolveBDD(ctx, g, conf, m, opt.BDDNodeLimit)
+		stats = FormulaStats{
 			Signals: m, Vars: 2 * m * len(g.States),
 			SolveTime: time.Since(start), Engine: "bdd",
 		}
 		switch {
-		case err == nil:
+		case berr == nil:
 			stats.Status = sat.Sat
 			emitFormula(ctx, stats)
 			recordFormula(ctx, stats, sat.Result{})
-			return cols, stats, nil
-		case errors.Is(err, ErrUnsatisfiable):
+			return bcols, stats, nil, nil
+		case errors.Is(berr, ErrUnsatisfiable):
 			stats.Status = sat.Unsat
 			emitFormula(ctx, stats)
 			recordFormula(ctx, stats, sat.Result{})
-			return nil, stats, nil
-		case errors.Is(err, bdd.ErrNodeLimit):
+			return nil, stats, nil, nil
+		case errors.Is(berr, bdd.ErrNodeLimit):
 			// Fall through to the SAT engine below.
 		default:
-			return nil, stats, err
+			return nil, stats, nil, berr
 		}
 	}
 
 	enc, err := Encode(g, conf, m, opt.Encoding)
 	if err != nil {
-		return nil, FormulaStats{}, err
+		return nil, FormulaStats{}, nil, err
 	}
+	seeds := opt.Chain.Seed(len(g.States), m)
+	if seeds != nil {
+		metrics.From(ctx).Add(metrics.SATWarmClauses, int64(len(seeds.Clauses)))
+	}
+	exportStable := opt.Chain != nil
+	var dpll sat.Warmable = sat.DPLLEngine{}
 	var r sat.Result
 	engine := "dpll"
 	switch opt.Engine {
@@ -82,7 +159,10 @@ func Attempt(ctx context.Context, g *sg.Graph, conf *sg.Conflicts, m int, opt So
 			return res.Status == sat.Sat
 		}, &cancel,
 			func() sat.Result {
-				return sat.Solve(enc.F, sat.Limits{MaxBacktracks: opt.MaxBacktracks, Cancel: &cancel, Ctx: ctx})
+				return dpll.SolveWarm(enc.F, sat.Limits{
+					MaxBacktracks: opt.MaxBacktracks, Cancel: &cancel,
+					Ctx: ctx, ExportStable: exportStable,
+				}, seeds)
 			},
 			func() sat.Result {
 				return sat.LocalSearch(enc.F, sat.LocalSearchOptions{Cancel: &cancel, Ctx: ctx})
@@ -93,24 +173,30 @@ func Attempt(ctx context.Context, g *sg.Graph, conf *sg.Conflicts, m int, opt So
 			engine = "portfolio:walksat"
 		}
 	default:
-		r = sat.Solve(enc.F, sat.Limits{MaxBacktracks: opt.MaxBacktracks, Ctx: ctx})
+		r = dpll.SolveWarm(enc.F, sat.Limits{
+			MaxBacktracks: opt.MaxBacktracks, Ctx: ctx, ExportStable: exportStable,
+		}, seeds)
 	}
-	stats := FormulaStats{
+	stats = FormulaStats{
 		Signals: m, Vars: enc.F.NumVars, Clauses: enc.F.NumClauses(),
 		Literals: enc.F.NumLiterals(), Status: r.Status, SolveTime: time.Since(start),
 		Engine: engine,
 	}
 	if r.Status == sat.Canceled {
-		return nil, stats, synerr.Canceled(ctx.Err())
+		return nil, stats, nil, synerr.Canceled(ctx.Err())
 	}
 	emitFormula(ctx, stats)
 	recordFormula(ctx, stats, r)
-	if r.Status != sat.Sat {
-		return nil, stats, nil
+	if opt.Chain != nil && len(r.StableLearned) > 0 {
+		norm = opt.Chain.Normalize(len(g.States), m, r.StableLearned)
+		opt.Chain.AbsorbNormalized(norm)
 	}
-	cols := enc.DecodePhases(r.Model)
+	if r.Status != sat.Sat {
+		return nil, stats, norm, nil
+	}
+	cols = enc.DecodePhases(r.Model)
 	Tighten(g, conf, cols)
-	return cols, stats, nil
+	return cols, stats, norm, nil
 }
 
 // recordFormula accumulates the formula's size and the engine's search

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"asyncsyn/internal/modcache"
 	"asyncsyn/internal/sat"
 	"asyncsyn/internal/sg"
 	"asyncsyn/internal/synerr"
@@ -51,6 +52,15 @@ type SolveOptions struct {
 	StartSignals int
 	// BDDNodeLimit bounds the BDD engine (default one million nodes).
 	BDDNodeLimit int
+	// Cache, when non-nil, answers repeated solves of signature-equal
+	// problems from the module solve cache (see modcache). Hits are
+	// bit-identical replays of the producing solve.
+	Cache *modcache.Cache
+	// Chain, when non-nil, carries reusable learned clauses across the
+	// related formulas of one solve chain: DPLL searches are seeded
+	// with the chain's clauses and export their own stable learnings
+	// back (see WarmChain).
+	Chain *WarmChain
 }
 
 func (o SolveOptions) withDefaults() SolveOptions {
@@ -78,6 +88,9 @@ type FormulaStats struct {
 	// "bdd"; "portfolio:dpll" / "portfolio:walksat" record which side of
 	// the race won).
 	Engine string
+	// Cached reports that the outcome was replayed from the module
+	// solve cache instead of being computed.
+	Cached bool
 }
 
 // Result is the outcome of direct CSC constraint satisfaction.
@@ -99,6 +112,10 @@ type Result struct {
 // ctx returns one matching synerr.ErrCanceled.
 func Solve(ctx context.Context, g *sg.Graph, opt SolveOptions) (*Result, error) {
 	opt = opt.withDefaults()
+	if opt.Chain == nil {
+		opt.Chain = NewWarmChain()
+	}
+	opt.Chain.Rebind(g)
 	res := &Result{}
 	conf := sg.Analyze(g)
 	if conf.N() == 0 {

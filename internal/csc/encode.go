@@ -139,6 +139,12 @@ func Encode(g *sg.Graph, conf *sg.Conflicts, m int, opt Options) (*Encoding, err
 			}
 		}
 	}
+	// The edge-compatibility clauses above are per-column and recur in
+	// every formula of a widening/insertion chain on this graph, so
+	// learned clauses derived exclusively from them stay valid along
+	// the chain (see WarmChain). The pair and symmetry clauses below do
+	// not: they change with m and the conflict set.
+	e.F.MarkStablePrefix()
 
 	if opt.ExpandXor {
 		// Paper-parity mode: no auxiliary variables at all, so no

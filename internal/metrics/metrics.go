@@ -54,6 +54,17 @@ const (
 	EspressoReduce
 	// Modules counts per-output modular partition passes.
 	Modules
+	// CacheHits counts module solves answered from the solve cache
+	// (in-memory or on-disk).
+	CacheHits
+	// CacheMisses counts module solves the cache had to compute.
+	CacheMisses
+	// CacheInflight counts solves deduplicated against an identical
+	// solve already in flight (singleflight).
+	CacheInflight
+	// SATWarmClauses accumulates the learned clauses re-seeded into DPLL
+	// searches along widening/insertion chains.
+	SATWarmClauses
 
 	numKinds
 )
@@ -74,6 +85,10 @@ var kindNames = [numKinds]string{
 	EspressoExpand:  "espresso_expand",
 	EspressoReduce:  "espresso_reduce",
 	Modules:         "modules",
+	CacheHits:       "modcache_hits",
+	CacheMisses:     "modcache_misses",
+	CacheInflight:   "modcache_inflight",
+	SATWarmClauses:  "sat_warm_clauses",
 }
 
 // String returns the counter's stable schema name.

@@ -53,6 +53,8 @@ func TestKindNamesStable(t *testing.T) {
 		"sat_restarts", "sat_formulas", "sat_clauses", "sat_vars",
 		"walksat_flips", "bdd_nodes", "sg_states", "sg_states_merged",
 		"espresso_expand", "espresso_reduce", "modules",
+		"modcache_hits", "modcache_misses", "modcache_inflight",
+		"sat_warm_clauses",
 	}
 	kinds := Kinds()
 	if len(kinds) != len(want) {

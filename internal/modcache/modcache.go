@@ -1,0 +1,274 @@
+// Package modcache is the cross-output module solve cache: a
+// concurrency-safe map from canonical CSC problem signatures
+// (sg.SignatureOf) to solved phase columns. Modular synthesis solves
+// one quotient per output signal, and distinct outputs of one benchmark
+// — or one benchmark re-run under a different engine sweep — routinely
+// produce byte-identical quotients; the cache answers those repeats
+// without re-encoding or re-searching.
+//
+// Three properties keep cached and cold runs bit-identical:
+//
+//   - The key carries the exact Layout hash, every solver-visible
+//     option (engine, encoding, budgets), and the warm-chain hash, so a
+//     hit guarantees the producing solve saw the same formula, the same
+//     search parameters, and the same seed clauses.
+//   - The entry stores the solve's outcome wholesale: decoded (and
+//     tightened) phase columns, formula statistics, and the normalized
+//     learned-clause export. The hit path replays the export into the
+//     caller's warm chain, so downstream solves of the chain observe
+//     the same seeds whether this solve was computed or replayed.
+//   - Only deterministic outcomes are cached (Sat, Unsat, and
+//     BacktrackLimit, which is a function of the budget in the key);
+//     errors — cancellation, internal failures — are never stored.
+//
+// Do provides singleflight semantics: concurrent callers with one key
+// share a single computation (metrics: modcache_inflight), and a
+// producer that fails releases its waiters to retry rather than caching
+// the error.
+package modcache
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"asyncsyn/internal/metrics"
+	"asyncsyn/internal/sat"
+	"asyncsyn/internal/sg"
+	"asyncsyn/internal/synerr"
+)
+
+// Key identifies one module solve. Two solves with equal keys produce
+// byte-identical results, so every field the solver's outcome depends
+// on must appear here.
+type Key struct {
+	// Canon and Layout are the problem signature (sg.SignatureOf).
+	Canon  string `json:"canon"`
+	Layout string `json:"layout"`
+	// M is the number of state signals attempted.
+	M int `json:"m"`
+	// Engine and ExpandXor select the solver and encoding.
+	Engine    int  `json:"engine"`
+	ExpandXor bool `json:"expand_xor"`
+	// SkipUSC mirrors SolveOptions restricting the encoded pair set.
+	SkipUSC bool `json:"skip_usc,omitempty"`
+	// MaxBacktracks and BDDNodeLimit are the search budgets; a
+	// BacktrackLimit verdict is only deterministic relative to them.
+	MaxBacktracks int `json:"max_backtracks"`
+	BDDNodeLimit  int `json:"bdd_node_limit,omitempty"`
+	// WarmHash fingerprints the warm-chain state seeded into the
+	// search ("-" when the caller has no chain): seeds steer the DPLL
+	// variable order, so different seeds can reach different models.
+	WarmHash string `json:"warm_hash"`
+}
+
+// Entry is one cached solve outcome.
+type Entry struct {
+	// Cols holds the decoded, tightened phase columns when Status is
+	// Sat; nil otherwise.
+	Cols [][]sg.Phase `json:"cols"`
+	// Formula statistics of the producing solve (FormulaStats fields
+	// that survive a replay).
+	Signals  int        `json:"signals"`
+	Vars     int        `json:"vars"`
+	Clauses  int        `json:"clauses"`
+	Literals int        `json:"literals"`
+	Status   sat.Status `json:"status"`
+	Engine   string     `json:"engine"`
+	// Warm is the normalized learned-clause export the producing solve
+	// contributed to its warm chain; hits replay it so the chain state
+	// matches the miss path exactly.
+	Warm [][]sat.Lit `json:"warm,omitempty"`
+}
+
+// clone deep-copies the mutable slices so callers can own the result.
+func (e *Entry) clone() *Entry {
+	out := *e
+	if e.Cols != nil {
+		out.Cols = make([][]sg.Phase, len(e.Cols))
+		for i, c := range e.Cols {
+			out.Cols[i] = append([]sg.Phase(nil), c...)
+		}
+	}
+	if e.Warm != nil {
+		out.Warm = make([][]sat.Lit, len(e.Warm))
+		for i, c := range e.Warm {
+			out.Warm[i] = append([]sat.Lit(nil), c...)
+		}
+	}
+	return &out
+}
+
+// flight is one in-progress computation; waiters block on done.
+type flight struct {
+	done chan struct{}
+	val  *Entry
+	err  error
+}
+
+// Cache is the solve cache. The zero value is not usable; construct
+// with New or NewDisk. All methods are safe for concurrent use.
+type Cache struct {
+	mu       sync.Mutex
+	entries  map[Key]*Entry
+	inflight map[Key]*flight
+	dir      string // "" = memory only
+}
+
+// New returns an empty in-memory cache.
+func New() *Cache {
+	return &Cache{
+		entries:  make(map[Key]*Entry),
+		inflight: make(map[Key]*flight),
+	}
+}
+
+// NewDisk returns a cache backed by content-addressed JSON files under
+// dir (created if missing), layered over the in-memory map: lookups try
+// memory, then disk; stores write through. Disk I/O failures degrade to
+// memory-only behavior, never to a solve error.
+func NewDisk(dir string) (*Cache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("modcache: %w", err)
+	}
+	c := New()
+	c.dir = dir
+	return c, nil
+}
+
+// Do returns the cached entry for key, computing it with solve on a
+// miss. Concurrent calls with equal keys share one computation. hit
+// reports whether the entry was served without running solve (memory,
+// disk, or in-flight dedup). The returned entry is the caller's own
+// deep copy. solve errors are returned to every waiter but never
+// cached; a canceled ctx aborts the wait with synerr.Canceled.
+func (c *Cache) Do(ctx context.Context, key Key, solve func() (*Entry, error)) (entry *Entry, hit bool, err error) {
+	mc := metrics.From(ctx)
+	for {
+		c.mu.Lock()
+		if e, ok := c.entries[key]; ok {
+			c.mu.Unlock()
+			mc.Add(metrics.CacheHits, 1)
+			return e.clone(), true, nil
+		}
+		if c.dir != "" {
+			if e := c.loadDisk(key); e != nil {
+				c.entries[key] = e
+				c.mu.Unlock()
+				mc.Add(metrics.CacheHits, 1)
+				return e.clone(), true, nil
+			}
+		}
+		if fl, ok := c.inflight[key]; ok {
+			c.mu.Unlock()
+			mc.Add(metrics.CacheInflight, 1)
+			select {
+			case <-fl.done:
+			case <-ctx.Done():
+				return nil, false, synerr.Canceled(ctx.Err())
+			}
+			if fl.err == nil {
+				return fl.val.clone(), true, nil
+			}
+			// The producer failed (e.g. its context was canceled).
+			// Its error may not apply to us — loop and retry.
+			if ctx.Err() != nil {
+				return nil, false, synerr.Canceled(ctx.Err())
+			}
+			continue
+		}
+		fl := &flight{done: make(chan struct{})}
+		c.inflight[key] = fl
+		c.mu.Unlock()
+
+		mc.Add(metrics.CacheMisses, 1)
+		val, solveErr := solve()
+
+		c.mu.Lock()
+		delete(c.inflight, key)
+		if solveErr == nil {
+			// Waiters clone from the cached copy, never from val: the
+			// producing caller owns val and may mutate it after return.
+			stored := val.clone()
+			c.entries[key] = stored
+			fl.val = stored
+			if c.dir != "" {
+				c.writeDisk(key, stored)
+			}
+		} else {
+			fl.err = solveErr
+		}
+		c.mu.Unlock()
+		close(fl.done)
+		return val, false, solveErr
+	}
+}
+
+// Len returns the number of in-memory entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// diskSchema versions the on-disk record layout.
+const diskSchema = 1
+
+// diskRecord is the on-disk JSON envelope. The full key is stored and
+// verified on load, so a content-hash collision or a record written by
+// an incompatible build reads as a miss, never as a wrong answer.
+type diskRecord struct {
+	Schema int    `json:"schema"`
+	Key    Key    `json:"key"`
+	Entry  *Entry `json:"entry"`
+}
+
+// diskPath content-addresses key under c.dir.
+func (c *Cache) diskPath(key Key) string {
+	b, _ := json.Marshal(key)
+	sum := sha256.Sum256(b)
+	return filepath.Join(c.dir, hex.EncodeToString(sum[:])+".json")
+}
+
+// loadDisk reads and verifies the record for key; nil on any mismatch
+// or I/O error. Called with c.mu held (file reads under the lock are
+// acceptable: records are small and the path is a startup-warming one).
+func (c *Cache) loadDisk(key Key) *Entry {
+	b, err := os.ReadFile(c.diskPath(key))
+	if err != nil {
+		return nil
+	}
+	var rec diskRecord
+	if json.Unmarshal(b, &rec) != nil || rec.Schema != diskSchema || rec.Key != key || rec.Entry == nil {
+		return nil
+	}
+	return rec.Entry
+}
+
+// writeDisk persists the record best-effort via temp file + rename so
+// concurrent processes never observe a torn record.
+func (c *Cache) writeDisk(key Key, e *Entry) {
+	b, err := json.Marshal(diskRecord{Schema: diskSchema, Key: key, Entry: e})
+	if err != nil {
+		return
+	}
+	path := c.diskPath(key)
+	tmp, err := os.CreateTemp(c.dir, ".tmp-*")
+	if err != nil {
+		return
+	}
+	_, werr := tmp.Write(b)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	if os.Rename(tmp.Name(), path) != nil {
+		os.Remove(tmp.Name())
+	}
+}

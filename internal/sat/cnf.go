@@ -42,7 +42,25 @@ type Formula struct {
 	names    []string
 	prefer   []int8 // -1 none, 0 prefer false, 1 prefer true
 	hasEmpty bool
+	// stablePrefix marks the first clauses as structural: invariant
+	// across the related formulas of a widening/insertion chain (see
+	// MarkStablePrefix).
+	stablePrefix int
 }
+
+// MarkStablePrefix declares every clause added so far "stable":
+// structural constraints that recur verbatim (modulo signal-column
+// instantiation) in every related formula of a solve chain. The DPLL
+// engine tracks which learned clauses derive exclusively from stable
+// clauses; only those are exported for warm-starting later searches
+// (Result.StableLearned), because a clause derived through a
+// non-stable constraint is not implied by the next formula in the
+// chain. Encoders call this once, after the invariant constraints and
+// before the per-problem ones.
+func (f *Formula) MarkStablePrefix() { f.stablePrefix = len(f.Clauses) }
+
+// StablePrefix returns the number of leading stable clauses.
+func (f *Formula) StablePrefix() int { return f.stablePrefix }
 
 // Prefer records a branching-polarity hint for variable v: the solver
 // tries that value first. Encoders use it to steer the search toward

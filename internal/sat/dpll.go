@@ -49,6 +49,11 @@ type Result struct {
 	Learned    int64
 	Restarts   int64
 	Flips      int64 // local-search flips (WalkSAT only)
+	// StableLearned holds the learned clauses (including learned units)
+	// whose derivations used only the formula's stable prefix — and so
+	// remain implied by any later formula containing that same prefix.
+	// Populated only when Limits.ExportStable is set.
+	StableLearned [][]Lit
 }
 
 // Limits bounds the search. Zero values mean unlimited.
@@ -68,6 +73,11 @@ type Limits struct {
 	// DPLL search. Polling never changes the search when the context
 	// stays live, so results are bit-identical with or without it.
 	Ctx context.Context
+	// ExportStable collects the stable learned clauses into
+	// Result.StableLearned (see Formula.MarkStablePrefix). Tracking is
+	// always on — it never changes the search — so enabling the export
+	// only pays the final copy.
+	ExportStable bool
 }
 
 // Solve runs a conflict-driven DPLL procedure: two-watched-literal unit
@@ -88,6 +98,10 @@ func Solve(f *Formula, lim Limits) Result {
 type clause struct {
 	lits    []Lit
 	learned bool
+	// stable: the clause is part of the formula's stable prefix, a warm
+	// seed derived from it, or a learned clause whose entire derivation
+	// (conflict clause, reason clauses, level-0 antecedents) is stable.
+	stable bool
 }
 
 type solver struct {
@@ -109,6 +123,16 @@ type solver struct {
 
 	seen    []bool
 	tmpLits []Lit
+
+	// stab0[v] records whether variable v's level-0 assignment was
+	// derived purely from stable clauses: conflict analysis skips
+	// level-0 literals, so a learned clause silently depends on them.
+	stab0 []bool
+	// analyzeStable is the stability of the most recent analyze() result.
+	analyzeStable bool
+	// stableUnits collects stable learned unit clauses, which are
+	// enqueued directly rather than added to the clause list.
+	stableUnits []Lit
 }
 
 func newSolver(f *Formula) *solver {
@@ -123,6 +147,7 @@ func newSolver(f *Formula) *solver {
 		actInc:   1,
 		phase:    make([]bool, n),
 		seen:     make([]bool, n),
+		stab0:    make([]bool, n),
 	}
 	for i := range s.assign {
 		s.assign[i] = -1
@@ -130,6 +155,10 @@ func newSolver(f *Formula) *solver {
 	}
 	posScore := make([]float64, n)
 	negScore := make([]float64, n)
+	// First pass: branching scores plus a per-literal watch count, so the
+	// watch lists can be carved out of one backing array with exact
+	// capacities instead of growing by repeated append in the hot loop.
+	occ := make([]int32, 2*n)
 	for _, c := range f.Clauses {
 		w := math.Pow(2, -float64(len(c)))
 		for _, l := range c {
@@ -139,7 +168,28 @@ func newSolver(f *Formula) *solver {
 				posScore[l.Var()] += w
 			}
 		}
-		cl := &clause{lits: append([]Lit(nil), c...)}
+		if len(c) >= 2 {
+			occ[c[0]]++
+			occ[c[1]]++
+		}
+	}
+	total := int32(0)
+	for _, o := range occ {
+		total += o
+	}
+	backing := make([]int32, total)
+	off := int32(0)
+	for l, o := range occ {
+		// Full slice expressions cap each list at its initial count: a
+		// list that later outgrows it (watch migration, learned clauses)
+		// reallocates on append instead of clobbering its neighbor.
+		s.watches[l] = backing[off : off : off+o]
+		off += o
+	}
+	s.clauses = make([]*clause, 0, len(f.Clauses))
+	stablePrefix := f.StablePrefix()
+	for i, c := range f.Clauses {
+		cl := &clause{lits: append([]Lit(nil), c...), stable: i < stablePrefix}
 		ci := int32(len(s.clauses))
 		s.clauses = append(s.clauses, cl)
 		if len(cl.lits) >= 2 {
@@ -199,6 +249,21 @@ func (s *solver) enqueue(l Lit, reason int32) bool {
 	s.level[v] = int32(s.decisionLevel())
 	s.reason[v] = reason
 	s.trail = append(s.trail, l)
+	if s.decisionLevel() == 0 && reason >= 0 {
+		// Level-0 assignments are permanent and invisible to analyze();
+		// record whether this one rests entirely on stable clauses.
+		cl := s.clauses[reason]
+		st := cl.stable
+		if st {
+			for _, q := range cl.lits {
+				if q.Var() != v && !s.stab0[q.Var()] {
+					st = false
+					break
+				}
+			}
+		}
+		s.stab0[v] = st
+	}
 	return true
 }
 
@@ -265,9 +330,12 @@ func (s *solver) analyze(confl int32) ([]Lit, int) {
 	var p Lit = -1
 	idx := len(s.trail) - 1
 	reason := confl
+	stable := true
 
 	for {
-		cl := s.clauses[reason].lits
+		rc := s.clauses[reason]
+		stable = stable && rc.stable
+		cl := rc.lits
 		start := 0
 		if p != -1 {
 			// Skip the asserting literal of the reason clause.
@@ -277,6 +345,12 @@ func (s *solver) analyze(confl int32) ([]Lit, int) {
 			q := cl[k]
 			v := q.Var()
 			if s.seen[v] || s.level[v] == 0 {
+				if s.level[v] == 0 && !s.seen[v] {
+					// The literal is dropped from the learned clause
+					// because its level-0 complement justifies it — so
+					// the derivation leans on that assignment too.
+					stable = stable && s.stab0[v]
+				}
 				continue
 			}
 			s.seen[v] = true
@@ -320,6 +394,7 @@ func (s *solver) analyze(confl int32) ([]Lit, int) {
 		s.seen[l.Var()] = false
 	}
 	s.tmpLits = learned
+	s.analyzeStable = stable
 	return learned, back
 }
 
@@ -350,7 +425,7 @@ func (s *solver) pickVar() int {
 }
 
 func (s *solver) addLearned(lits []Lit) int32 {
-	cl := &clause{lits: append([]Lit(nil), lits...), learned: true}
+	cl := &clause{lits: append([]Lit(nil), lits...), learned: true, stable: s.analyzeStable}
 	ci := int32(len(s.clauses))
 	s.clauses = append(s.clauses, cl)
 	if len(cl.lits) >= 2 {
@@ -362,6 +437,21 @@ func (s *solver) addLearned(lits []Lit) int32 {
 }
 
 func (s *solver) run(lim Limits) Result {
+	res := s.search(lim)
+	if lim.ExportStable && res.Status != Canceled {
+		for _, cl := range s.clauses {
+			if cl.learned && cl.stable {
+				res.StableLearned = append(res.StableLearned, append([]Lit(nil), cl.lits...))
+			}
+		}
+		for _, l := range s.stableUnits {
+			res.StableLearned = append(res.StableLearned, []Lit{l})
+		}
+	}
+	return res
+}
+
+func (s *solver) search(lim Limits) Result {
 	// An already-canceled context never starts the search: small formulas
 	// can otherwise finish before the branch loop's first poll comes due.
 	if lim.Ctx != nil && lim.Ctx.Err() != nil {
@@ -415,6 +505,12 @@ func (s *solver) run(lim Limits) Result {
 				if !s.enqueue(learned[0], -1) {
 					s.res.Status = Unsat
 					return s.res
+				}
+				// The learned unit holds at level 0 with no recorded
+				// reason clause; carry analyze's stability verdict.
+				s.stab0[learned[0].Var()] = s.analyzeStable
+				if s.analyzeStable {
+					s.stableUnits = append(s.stableUnits, learned[0])
 				}
 			} else {
 				ci := s.addLearned(learned)

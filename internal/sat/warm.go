@@ -1,0 +1,66 @@
+package sat
+
+// Warm carries learned clauses exported from an earlier, related solve
+// (Result.StableLearned) to seed a new search. Every clause must be an
+// actual consequence of the new formula — the csc warm chain guarantees
+// this by only carrying clauses derived from the stable structural
+// prefix shared along a solve chain (Formula.MarkStablePrefix) — or the
+// seeded search may wrongly exclude models.
+type Warm struct {
+	Clauses [][]Lit
+}
+
+// Warmable is the optional warm-start extension of a SAT engine:
+// engines that can ingest previously learned clauses implement it, and
+// callers probe for it with a type assertion, falling back to a cold
+// Solve otherwise.
+type Warmable interface {
+	SolveWarm(f *Formula, lim Limits, w *Warm) Result
+}
+
+// DPLLEngine is the conflict-driven DPLL procedure as an engine value.
+// Solve(f, lim) and DPLLEngine{}.SolveWarm(f, lim, nil) are the same
+// search; a non-nil Warm seeds the clause database before the search
+// starts, which prunes refuted subspaces immediately instead of
+// re-deriving them.
+type DPLLEngine struct{}
+
+var _ Warmable = DPLLEngine{}
+
+// SolveWarm runs the DPLL search with w's clauses pre-loaded as stable
+// learned clauses. Seeding is deterministic: clauses are installed in
+// the given order before the search begins, so two runs with equal
+// (formula, limits, seeds) produce identical results.
+func (DPLLEngine) SolveWarm(f *Formula, lim Limits, w *Warm) Result {
+	if f.hasEmpty {
+		return Result{Status: Unsat}
+	}
+	s := newSolver(f)
+	if w != nil {
+		for _, lits := range w.Clauses {
+			s.seed(lits)
+		}
+	}
+	return s.run(lim)
+}
+
+// seed installs one warm clause as a stable learned clause. Clauses
+// with out-of-range literals are ignored (a seed meant for a larger
+// formula); empty clauses cannot occur in exports.
+func (s *solver) seed(lits []Lit) {
+	if len(lits) == 0 {
+		return
+	}
+	for _, l := range lits {
+		if l.Var() >= s.f.NumVars {
+			return
+		}
+	}
+	cl := &clause{lits: append([]Lit(nil), lits...), learned: true, stable: true}
+	ci := int32(len(s.clauses))
+	s.clauses = append(s.clauses, cl)
+	if len(cl.lits) >= 2 {
+		s.watches[cl.lits[0]] = append(s.watches[cl.lits[0]], ci)
+		s.watches[cl.lits[1]] = append(s.watches[cl.lits[1]], ci)
+	}
+}

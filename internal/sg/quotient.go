@@ -3,6 +3,7 @@ package sg
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // Merged is the result of an ε-quotient: the modular state graph plus the
@@ -56,19 +57,37 @@ func (g *Graph) Quotient(silencedMask uint64) (m *Merged, ok bool) {
 		}
 	}
 
-	// Number merged states in order of their smallest member.
-	index := make(map[int]int)
-	var members [][]int
-	cover := make([]int, len(g.States))
-	for s := range g.States {
+	// Number merged states in order of their smallest member. Roots are
+	// state indices, so a slice (-1 = unnumbered) replaces the map, and
+	// the member lists are carved out of one backing array sized by a
+	// counting pass instead of growing per append.
+	n := len(g.States)
+	index := make([]int, n)
+	size := make([]int, 0, n)
+	cover := make([]int, n)
+	for i := range index {
+		index[i] = -1
+	}
+	for s := 0; s < n; s++ {
 		r := find(s)
-		mi, seen := index[r]
-		if !seen {
-			mi = len(members)
+		mi := index[r]
+		if mi < 0 {
+			mi = len(size)
 			index[r] = mi
-			members = append(members, nil)
+			size = append(size, 0)
 		}
 		cover[s] = mi
+		size[mi]++
+	}
+	members := make([][]int, len(size))
+	backing := make([]int, n)
+	off := 0
+	for mi, sz := range size {
+		members[mi] = backing[off : off : off+sz]
+		off += sz
+	}
+	for s := 0; s < n; s++ {
+		mi := cover[s]
 		members[mi] = append(members[mi], s)
 	}
 
@@ -107,12 +126,15 @@ func (g *Graph) Quotient(silencedMask uint64) (m *Merged, ok bool) {
 		mg.StateSigs = append(mg.StateSigs, StateSignal{Name: ss.Name, Phases: joined})
 	}
 
-	// Edges: keep non-ε edges, re-pointed and deduplicated.
-	type ekey struct {
-		from, to, sig int
-		dir           int
-	}
-	seen := make(map[ekey]bool)
+	// Edges: keep non-ε edges, re-pointed and deduplicated. The dedup
+	// key packs (from, to, sig, dir) into a uint64 — from and to index
+	// merged states (< n) and sig indexes base signals (< MaxSignals) —
+	// and the set itself is pooled across calls: input-set determination
+	// quotients the same graph dozens of times in a row.
+	seen := edgeSeenPool.Get().(map[uint64]struct{})
+	clear(seen)
+	nm := uint64(len(members))
+	mg.Edges = make([]Edge, 0, len(g.Edges))
 	for _, e := range g.Edges {
 		if isEps(e) {
 			continue
@@ -122,15 +144,23 @@ func (g *Graph) Quotient(silencedMask uint64) (m *Merged, ok bool) {
 			// Impossible for active signals (the bit flips); defensive.
 			continue
 		}
-		k := ekey{ne.From, ne.To, ne.Sig, int(ne.Dir)}
-		if seen[k] {
+		k := (uint64(ne.From)*nm+uint64(ne.To))<<7 | uint64(ne.Sig)<<1 | uint64(ne.Dir)
+		if _, dup := seen[k]; dup {
 			continue
 		}
-		seen[k] = true
+		seen[k] = struct{}{}
 		mg.addEdge(ne)
 	}
+	edgeSeenPool.Put(seen)
 
 	return &Merged{Graph: mg, Orig: g, Cover: cover, Members: members}, allOK
+}
+
+// edgeSeenPool recycles the Quotient edge-dedup sets. The map is cleared
+// on reuse, so a pooled set never leaks state between calls and results
+// are identical with or without a pool hit.
+var edgeSeenPool = sync.Pool{
+	New: func() any { return make(map[uint64]struct{}, 256) },
 }
 
 // ImpliedOf returns the per-merged-state implied-value probe for signal o
