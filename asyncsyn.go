@@ -28,6 +28,7 @@ import (
 	"io"
 	"time"
 
+	"asyncsyn/internal/benchrec"
 	"asyncsyn/internal/core"
 	"asyncsyn/internal/csc"
 	"asyncsyn/internal/dot"
@@ -63,6 +64,11 @@ var (
 	// ErrConflictsPersist reports coding conflicts surviving every
 	// repair round (incremental insertion or expansion refinement).
 	ErrConflictsPersist = synerr.ErrConflictsPersist
+	// ErrParse reports an STG source that failed to parse or validate.
+	// Every error returned by ParseSTG and ParseSTGString matches it;
+	// the concrete cause (e.g. stg.ParseError with its line number)
+	// stays reachable through errors.As/Unwrap.
+	ErrParse = synerr.ErrParse
 )
 
 // Tracer receives synthesis progress events: one StageStart/StageEnd
@@ -111,6 +117,13 @@ type SolveCache = modcache.Cache
 // sharing via Options.Cache across any number of concurrent runs.
 func NewSolveCache() *SolveCache { return modcache.New() }
 
+// NewDiskSolveCache returns a solve cache backed by content-addressed
+// JSON records under dir (created if missing), layered over an
+// in-memory map — the cache Options.CacheDir would build, exposed so
+// long-lived callers (the synthesis daemon) can share one disk-backed
+// instance across every run.
+func NewDiskSolveCache(dir string) (*SolveCache, error) { return modcache.NewDisk(dir) }
+
 // solveCacheFor resolves the cache configuration of one run.
 func solveCacheFor(opt Options) (*SolveCache, error) {
 	switch {
@@ -130,20 +143,22 @@ type STG struct {
 	g *stg.G
 }
 
-// ParseSTG reads an STG in the astg/SIS ".g" format.
+// ParseSTG reads an STG in the astg/SIS ".g" format. Errors match
+// ErrParse.
 func ParseSTG(r io.Reader) (*STG, error) {
 	g, err := stg.Parse(r)
 	if err != nil {
-		return nil, err
+		return nil, synerr.Parse(err)
 	}
 	return &STG{g: g}, nil
 }
 
-// ParseSTGString parses a ".g" source held in a string.
+// ParseSTGString parses a ".g" source held in a string. Errors match
+// ErrParse.
 func ParseSTGString(src string) (*STG, error) {
 	g, err := stg.ParseString(src)
 	if err != nil {
-		return nil, err
+		return nil, synerr.Parse(err)
 	}
 	return &STG{g: g}, nil
 }
@@ -189,6 +204,21 @@ func (m Method) String() string {
 	return fmt.Sprintf("Method(%d)", int(m))
 }
 
+// ParseMethod resolves a method name ("modular", "direct", "lavagno";
+// "" selects the default). Shared by cmd/modsyn's flag and the
+// daemon's request schema so the accepted spellings stay in one place.
+func ParseMethod(s string) (Method, error) {
+	switch s {
+	case "", "modular":
+		return Modular, nil
+	case "direct":
+		return Direct, nil
+	case "lavagno":
+		return Lavagno, nil
+	}
+	return 0, fmt.Errorf("unknown method %q", s)
+}
+
 // Engine selects the SAT engine.
 type Engine int
 
@@ -208,6 +238,36 @@ const (
 	// budget. Results never depend on goroutine timing.
 	Portfolio
 )
+
+func (e Engine) String() string {
+	switch e {
+	case DPLL:
+		return "dpll"
+	case WalkSAT:
+		return "walksat"
+	case BDD:
+		return "bdd"
+	case Portfolio:
+		return "portfolio"
+	}
+	return fmt.Sprintf("Engine(%d)", int(e))
+}
+
+// ParseEngine resolves an engine name ("dpll", "walksat", "bdd",
+// "portfolio"; "" selects the default).
+func ParseEngine(s string) (Engine, error) {
+	switch s {
+	case "", "dpll":
+		return DPLL, nil
+	case "walksat":
+		return WalkSAT, nil
+	case "bdd":
+		return BDD, nil
+	case "portfolio":
+		return Portfolio, nil
+	}
+	return 0, fmt.Errorf("unknown engine %q", s)
+}
 
 // Options configures Synthesize.
 type Options struct {
@@ -385,6 +445,21 @@ func (c *Circuit) setStateSignals(inserted int) {
 	} else {
 		c.StateSignals = inserted
 	}
+}
+
+// Digest returns a short hash of the circuit's machine-independent
+// outputs: the final shape (states, signals, state signals, area) and
+// every synthesized equation. Two runs that produce bit-identical
+// circuits produce equal digests regardless of Workers, caching, host
+// or transport; any behaviour change to a cover moves it. cmd/bench
+// records it in BENCH_*.json rows and the daemon returns it with every
+// response, so HTTP results are directly comparable to library calls.
+func (c *Circuit) Digest() string {
+	parts := []string{fmt.Sprintf("shape %d/%d/%d/%d", c.FinalStates, c.FinalSignals, c.StateSignals, c.Area)}
+	for _, f := range c.Functions {
+		parts = append(parts, f.String())
+	}
+	return benchrec.Digest(parts)
 }
 
 // Function returns the function driving the named signal.

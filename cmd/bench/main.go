@@ -365,14 +365,10 @@ func flatten(c *asyncsyn.Circuit) benchrec.MethodResult {
 
 // digestOf hashes the machine-independent outputs of a run: the circuit
 // shape and every synthesized equation. Workers, GOMAXPROCS and the
-// host never move it; a code change that alters any cover does.
-func digestOf(c *asyncsyn.Circuit) string {
-	parts := []string{fmt.Sprintf("shape %d/%d/%d/%d", c.FinalStates, c.FinalSignals, c.StateSignals, c.Area)}
-	for _, f := range c.Functions {
-		parts = append(parts, f.String())
-	}
-	return benchrec.Digest(parts)
-}
+// host never move it; a code change that alters any cover does. The
+// recipe lives on the facade so the daemon's responses use the same
+// digest (Circuit.Digest).
+func digestOf(c *asyncsyn.Circuit) string { return c.Digest() }
 
 // clauseSweep reproduces the formula-size comparison (paper-style
 // expanded CNF): the direct method's largest formula against every

@@ -19,6 +19,12 @@
 // It prints the synthesized logic equations and the statistics the
 // paper's Table 1 reports: initial/final state and signal counts, the
 // two-level implementation area in literals, and the CPU time.
+//
+// Exit codes distinguish the failure classes of the synerr taxonomy
+// (shared with the internal/server daemon's HTTP status mapping):
+// 0 = success, 2 = parse/usage error, 3 = timeout, 4 = unsolvable or
+// budget exhausted (including SAT backtrack-limit aborts), 1 = any
+// other failure.
 package main
 
 import (
@@ -29,6 +35,7 @@ import (
 
 	"asyncsyn"
 	"asyncsyn/internal/bench"
+	"asyncsyn/internal/synerr"
 )
 
 func main() {
@@ -74,44 +81,26 @@ func main() {
 		}
 		opt.Tracer = asyncsyn.NewJSONTracer(w)
 	}
-	switch *method {
-	case "modular":
-		opt.Method = asyncsyn.Modular
-	case "direct":
-		opt.Method = asyncsyn.Direct
-	case "lavagno":
-		opt.Method = asyncsyn.Lavagno
-	default:
-		fatalf("unknown method %q", *method)
+	var err error
+	if opt.Method, err = asyncsyn.ParseMethod(*method); err != nil {
+		fatalClass(synerr.ClassParse, "%v", err)
 	}
-	switch *engine {
-	case "dpll":
-		opt.Engine = asyncsyn.DPLL
-	case "walksat":
-		opt.Engine = asyncsyn.WalkSAT
-	case "bdd":
-		opt.Engine = asyncsyn.BDD
-	case "portfolio":
-		opt.Engine = asyncsyn.Portfolio
-	default:
-		fatalf("unknown engine %q", *engine)
+	if opt.Engine, err = asyncsyn.ParseEngine(*engine); err != nil {
+		fatalClass(synerr.ClassParse, "%v", err)
 	}
 
-	var (
-		g   *asyncsyn.STG
-		err error
-	)
+	var g *asyncsyn.STG
 	switch {
 	case *benchName != "":
 		src, serr := bench.Source(*benchName)
 		if serr != nil {
-			fatalf("%v (available: %v)", serr, bench.Available())
+			fatalClass(synerr.ClassParse, "%v (available: %v)", serr, bench.Available())
 		}
 		g, err = asyncsyn.ParseSTGString(src)
 	case flag.NArg() == 1:
 		f, ferr := os.Open(flag.Arg(0))
 		if ferr != nil {
-			fatalf("%v", ferr)
+			fatalClass(synerr.ClassParse, "%v", ferr)
 		}
 		defer f.Close()
 		g, err = asyncsyn.ParseSTG(f)
@@ -120,7 +109,7 @@ func main() {
 		os.Exit(2)
 	}
 	if err != nil {
-		fatalf("parse: %v", err)
+		fatalErr("parse", err)
 	}
 	if *dotSTG {
 		fmt.Print(g.DOT())
@@ -129,15 +118,18 @@ func main() {
 
 	c, err := asyncsyn.Synthesize(g, opt)
 	if errors.Is(err, asyncsyn.ErrCanceled) && *timeout > 0 {
-		fatalf("synthesize: timed out after %v: %v", *timeout, err)
+		fatalClass(synerr.ClassTimeout, "synthesize: timed out after %v: %v", *timeout, err)
 	}
 	if err != nil {
-		fatalf("synthesize: %v", err)
+		fatalErr("synthesize", err)
 	}
 	fmt.Printf("model %s  (method %s)\n", c.Name, c.Method)
 	if c.Aborted {
+		// Budget exhaustion is reported via Circuit.Aborted rather than
+		// an error; it exits with the unsolvable/budget class all the
+		// same.
 		fmt.Printf("ABORTED: SAT backtrack limit exceeded after %v\n", c.CPU)
-		os.Exit(1)
+		os.Exit(synerr.ClassUnsolvable.ExitCode())
 	}
 	fmt.Printf("states  %4d -> %4d\n", c.InitialStates, c.FinalStates)
 	fmt.Printf("signals %4d -> %4d  (%d state signals inserted)\n",
@@ -194,4 +186,17 @@ func main() {
 func fatalf(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "modsyn: "+format+"\n", args...)
 	os.Exit(1)
+}
+
+// fatalClass exits with the class's exit code (2 = parse/usage,
+// 3 = timeout, 4 = unsolvable/budget, 1 = internal).
+func fatalClass(class synerr.Class, format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "modsyn: "+format+"\n", args...)
+	os.Exit(class.ExitCode())
+}
+
+// fatalErr classifies err through the shared taxonomy and exits with
+// the class's code.
+func fatalErr(stage string, err error) {
+	fatalClass(synerr.ClassOf(err), "%s: %v", stage, err)
 }

@@ -1,0 +1,106 @@
+// Command modsynd is the synthesis daemon: a long-lived HTTP service
+// over the asyncsyn library, sharing one solve cache and one metrics
+// collector across every request.
+//
+// Usage:
+//
+//	modsynd [-addr host:port] [-cachedir dir] [-maxinflight N]
+//	        [-queuedepth N] [-timeout D] [-maxtimeout D] [-workers N]
+//	        [-retryafter D] [-nocache]
+//
+// Endpoints:
+//
+//	POST /v1/synthesize   synthesize an STG (JSON body; ?trace=1 adds
+//	                      the run's JSON-lines trace to the response;
+//	                      "async": true returns a job id immediately)
+//	GET  /v1/jobs/{id}    poll an async job
+//	GET  /v1/benchmarks   list the embedded benchmark names
+//	GET  /metrics         Prometheus text metrics
+//	GET  /healthz         liveness (503 while draining)
+//
+// Admission control bounds concurrent work: at most -maxinflight jobs
+// run at once and at most -queuedepth wait; excess requests receive
+// 429 with a Retry-After header. SIGINT/SIGTERM triggers graceful
+// shutdown: admission stops, in-flight jobs drain, then the process
+// exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"asyncsyn/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8713", "listen address")
+	cacheDir := flag.String("cachedir", "", "back the shared solve cache with on-disk records under this directory")
+	noCache := flag.Bool("nocache", false, "disable the shared solve cache")
+	maxInflight := flag.Int("maxinflight", 0, "max concurrently running synthesis jobs (0 = GOMAXPROCS)")
+	queueDepth := flag.Int("queuedepth", -1, "max admitted jobs waiting for a slot (0 = reject when busy; -1 = default 64)")
+	timeout := flag.Duration("timeout", 60*time.Second, "default per-request synthesis deadline")
+	maxTimeout := flag.Duration("maxtimeout", 10*time.Minute, "cap on the per-request deadline a client may ask for")
+	retryAfter := flag.Duration("retryafter", time.Second, "Retry-After hint returned with 429 responses")
+	workers := flag.Int("workers", 0, "per-job worker pool bound (0 = GOMAXPROCS)")
+	drainTimeout := flag.Duration("draintimeout", 30*time.Second, "max time to drain in-flight jobs on shutdown before canceling them")
+	flag.Parse()
+	if flag.NArg() != 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	cfg := server.Config{
+		MaxInFlight:    *maxInflight,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		RetryAfter:     *retryAfter,
+		Workers:        *workers,
+		CacheDir:       *cacheDir,
+		DisableCache:   *noCache,
+	}
+	switch {
+	case *queueDepth == 0:
+		cfg.NoQueue = true
+	case *queueDepth > 0:
+		cfg.QueueDepth = *queueDepth
+	}
+
+	s, err := server.New(cfg)
+	if err != nil {
+		log.Fatalf("modsynd: %v", err)
+	}
+	httpSrv := &http.Server{Addr: *addr, Handler: s.Handler()}
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	log.Printf("modsynd: listening on %s (cachedir=%q)", *addr, *cacheDir)
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		log.Fatalf("modsynd: %v", err)
+	case sig := <-sigCh:
+		log.Printf("modsynd: %v: draining (timeout %v)", sig, *drainTimeout)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	// Drain the job queue first (new work is already rejected 503),
+	// then close the HTTP listener once responses have gone out.
+	if err := s.Shutdown(ctx); err != nil {
+		log.Printf("modsynd: drain incomplete: %v", err)
+	}
+	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("modsynd: http shutdown: %v", err)
+	}
+	fmt.Fprintln(os.Stderr, "modsynd: drained, exiting")
+}

@@ -1,0 +1,84 @@
+// Example: run the synthesis daemon in-process, post a specification
+// over HTTP, and print the returned circuit and counters — the
+// serving path of cmd/modsynd without a separate process.
+//
+//	go run ./examples/server
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+
+	"asyncsyn/internal/server"
+)
+
+// The quickstart two-pulse converter: output b must pulse twice per
+// input cycle, forcing the synthesizer to invent a state signal.
+const spec = `
+.model twopulse
+.inputs a
+.outputs b
+.graph
+a+ b+
+b+ b-
+b- a-
+a- b+/2
+b+/2 b-/2
+b-/2 a+
+.marking { <b-/2,a+> }
+.end
+`
+
+func main() {
+	// Start the daemon in-process behind a test listener. A real
+	// deployment runs cmd/modsynd; the handler is identical.
+	srv, err := server.New(server.Config{MaxInFlight: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Shutdown(context.Background())
+
+	body, _ := json.Marshal(server.Request{STG: spec})
+	httpResp, err := http.Post(ts.URL+"/v1/synthesize", "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer httpResp.Body.Close()
+
+	var resp server.Response
+	if err := json.NewDecoder(httpResp.Body).Decode(&resp); err != nil {
+		log.Fatal(err)
+	}
+	if httpResp.StatusCode != http.StatusOK {
+		log.Fatalf("synthesize: %s (%s)", resp.Error, resp.Class)
+	}
+
+	fmt.Printf("model %s  (method %s, digest %s)\n", resp.Model, resp.Method, resp.Digest)
+	fmt.Printf("  %d states / %d signals  →  %d states / %d signals (%d state signals inserted)\n",
+		resp.InitialStates, resp.InitialSignals,
+		resp.FinalStates, resp.FinalSignals, resp.StateSignals)
+	fmt.Printf("  two-level area: %d literals\n\n", resp.Area)
+
+	fmt.Println("next-state logic:")
+	for _, f := range resp.Functions {
+		fmt.Printf("  %s = %s\n", f.Name, f.SOP)
+	}
+
+	fmt.Println("\nrun counters:")
+	keys := make([]string, 0, len(resp.Counters))
+	for k := range resp.Counters {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Printf("  %-20s %d\n", k, resp.Counters[k])
+	}
+}

@@ -1,0 +1,111 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"asyncsyn/internal/metrics"
+	"asyncsyn/internal/synerr"
+)
+
+// statusCodes are the response codes the daemon can produce; each gets
+// its own labelled requests_total series (anything else lands in the
+// final bucket, labelled "other").
+var statusCodes = [...]int{
+	http.StatusOK, http.StatusAccepted, http.StatusBadRequest,
+	http.StatusNotFound, http.StatusRequestTimeout,
+	http.StatusUnprocessableEntity, http.StatusTooManyRequests,
+	synerr.StatusClientClosed, http.StatusInternalServerError,
+	http.StatusServiceUnavailable,
+}
+
+// latencyBounds are the histogram's upper bounds in seconds.
+var latencyBounds = [...]float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10, 60}
+
+// stats holds the server-level counters exposed on /metrics alongside
+// the shared synthesis collector. All fields are atomics; the struct
+// is shared by every handler goroutine.
+type stats struct {
+	inflight atomic.Int64 // jobs currently running
+	queued   atomic.Int64 // admitted jobs waiting for a slot
+	admitted atomic.Int64 // jobs accepted (running or queued)
+	rejected atomic.Int64 // requests answered 429
+	deduped  atomic.Int64 // requests that joined an identical in-flight job
+
+	byStatus [len(statusCodes) + 1]atomic.Int64
+	latency  [len(latencyBounds) + 1]atomic.Int64 // +Inf bucket last
+	latCount atomic.Int64
+	latSumUS atomic.Int64 // microseconds, rendered as seconds
+}
+
+func newStats() *stats { return &stats{} }
+
+// record counts one finished HTTP request.
+func (s *Server) record(status int, start time.Time) {
+	st := s.stats
+	idx := len(statusCodes)
+	for i, c := range statusCodes {
+		if c == status {
+			idx = i
+			break
+		}
+	}
+	st.byStatus[idx].Add(1)
+	d := time.Since(start)
+	sec := d.Seconds()
+	b := len(latencyBounds)
+	for i, ub := range latencyBounds {
+		if sec <= ub {
+			b = i
+			break
+		}
+	}
+	st.latency[b].Add(1)
+	st.latCount.Add(1)
+	st.latSumUS.Add(d.Microseconds())
+}
+
+// handleMetrics is GET /metrics: Prometheus text exposition of the
+// server gauges/counters/histogram followed by the shared synthesis
+// counters (asyncsyn_* — the internal/metrics schema names).
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	st := s.stats
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge("modsynd_in_flight", "Synthesis jobs currently running.", st.inflight.Load())
+	gauge("modsynd_queue_depth", "Admitted jobs waiting for a free slot.", st.queued.Load())
+	counter("modsynd_admitted_total", "Jobs admitted (run or queued).", st.admitted.Load())
+	counter("modsynd_rejected_total", "Requests rejected with 429 (queue full).", st.rejected.Load())
+	counter("modsynd_deduped_total", "Requests that joined an identical in-flight job.", st.deduped.Load())
+
+	fmt.Fprintf(w, "# HELP modsynd_requests_total Finished HTTP requests by status code.\n")
+	fmt.Fprintf(w, "# TYPE modsynd_requests_total counter\n")
+	for i, c := range statusCodes {
+		fmt.Fprintf(w, "modsynd_requests_total{code=%q} %d\n", fmt.Sprint(c), st.byStatus[i].Load())
+	}
+	fmt.Fprintf(w, "modsynd_requests_total{code=\"other\"} %d\n", st.byStatus[len(statusCodes)].Load())
+
+	fmt.Fprintf(w, "# HELP modsynd_request_seconds HTTP request latency.\n")
+	fmt.Fprintf(w, "# TYPE modsynd_request_seconds histogram\n")
+	var cum int64
+	for i, ub := range latencyBounds {
+		cum += st.latency[i].Load()
+		fmt.Fprintf(w, "modsynd_request_seconds_bucket{le=\"%g\"} %d\n", ub, cum)
+	}
+	cum += st.latency[len(latencyBounds)].Load()
+	fmt.Fprintf(w, "modsynd_request_seconds_bucket{le=\"+Inf\"} %d\n", cum)
+	fmt.Fprintf(w, "modsynd_request_seconds_sum %g\n", float64(st.latSumUS.Load())/1e6)
+	fmt.Fprintf(w, "modsynd_request_seconds_count %d\n", st.latCount.Load())
+
+	// asyncsyn.Metrics is an alias for the internal collector, so the
+	// exposition writer takes it directly.
+	metrics.WriteProm(w, "asyncsyn_", s.collector)
+}

@@ -1,0 +1,225 @@
+// Package server implements the synthesis daemon behind cmd/modsynd:
+// an HTTP JSON API over the asyncsyn facade that turns the one-shot
+// library pipeline into a long-lived service. The pieces the package
+// owns are the serving concerns the library deliberately does not:
+//
+//   - Admission control. Jobs run through a bounded slot pool
+//     (Config.MaxInFlight) with a bounded wait queue
+//     (Config.QueueDepth); a request that would exceed both is
+//     answered 429 with a Retry-After header instead of growing an
+//     unbounded goroutine pile.
+//   - Request deduplication. Identical concurrent requests — same STG
+//     text, same options — are detected by content hash and share one
+//     synthesis run (singleflight); only the producer occupies a slot.
+//   - Shared solve cache. Every request runs against one
+//     asyncsyn.SolveCache (optionally disk-backed), so a warm daemon
+//     answers repeat traffic from cache with bit-identical circuits.
+//   - Deadlines. Each job runs under SynthesizeContext with a
+//     per-request timeout (capped by Config.MaxTimeout), so a stuck
+//     request can never hold a slot forever.
+//   - Observability. GET /metrics renders the shared internal/metrics
+//     counters plus server-level gauges and a latency histogram in
+//     Prometheus text format; ?trace=1 returns the per-request
+//     JSON-lines trace inside the response.
+//   - Graceful shutdown. Shutdown stops admission (new work is
+//     answered 503), drains admitted jobs through their contexts, and
+//     only cancels them when the drain deadline expires.
+//
+// Failure classification is shared with cmd/modsyn through
+// synerr.ClassOf: parse errors answer 400, expired deadlines 408,
+// budget/unsolvable outcomes 422, client-canceled requests 499, and
+// everything else 500.
+package server
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"asyncsyn"
+)
+
+// Config tunes the daemon. The zero value is usable: every field has a
+// sensible default applied by New.
+type Config struct {
+	// MaxInFlight bounds the synthesis jobs running concurrently
+	// (default: GOMAXPROCS).
+	MaxInFlight int
+	// QueueDepth bounds the admitted jobs waiting for a free slot
+	// (default 64). A request arriving with the queue full is rejected
+	// with 429. Zero keeps the default; use NoQueue for a depth of 0.
+	QueueDepth int
+	// NoQueue disables queueing entirely: a request that cannot run
+	// immediately is rejected.
+	NoQueue bool
+	// DefaultTimeout is the per-job deadline applied when a request
+	// does not carry one (default 60s).
+	DefaultTimeout time.Duration
+	// MaxTimeout caps the per-job deadline a request may ask for
+	// (default 10m).
+	MaxTimeout time.Duration
+	// RetryAfter is the hint returned with 429 responses (default 1s).
+	RetryAfter time.Duration
+	// Workers is the per-job worker-pool bound passed to the library
+	// when the request does not set one (0 = GOMAXPROCS).
+	Workers int
+	// CacheDir, when non-empty, backs the shared solve cache with
+	// on-disk records so warm starts survive daemon restarts.
+	CacheDir string
+	// DisableCache turns the shared solve cache off (measurement only).
+	DisableCache bool
+	// MaxJobs bounds the finished jobs retained for GET /v1/jobs/{id}
+	// (default 256; oldest finished jobs are evicted first).
+	MaxJobs int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = runtime.GOMAXPROCS(0)
+	}
+	if c.NoQueue {
+		c.QueueDepth = 0
+	} else if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 60 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 10 * time.Minute
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 256
+	}
+	return c
+}
+
+// Server is the synthesis daemon. Construct with New, expose
+// Handler() through an http.Server, and call Shutdown to drain.
+type Server struct {
+	cfg       Config
+	cache     *asyncsyn.SolveCache
+	collector *asyncsyn.Metrics
+	stats     *stats
+
+	// slots is the running-job semaphore: holding a token = in flight.
+	slots chan struct{}
+
+	// baseCtx parents every job context so a forced shutdown can cancel
+	// still-running work after the drain deadline.
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	jobs *jobStore
+
+	// flights dedups identical concurrent requests: content key → the
+	// live job computing it. Entries are removed when the job finishes;
+	// after that, repeats are served cheaply by the solve cache instead.
+	mu      sync.Mutex
+	flights map[string]*job
+	seq     int64
+
+	// wg counts admitted jobs (queued and running); Shutdown drains it.
+	wg        sync.WaitGroup
+	drainOnce sync.Once
+	drainCh   chan struct{} // closed when admission stops
+
+	// run executes one admitted job; defaults to (*Server).synthesize.
+	// Tests substitute a controllable stub to pin the admission,
+	// dedup and drain machinery without real synthesis timing.
+	run func(ctx context.Context, j *job) (*Response, int)
+}
+
+// New builds a Server from cfg (defaults applied). The error is
+// non-nil only when Config.CacheDir cannot be created.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:       cfg,
+		collector: asyncsyn.NewMetrics(),
+		stats:     newStats(),
+		slots:     make(chan struct{}, cfg.MaxInFlight),
+		jobs:      newJobStore(cfg.MaxJobs),
+		flights:   make(map[string]*job),
+		drainCh:   make(chan struct{}),
+	}
+	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+	s.run = s.synthesize
+	if !cfg.DisableCache {
+		if cfg.CacheDir != "" {
+			c, err := asyncsyn.NewDiskSolveCache(cfg.CacheDir)
+			if err != nil {
+				return nil, err
+			}
+			s.cache = c
+		} else {
+			s.cache = asyncsyn.NewSolveCache()
+		}
+	}
+	return s, nil
+}
+
+// Handler returns the daemon's route table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/synthesize", s.handleSynthesize)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/benchmarks", s.handleBenchmarks)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+// draining reports whether admission has stopped.
+func (s *Server) draining() bool {
+	select {
+	case <-s.drainCh:
+		return true
+	default:
+		return false
+	}
+}
+
+// Shutdown stops admission and drains: new requests are answered 503
+// immediately, admitted jobs (queued and running) finish under their
+// own contexts. If ctx expires before the drain completes, every
+// remaining job is canceled through the base context and Shutdown
+// returns ctx.Err after they unwind.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.drainOnce.Do(func() { close(s.drainCh) })
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.baseCancel()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// Cache exposes the shared solve cache (nil when disabled); tests and
+// embedding callers use it to pre-warm or inspect.
+func (s *Server) Cache() *asyncsyn.SolveCache { return s.cache }
+
+// Metrics exposes the shared synthesis counter collector.
+func (s *Server) Metrics() *asyncsyn.Metrics { return s.collector }
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}

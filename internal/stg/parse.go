@@ -206,7 +206,11 @@ func parseMarking(g *G, s string, lineNo int, places map[string]petri.PlaceID) e
 		count := 1
 		if i := strings.LastIndexByte(tok, '='); i > 0 && !strings.HasPrefix(tok, "<") {
 			c, err := strconv.Atoi(tok[i+1:])
-			if err != nil {
+			// Token counts are stored in a uint8 marking; reject values
+			// that would silently wrap (the parser fronts untrusted
+			// input, so an out-of-range count must be an error, not a
+			// truncation).
+			if err != nil || c < 0 || c > 255 {
 				return ParseError{Line: lineNo, Msg: fmt.Sprintf("bad token count in %q", tok)}
 			}
 			count, tok = c, tok[:i]
@@ -239,6 +243,9 @@ func parseMarking(g *G, s string, lineNo int, places map[string]petri.PlaceID) e
 				return ParseError{Line: lineNo, Msg: fmt.Sprintf("marking names unknown place %q", tok)}
 			}
 			p = pp
+		}
+		if int(g.Net.Initial[p])+count > 255 {
+			return ParseError{Line: lineNo, Msg: fmt.Sprintf("marking of %q exceeds 255 tokens", tok)}
 		}
 		g.Net.Initial[p] += uint8(count)
 	}

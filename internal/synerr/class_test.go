@@ -1,0 +1,100 @@
+package synerr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"testing"
+)
+
+// TestClassMappings pins the complete error→class→HTTP-status and
+// →exit-code tables shared by the daemon (internal/server) and the CLI
+// (cmd/modsyn). Changing any row is a wire/interface break: HTTP
+// clients dispatch on the status codes and scripts on the exit codes.
+func TestClassMappings(t *testing.T) {
+	cases := []struct {
+		name   string
+		err    error
+		class  Class
+		status int
+		exit   int
+	}{
+		{"nil", nil, ClassOK, http.StatusOK, 0},
+		{"parse", Parse(errors.New("line 3: bad token")), ClassParse, http.StatusBadRequest, 2},
+		{"parse-sentinel", ErrParse, ClassParse, http.StatusBadRequest, 2},
+		{"timeout", Canceled(context.DeadlineExceeded), ClassTimeout, http.StatusRequestTimeout, 3},
+		{"canceled", Canceled(context.Canceled), ClassCanceled, StatusClientClosed, 3},
+		{"canceled-bare", ErrCanceled, ClassCanceled, StatusClientClosed, 3},
+		{"backtrack-limit", ErrBacktrackLimit, ClassUnsolvable, http.StatusUnprocessableEntity, 4},
+		{"state-limit", ErrStateLimit, ClassUnsolvable, http.StatusUnprocessableEntity, 4},
+		{"module-unsolvable", ErrModuleUnsolvable, ClassUnsolvable, http.StatusUnprocessableEntity, 4},
+		{"conflicts-persist", ErrConflictsPersist, ClassUnsolvable, http.StatusUnprocessableEntity, 4},
+		{"internal", errors.New("boom"), ClassInternal, http.StatusInternalServerError, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := ClassOf(tc.err); got != tc.class {
+				t.Errorf("ClassOf(%v) = %v, want %v", tc.err, got, tc.class)
+			}
+			if got := tc.class.HTTPStatus(); got != tc.status {
+				t.Errorf("%v.HTTPStatus() = %d, want %d", tc.class, got, tc.status)
+			}
+			if got := tc.class.ExitCode(); got != tc.exit {
+				t.Errorf("%v.ExitCode() = %d, want %d", tc.class, got, tc.exit)
+			}
+		})
+	}
+}
+
+// TestClassOfWrapped asserts classification survives fmt.Errorf %w
+// wrapping, the way pipeline stages report errors.
+func TestClassOfWrapped(t *testing.T) {
+	cases := []struct {
+		err   error
+		class Class
+	}{
+		{fmt.Errorf("stage csc: %w", ErrBacktrackLimit), ClassUnsolvable},
+		{fmt.Errorf("stage elaborate: %w", fmt.Errorf("inner: %w", ErrStateLimit)), ClassUnsolvable},
+		{fmt.Errorf("stage logic: %w", Canceled(context.DeadlineExceeded)), ClassTimeout},
+		{fmt.Errorf("request body: %w", Parse(errors.New("eof"))), ClassParse},
+	}
+	for _, tc := range cases {
+		if got := ClassOf(tc.err); got != tc.class {
+			t.Errorf("ClassOf(%v) = %v, want %v", tc.err, got, tc.class)
+		}
+	}
+}
+
+// TestParseWrap pins that Parse preserves the cause for errors.As and
+// returns nil on nil.
+func TestParseWrap(t *testing.T) {
+	if Parse(nil) != nil {
+		t.Fatal("Parse(nil) != nil")
+	}
+	cause := errors.New("line 7: unexpected token")
+	err := Parse(cause)
+	if !errors.Is(err, ErrParse) {
+		t.Fatal("Parse result does not match ErrParse")
+	}
+	if !errors.Is(err, cause) {
+		t.Fatal("Parse result does not unwrap to its cause")
+	}
+	if want := ErrParse.Error() + ": " + cause.Error(); err.Error() != want {
+		t.Fatalf("Error() = %q, want %q", err.Error(), want)
+	}
+}
+
+// TestClassStrings pins the wire names used in HTTP error bodies.
+func TestClassStrings(t *testing.T) {
+	want := map[Class]string{
+		ClassOK: "ok", ClassParse: "parse", ClassTimeout: "timeout",
+		ClassCanceled: "canceled", ClassUnsolvable: "unsolvable",
+		ClassInternal: "internal",
+	}
+	for c, s := range want {
+		if c.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(c), c.String(), s)
+		}
+	}
+}

@@ -1,0 +1,99 @@
+#!/usr/bin/env bash
+# server-smoke.sh — end-to-end smoke of the modsynd daemon, run by the
+# CI server-smoke job and runnable locally. It pins the serving
+# contract the unit tests can't see from inside the process:
+#   1. a warm daemon answers the quick benchmark set with stable
+#      digests and modcache_hits > 0 on /metrics;
+#   2. overload under -maxinflight 1 -queuedepth 0 answers 429 with a
+#      Retry-After header;
+#   3. SIGTERM drains a pending job (its waiter still gets 200) and
+#      the process exits 0.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ADDR=127.0.0.1:8713
+URL="http://$ADDR"
+BIN=$(mktemp -d)/modsynd
+CACHEDIR=$(mktemp -d)
+WORK=$(mktemp -d)
+trap 'kill $(jobs -p) 2>/dev/null || true; rm -rf "$CACHEDIR" "$WORK" "$(dirname "$BIN")"' EXIT
+
+go build -o "$BIN" ./cmd/modsynd
+
+wait_healthy() {
+  for _ in $(seq 1 50); do
+    if curl -fsS "$URL/healthz" >/dev/null 2>&1; then return 0; fi
+    sleep 0.2
+  done
+  echo "daemon did not become healthy" >&2
+  return 1
+}
+
+metric() { # metric <name> — print the value of an unlabelled metric
+  curl -fsS "$URL/metrics" | awk -v m="$1" '$1 == m { print $2 }'
+}
+
+# The quick benchmark set: the Table 1 rows the bench suite's -quick
+# mode runs (paper initial state count <= 100).
+QUICK="mmu1 sbuf-ram-write vbe4a nak-pa pe-rcv-ifc-fc ram-read-sbuf
+alex-nonfc sbuf-send-pkt2 sbuf-send-ctl atod pa alloc-outbound wrdata
+fifo sbuf-read-ctl nouse vbe-ex2 nousc-ser sendr-done vbe-ex1"
+
+echo "=== phase 1: warm cache + digest stability"
+"$BIN" -addr "$ADDR" -cachedir "$CACHEDIR" &
+DAEMON=$!
+wait_healthy
+
+for pass in cold warm; do
+  for b in $QUICK; do
+    code=$(curl -s -o "$WORK/$b.$pass.json" -w '%{http_code}' \
+      -X POST "$URL/v1/synthesize" -d "{\"bench\":\"$b\"}")
+    [ "$code" = 200 ] || { echo "$b ($pass): status $code" >&2; exit 1; }
+    grep -q '"digest"' "$WORK/$b.$pass.json" || { echo "$b ($pass): no digest" >&2; exit 1; }
+  done
+done
+for b in $QUICK; do
+  cold=$(grep -o '"digest": *"[^"]*"' "$WORK/$b.cold.json")
+  warm=$(grep -o '"digest": *"[^"]*"' "$WORK/$b.warm.json")
+  [ "$cold" = "$warm" ] || { echo "$b: digest drift $cold -> $warm" >&2; exit 1; }
+done
+
+hits=$(metric asyncsyn_modcache_hits)
+[ "${hits:-0}" -gt 0 ] || { echo "warm run reported modcache_hits=$hits" >&2; exit 1; }
+echo "ok: $(echo $QUICK | wc -w) benchmarks x2, digests stable, modcache_hits=$hits"
+
+kill -TERM "$DAEMON"
+wait "$DAEMON" || { echo "daemon exited non-zero after idle SIGTERM" >&2; exit 1; }
+
+echo "=== phase 2: overload answers 429 + Retry-After"
+"$BIN" -addr "$ADDR" -maxinflight 1 -queuedepth 0 &
+DAEMON=$!
+wait_healthy
+
+# Occupy the only slot with a slow job (direct method on mmu0, ~5s),
+# then submit fast distinct requests that must be rejected.
+curl -s -o "$WORK/blocker.json" -X POST "$URL/v1/synthesize" \
+  -d '{"bench":"mmu0","method":"direct"}' &
+BLOCKER=$!
+until [ "$(metric modsynd_in_flight)" = 1 ]; do sleep 0.1; done
+
+saw429=0
+for b in fifo atod wrdata; do
+  code=$(curl -s -D "$WORK/headers" -o /dev/null -w '%{http_code}' \
+    -X POST "$URL/v1/synthesize" -d "{\"bench\":\"$b\"}")
+  if [ "$code" = 429 ]; then
+    saw429=1
+    grep -qi '^retry-after:' "$WORK/headers" || { echo "429 without Retry-After" >&2; exit 1; }
+  fi
+done
+[ "$saw429" = 1 ] || { echo "no 429 under maxinflight=1 queuedepth=0" >&2; exit 1; }
+echo "ok: overload rejected with 429 + Retry-After (rejected_total=$(metric modsynd_rejected_total))"
+
+echo "=== phase 3: SIGTERM drains the pending job"
+kill -TERM "$DAEMON"
+wait "$BLOCKER" || { echo "blocked request failed during drain" >&2; exit 1; }
+grep -q '"digest"' "$WORK/blocker.json" || { echo "drained job returned no result" >&2; exit 1; }
+wait "$DAEMON" || { echo "daemon exited non-zero after drain" >&2; exit 1; }
+echo "ok: pending job drained to completion, daemon exited 0"
+
+echo "server smoke passed"
