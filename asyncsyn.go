@@ -331,6 +331,13 @@ type Options struct {
 	// with or without the cache (pinned by TestCacheBitIdentical) —
 	// this exists for measurement and debugging.
 	DisableSolveCache bool
+	// DisableIncrementalSAT forces each SAT formula of a widening chain
+	// to be re-encoded and solved from scratch instead of as an
+	// assumption-guarded step of one persistent incremental solver.
+	// Results are bit-identical either way (pinned by
+	// TestIncrementalMatchesFresh) — this exists for measurement and
+	// debugging.
+	DisableIncrementalSAT bool
 }
 
 // FormulaStat describes one SAT instance solved during synthesis.
@@ -549,6 +556,7 @@ func synthesizeModular(ctx context.Context, s *STG, opt Options, cache *SolveCac
 			Encoding:      csc.Options{ExpandXor: opt.ExpandXor},
 			MaxBacktracks: opt.MaxBacktracks,
 			Cache:         cache,
+			NoIncremental: opt.DisableIncrementalSAT,
 		},
 		StateGraph:  sgOptions(opt),
 		FullSupport: opt.FullSupport,
@@ -595,6 +603,7 @@ func synthesizeWholeGraph(ctx context.Context, s *STG, opt Options, cache *Solve
 		Encoding:      csc.Options{ExpandXor: opt.ExpandXor},
 		MaxBacktracks: opt.MaxBacktracks,
 		Cache:         cache,
+		NoIncremental: opt.DisableIncrementalSAT,
 	}, ExactLogic: opt.ExactMinimize, Workers: opt.Workers}
 
 	var (
@@ -621,6 +630,7 @@ func synthesizeWholeGraph(ctx context.Context, s *STG, opt Options, cache *Solve
 					Encoding:      csc.Options{ExpandXor: opt.ExpandXor},
 					MaxBacktracks: opt.MaxBacktracks,
 					Cache:         cache,
+					NoIncremental: opt.DisableIncrementalSAT,
 				})
 				if dr != nil {
 					inserted = dr.Inserted

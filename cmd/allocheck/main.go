@@ -1,0 +1,176 @@
+// Command allocheck gates allocation regressions on the hot-path
+// microbenchmarks. It parses `go test -bench -benchmem` output and
+// compares each benchmark's allocs/op against a committed reference
+// (ALLOCS_0.json), failing when any benchmark allocates more than
+// -maxratio times its reference — the coarse gate that catches a pooled
+// path quietly reverting to per-call allocation without tripping on
+// machine-to-machine noise. Bytes/op drift beyond the ratio only warns:
+// byte counts move with allocator size classes and struct layout, while
+// allocation counts are a property of the code path.
+//
+// Usage:
+//
+//	go test -run xxx -bench . -benchmem ./internal/sg | allocheck -ref ALLOCS_0.json
+//	allocheck -ref ALLOCS_0.json bench-output.txt
+//	allocheck -ref ALLOCS_0.json -write bench-output.txt   # (re)write the reference
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Ref is one benchmark's reference point.
+type Ref struct {
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// benchLine matches one -benchmem result line, e.g.
+//
+//	BenchmarkExpand-4   6980   151784 ns/op   209011 B/op   1498 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+[\d.]+ ns/op\s+([\d.]+) B/op\s+([\d.]+) allocs/op`)
+
+func main() {
+	refPath := flag.String("ref", "ALLOCS_0.json", "committed reference file")
+	write := flag.Bool("write", false, "write the parsed results as the new reference instead of comparing")
+	maxRatio := flag.Float64("maxratio", 2.0, "fail when allocs/op exceeds reference×ratio")
+	flag.Parse()
+
+	in := io.Reader(os.Stdin)
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	got, err := parse(in)
+	if err != nil {
+		fatal(err)
+	}
+	if len(got) == 0 {
+		fatal(fmt.Errorf("no -benchmem result lines found (run go test with -bench and -benchmem)"))
+	}
+
+	if *write {
+		if err := writeRef(*refPath, got); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "allocheck: wrote %s (%d benchmarks)\n", *refPath, len(got))
+		return
+	}
+
+	ref, err := readRef(*refPath)
+	if err != nil {
+		fatal(err)
+	}
+	failures, warnings := compare(ref, got, *maxRatio)
+	for _, w := range warnings {
+		fmt.Printf("warn: %s\n", w)
+	}
+	for _, f := range failures {
+		fmt.Printf("FAIL: %s\n", f)
+	}
+	fmt.Printf("allocheck: %d benchmarks against %s: %d fail, %d warn\n",
+		len(got), *refPath, len(failures), len(warnings))
+	if len(failures) > 0 {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "allocheck: %v\n", err)
+	os.Exit(1)
+}
+
+// parse extracts benchmark results, keyed by name with the GOMAXPROCS
+// suffix stripped (BenchmarkExpand-4 → BenchmarkExpand). Sub-benchmarks
+// keep their slash path. A repeated name (e.g. -count>1) keeps the last
+// measurement.
+func parse(r io.Reader) (map[string]Ref, error) {
+	out := make(map[string]Ref)
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(sc.Text()))
+		if m == nil {
+			continue
+		}
+		bytes, err1 := strconv.ParseFloat(m[2], 64)
+		allocs, err2 := strconv.ParseFloat(m[3], 64)
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("bad benchmark line: %s", sc.Text())
+		}
+		out[m[1]] = Ref{BytesPerOp: bytes, AllocsPerOp: allocs}
+	}
+	return out, sc.Err()
+}
+
+// compare gates got against ref: an allocs/op ratio above max fails; a
+// bytes/op ratio above max, a benchmark missing from the reference, or a
+// reference benchmark missing from the output warns.
+func compare(ref, got map[string]Ref, max float64) (failures, warnings []string) {
+	names := make([]string, 0, len(got))
+	for n := range got {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		g := got[n]
+		r, ok := ref[n]
+		if !ok {
+			warnings = append(warnings, fmt.Sprintf("%s: not in reference (run allocheck -write to adopt)", n))
+			continue
+		}
+		if r.AllocsPerOp > 0 && g.AllocsPerOp > r.AllocsPerOp*max {
+			failures = append(failures, fmt.Sprintf("%s: %.0f allocs/op vs reference %.0f (>%.1f×)",
+				n, g.AllocsPerOp, r.AllocsPerOp, max))
+		}
+		if r.BytesPerOp > 0 && g.BytesPerOp > r.BytesPerOp*max {
+			warnings = append(warnings, fmt.Sprintf("%s: %.0f B/op vs reference %.0f (>%.1f×)",
+				n, g.BytesPerOp, r.BytesPerOp, max))
+		}
+	}
+	var missing []string
+	for n := range ref {
+		if _, ok := got[n]; !ok {
+			missing = append(missing, n)
+		}
+	}
+	sort.Strings(missing)
+	for _, n := range missing {
+		warnings = append(warnings, fmt.Sprintf("%s: in reference but not measured", n))
+	}
+	return failures, warnings
+}
+
+func readRef(path string) (map[string]Ref, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var ref map[string]Ref
+	if err := json.Unmarshal(data, &ref); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return ref, nil
+}
+
+// writeRef emits the reference sorted and indented, so regeneration
+// diffs cleanly.
+func writeRef(path string, ref map[string]Ref) error {
+	data, err := json.MarshalIndent(ref, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `
+goos: linux
+goarch: amd64
+pkg: asyncsyn/internal/sg
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkExpand-4       	    6980	    151784 ns/op	  209011 B/op	    1498 allocs/op
+BenchmarkConflictScan   	   56866	     23548 ns/op	   31505 B/op	     150 allocs/op
+BenchmarkSolveChain/incremental-4     	     436	   2794718 ns/op	  614585 B/op	    3422 allocs/op
+PASS
+ok  	asyncsyn/internal/sg	3.827s
+`
+
+func TestParse(t *testing.T) {
+	got, err := parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]Ref{
+		"BenchmarkExpand":                 {BytesPerOp: 209011, AllocsPerOp: 1498},
+		"BenchmarkConflictScan":           {BytesPerOp: 31505, AllocsPerOp: 150},
+		"BenchmarkSolveChain/incremental": {BytesPerOp: 614585, AllocsPerOp: 3422},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %d benchmarks, want %d: %v", len(got), len(want), got)
+	}
+	for n, w := range want {
+		if got[n] != w {
+			t.Errorf("%s: got %+v, want %+v", n, got[n], w)
+		}
+	}
+}
+
+func TestCompare(t *testing.T) {
+	ref := map[string]Ref{
+		"BenchmarkA":    {BytesPerOp: 1000, AllocsPerOp: 100},
+		"BenchmarkB":    {BytesPerOp: 1000, AllocsPerOp: 100},
+		"BenchmarkGone": {BytesPerOp: 10, AllocsPerOp: 1},
+	}
+	got := map[string]Ref{
+		"BenchmarkA":   {BytesPerOp: 1500, AllocsPerOp: 150}, // within 2×
+		"BenchmarkB":   {BytesPerOp: 2500, AllocsPerOp: 250}, // both beyond 2×
+		"BenchmarkNew": {BytesPerOp: 5, AllocsPerOp: 1},      // unreferenced
+	}
+	failures, warnings := compare(ref, got, 2.0)
+	if len(failures) != 1 || !strings.Contains(failures[0], "BenchmarkB") {
+		t.Fatalf("failures = %v, want one for BenchmarkB", failures)
+	}
+	// Warnings: BenchmarkB bytes, BenchmarkNew unreferenced, BenchmarkGone unmeasured.
+	if len(warnings) != 3 {
+		t.Fatalf("warnings = %v, want 3", warnings)
+	}
+}

@@ -23,12 +23,15 @@ package main
 
 import (
 	"bytes"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"os/exec"
 	"runtime"
+	"runtime/pprof"
 	"strings"
+	"time"
 
 	"asyncsyn"
 	"asyncsyn/internal/bench"
@@ -48,25 +51,65 @@ func main() {
 	maxBT := flag.Int64("maxbacktracks", 300000, "SAT backtrack budget per formula")
 	cacheDir := flag.String("cachedir", "", "back every run's module solve cache with this directory (persists solves across runs and processes)")
 	requireHits := flag.Bool("requirecachehits", false, "with -against: fail unless the fresh record shows at least one solve-cache hit")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the suite run to this path")
+	memProfile := flag.String("memprofile", "", "write a heap profile (after the suite run) to this path")
+	noIncr := flag.Bool("noincremental", false, "ablation: re-encode every SAT formula instead of incremental solving (results are bit-identical; timings move)")
 	flag.Parse()
 
-	var err error
-	switch {
-	case *render != "":
-		err = doRender(*render, *doc, *check)
-	case *against != "":
-		err = doCompare(*against, flag.Arg(0), *out, *quick, *workers, *maxBT, *cacheDir, *requireHits)
-	default:
-		err = doRun(*out, *quick, *workers, *maxBT, *cacheDir)
-	}
+	err := withProfiles(*cpuProfile, *memProfile, func() error {
+		switch {
+		case *render != "":
+			return doRender(*render, *doc, *check)
+		case *against != "":
+			return doCompare(*against, flag.Arg(0), *out, *quick, *workers, *maxBT, *cacheDir, *noIncr, *requireHits)
+		default:
+			return doRun(*out, *quick, *workers, *maxBT, *cacheDir, *noIncr)
+		}
+	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func doRun(out string, quick bool, workers int, maxBT int64, cacheDir string) error {
-	rec, err := runSuite(quick, workers, maxBT, cacheDir)
+// withProfiles brackets run with the optional CPU and heap profiles, so
+// hot-path regressions spotted in CI records are diagnosable from the
+// uploaded artifacts. The profiles are finished (and the heap snapshot
+// taken) even when run fails.
+func withProfiles(cpuPath, memPath string, run func() error) error {
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if memPath != "" {
+		defer func() {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle live objects before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+			}
+		}()
+	}
+	return run()
+}
+
+func doRun(out string, quick bool, workers int, maxBT int64, cacheDir string, noIncr bool) error {
+	rec, err := runSuite(quick, workers, maxBT, cacheDir, noIncr)
 	if err != nil {
 		return err
 	}
@@ -81,7 +124,7 @@ func doRun(out string, quick bool, workers int, maxBT int64, cacheDir string) er
 	return nil
 }
 
-func doCompare(baseline, freshPath, out string, quick bool, workers int, maxBT int64, cacheDir string, requireHits bool) error {
+func doCompare(baseline, freshPath, out string, quick bool, workers int, maxBT int64, cacheDir string, noIncr, requireHits bool) error {
 	old, err := benchrec.ReadFile(baseline)
 	if err != nil {
 		return err
@@ -92,7 +135,7 @@ func doCompare(baseline, freshPath, out string, quick bool, workers int, maxBT i
 			return err
 		}
 	} else {
-		if fresh, err = runSuite(quick, workers, maxBT, cacheDir); err != nil {
+		if fresh, err = runSuite(quick, workers, maxBT, cacheDir, noIncr); err != nil {
 			return err
 		}
 		if out != "" {
@@ -171,8 +214,10 @@ func doRender(recPath, docPath string, check bool) error {
 
 // runSuite measures the record: every Table-1 row across the three
 // methods, the cache-effectiveness sweep, then (full mode) the clause
-// and scaling sweeps.
-func runSuite(quick bool, workers int, maxBT int64, cacheDir string) (*benchrec.Record, error) {
+// and scaling sweeps. noIncr ablates the incremental SAT solver on the
+// Table-1 rows (the sweeps keep the default path — they measure their
+// own effects).
+func runSuite(quick bool, workers int, maxBT int64, cacheDir string, noIncr bool) (*benchrec.Record, error) {
 	names := bench.Names()
 	if quick {
 		var small []string
@@ -219,7 +264,7 @@ func runSuite(quick bool, workers int, maxBT int64, cacheDir string) (*benchrec.
 		} {
 			res, init, initSig := runOne(name, asyncsyn.Options{
 				Method: m.method, MaxBacktracks: maxBT, Workers: inner,
-				CacheDir: cacheDir,
+				CacheDir: cacheDir, DisableIncrementalSAT: noIncr,
 			})
 			*m.dst = res
 			if init > 0 {
@@ -315,7 +360,9 @@ func stageSeconds(c *asyncsyn.Circuit, stage string) float64 {
 }
 
 // runOne synthesizes one benchmark with one method, metrics attached,
-// and flattens the circuit into a MethodResult.
+// and flattens the circuit into a MethodResult, including the run's
+// heap-allocation deltas (approximate when rows run concurrently; see
+// benchrec.MethodResult).
 func runOne(name string, opt asyncsyn.Options) (res benchrec.MethodResult, initStates, initSignals int) {
 	src, err := bench.Source(name)
 	if err != nil {
@@ -326,11 +373,18 @@ func runOne(name string, opt asyncsyn.Options) (res benchrec.MethodResult, initS
 		return benchrec.MethodResult{Error: err.Error()}, 0, 0
 	}
 	opt.Metrics = asyncsyn.NewMetrics()
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
 	c, err := asyncsyn.Synthesize(g, opt)
 	if err != nil {
 		return benchrec.MethodResult{Error: err.Error()}, 0, 0
 	}
-	return flatten(c), c.InitialStates, c.InitialSignals
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+	r := flatten(c)
+	r.AllocBytes = after.TotalAlloc - before.TotalAlloc
+	r.Allocs = after.Mallocs - before.Mallocs
+	return r, c.InitialStates, c.InitialSignals
 }
 
 func flatten(c *asyncsyn.Circuit) benchrec.MethodResult {
@@ -415,9 +469,14 @@ func clauseSweep(maxBT int64, workers int) ([]benchrec.ClauseRow, error) {
 
 // scalingSweep runs the parametric handshake family (k concurrent slave
 // handshakes in two phases — the mr/mmu structure) through all three
-// methods, as examples/scaling does.
+// methods, as examples/scaling does. The modular method runs unbounded —
+// how far it scales is the sweep's whole point — while the direct and
+// lavagno baselines carry a wall-clock budget per point (they exhaust
+// their backtrack budgets by k=3–4 anyway); a budget expiry is recorded
+// as an aborted cell with the elapsed time.
 func scalingSweep(workers int) ([]benchrec.ScalingRow, error) {
-	const points = 4
+	const points = 5
+	const baselineBudget = 2 * time.Minute
 	return par.Map(points, workers, func(i int) (benchrec.ScalingRow, error) {
 		k := i + 1
 		row := benchrec.ScalingRow{K: k}
@@ -438,10 +497,17 @@ func scalingSweep(workers int) ([]benchrec.ScalingRow, error) {
 			if err != nil {
 				return row, err
 			}
-			c, err := asyncsyn.Synthesize(g, asyncsyn.Options{
-				Method: m.method, MaxBacktracks: 300000, Workers: 1,
-			})
+			opt := asyncsyn.Options{Method: m.method, MaxBacktracks: 300000, Workers: 1}
+			if m.method != asyncsyn.Modular {
+				opt.Timeout = baselineBudget
+			}
+			start := time.Now()
+			c, err := asyncsyn.Synthesize(g, opt)
 			if err != nil {
+				if errors.Is(err, asyncsyn.ErrCanceled) {
+					*m.dst = benchrec.ScalCell{Seconds: time.Since(start).Seconds(), Aborted: true}
+					continue
+				}
 				return row, fmt.Errorf("scaling k=%d %v: %w", k, m.method, err)
 			}
 			*m.dst = benchrec.ScalCell{Seconds: c.CPU.Seconds(), Area: c.Area, Aborted: c.Aborted}

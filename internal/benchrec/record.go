@@ -27,7 +27,13 @@ import (
 // Version 2: added the cache-effectiveness sweep (Record.Cache), the
 // modcache_* / sat_warm_clauses counters, and the warm-start DPLL
 // seeding that moves SAT models (digests) relative to version 1.
-const SchemaVersion = 2
+//
+// Version 3: added per-method allocation totals (MethodResult.AllocBytes
+// / Allocs — machine-facing, never compared), the sat_assumptions
+// counter, and the bitset/incremental-SAT hot paths, which move timings
+// and allocation profiles but leave digests and deterministic counters
+// unchanged relative to version 2.
+const SchemaVersion = 3
 
 // Env describes the machine and configuration that produced a record.
 type Env struct {
@@ -74,6 +80,15 @@ type MethodResult struct {
 	Counters map[string]int64 `json:"counters,omitempty"`
 	Stages   []StageTiming    `json:"stages,omitempty"`
 	Modules  []ModuleStat     `json:"modules,omitempty"`
+	// AllocBytes and Allocs are the run's heap-allocation deltas
+	// (runtime.MemStats TotalAlloc / Mallocs). Like Seconds they describe
+	// the machine and build, not the algorithm's outputs, so Compare
+	// never gates on them; they exist so future records can separate
+	// machine drift from code drift. When benchmark rows run
+	// concurrently (bench -workers ≠ 1) the per-row numbers include the
+	// other rows' allocations; whole-record totals remain meaningful.
+	AllocBytes uint64 `json:"alloc_bytes,omitempty"`
+	Allocs     uint64 `json:"allocs,omitempty"`
 }
 
 // Completed reports whether the run finished with a full circuit.

@@ -35,6 +35,13 @@ type SATOptions struct {
 	// creates one per call when unset; solveModule shares one across
 	// the widening fallbacks.
 	Chain *csc.WarmChain
+	// Incr, when non-nil, solves the chain's plain-DPLL formulas on one
+	// persistent incremental solver (see csc.ChainSolver). Created
+	// alongside Chain when unset, unless NoIncremental is set.
+	Incr *csc.ChainSolver
+	// NoIncremental forces the re-encode path (ablation and parity
+	// testing); results are bit-identical either way.
+	NoIncremental bool
 }
 
 // solveOptions adapts SATOptions to the csc attempt interface.
@@ -46,6 +53,8 @@ func (o SATOptions) solveOptions() csc.SolveOptions {
 		BDDNodeLimit:  o.BDDNodeLimit,
 		Cache:         o.Cache,
 		Chain:         o.Chain,
+		Incr:          o.Incr,
+		NoIncremental: o.NoIncremental,
 	}
 }
 
@@ -112,6 +121,9 @@ func PartitionSAT(ctx context.Context, g *sg.Graph, is InputSet, opt SATOptions)
 		opt.Chain = csc.NewWarmChain()
 	}
 	opt.Chain.Rebind(merged.Graph)
+	if opt.Incr == nil && !opt.NoIncremental {
+		opt.Incr = csc.NewChainSolver()
+	}
 
 	propagate := func(col []sg.Phase) {
 		phases := make([]sg.Phase, len(g.States))

@@ -315,6 +315,9 @@ func solveModule(ctx context.Context, full *sg.Graph, is InputSet, opt SATOption
 	if opt.Chain == nil {
 		opt.Chain = csc.NewWarmChain()
 	}
+	if opt.Incr == nil && !opt.NoIncremental {
+		opt.Incr = csc.NewChainSolver()
+	}
 	pr, err := PartitionSAT(ctx, full, is, opt)
 	if err == nil || errors.Is(err, synerr.ErrBacktrackLimit) || errors.Is(err, synerr.ErrCanceled) {
 		return is, pr, false, err
@@ -352,6 +355,9 @@ func ExpandToCSC(ctx context.Context, g *sg.Graph, opt Options) (expanded *sg.Gr
 	// serves them all.
 	opt.SAT.Chain = csc.NewWarmChain()
 	opt.SAT.Chain.Rebind(g)
+	if !opt.SAT.NoIncremental {
+		opt.SAT.Incr = csc.NewChainSolver()
+	}
 	for iters = 1; ; iters++ {
 		expanded, err = g.Expand()
 		if err != nil {

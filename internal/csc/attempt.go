@@ -126,6 +126,14 @@ func solveUncached(ctx context.Context, g *sg.Graph, conf *sg.Conflicts, m int, 
 		}
 	}
 
+	// The incremental chain solver replaces the encode-and-reload cycle
+	// for plain DPLL attempts; its results are bit-identical to this
+	// function's re-encode path (pinned by TestIncrementalMatchesFresh),
+	// so cache entries and warm-chain state stay interchangeable.
+	if opt.Incr != nil && opt.Engine == DPLL && !opt.Encoding.ExpandXor {
+		return opt.Incr.solve(ctx, g, conf, m, opt, start)
+	}
+
 	enc, err := Encode(g, conf, m, opt.Encoding)
 	if err != nil {
 		return nil, FormulaStats{}, nil, err

@@ -1,0 +1,45 @@
+package csc
+
+import (
+	"context"
+	"testing"
+
+	"asyncsyn/internal/sg"
+	"asyncsyn/internal/stg"
+)
+
+// BenchmarkSolveChain measures one whole CSC solve chain (conflict
+// analysis, encoding, SAT, decoding) on a concurrent handshake graph,
+// with the assumption-based incremental solver and with per-attempt
+// re-encoding. The two paths produce bit-identical results (pinned by
+// TestIncrementalMatchesFresh at the facade); only the work per attempt
+// differs.
+func BenchmarkSolveChain(b *testing.B) {
+	for _, mode := range []struct {
+		name   string
+		noIncr bool
+	}{
+		{"incremental", false},
+		{"reencode", true},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			spec, err := stg.Handshakes("", 2, 2)
+			if err != nil {
+				b.Fatal(err)
+			}
+			g, err := sg.FromSTG(spec, sg.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			base := len(g.StateSigs)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				g.StateSigs = g.StateSigs[:base] // Solve appends; rewind between runs
+				if _, err := Solve(context.Background(), g, SolveOptions{NoIncremental: mode.noIncr}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

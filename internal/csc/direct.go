@@ -61,6 +61,15 @@ type SolveOptions struct {
 	// with the chain's clauses and export their own stable learnings
 	// back (see WarmChain).
 	Chain *WarmChain
+	// Incr, when non-nil, solves plain-DPLL attempts on one persistent
+	// assumption-based incremental solver instead of re-encoding every
+	// formula (see ChainSolver). Results are bit-identical either way;
+	// only the work per attempt changes. Engines other than DPLL and the
+	// ExpandXor encoding fall back to re-encoding.
+	Incr *ChainSolver
+	// NoIncremental keeps the re-encode path even where an Incr solver
+	// would be created by default (ablation and parity testing).
+	NoIncremental bool
 }
 
 func (o SolveOptions) withDefaults() SolveOptions {
@@ -116,6 +125,9 @@ func Solve(ctx context.Context, g *sg.Graph, opt SolveOptions) (*Result, error) 
 		opt.Chain = NewWarmChain()
 	}
 	opt.Chain.Rebind(g)
+	if opt.Incr == nil && !opt.NoIncremental {
+		opt.Incr = NewChainSolver()
+	}
 	res := &Result{}
 	conf := sg.Analyze(g)
 	if conf.N() == 0 {

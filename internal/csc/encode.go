@@ -106,9 +106,18 @@ func Encode(g *sg.Graph, conf *sg.Conflicts, m int, opt Options) (*Encoding, err
 	for s := 0; s < n; s++ {
 		e.aVar[s] = make([]int, m)
 		e.bVar[s] = make([]int, m)
-		for k := 0; k < m; k++ {
-			e.aVar[s][k] = e.F.NewVar(fmt.Sprintf("a[%d][%d]", s, k))
-			e.bVar[s][k] = e.F.NewVar(fmt.Sprintf("b[%d][%d]", s, k))
+	}
+	// Column-major variable layout: column k's (a,b) pairs for every
+	// state precede column k+1's, so a[s][k] = 2(kn+s) and b[s][k] is
+	// its successor. The formulas of a widening chain thereby share a
+	// variable prefix — formula m's state variables are exactly the
+	// first 2nm variables of formula m+1 — which is what lets the
+	// incremental solver (ChainSolver) grow columns in place and keeps
+	// warm-chain clause instantiation layout-stable along the chain.
+	for k := 0; k < m; k++ {
+		for s := 0; s < n; s++ {
+			e.aVar[s][k] = e.F.NewVar("")
+			e.bVar[s][k] = e.F.NewVar("")
 			// Prefer stable phases: every needlessly excited state
 			// multiplies the expanded state graph.
 			e.F.Prefer(e.aVar[s][k], false)
@@ -116,19 +125,21 @@ func Encode(g *sg.Graph, conf *sg.Conflicts, m int, opt Options) (*Encoding, err
 	}
 
 	// Consistency + semi-modularity along every edge, for every signal:
-	// block the eight incompatible phase pairs.
+	// block the eight incompatible phase pairs. Emission is grouped by
+	// column for the same reason the variables are: column k's clause
+	// block is identical in every formula of the chain that has column k.
 	lit := func(v int, val bool) sat.Lit {
 		if val {
 			return sat.NegLit(v) // clause literal that *falsifies* value val
 		}
 		return sat.PosLit(v)
 	}
-	for _, ed := range g.Edges {
-		blocked := blockedOutputEdge
-		if g.InputEdge(ed) {
-			blocked = blockedInputEdge
-		}
-		for k := 0; k < m; k++ {
+	for k := 0; k < m; k++ {
+		for _, ed := range g.Edges {
+			blocked := blockedOutputEdge
+			if g.InputEdge(ed) {
+				blocked = blockedInputEdge
+			}
 			for _, bp := range blocked {
 				pa, pb := phaseBits(bp[0])
 				qa, qb := phaseBits(bp[1])
@@ -152,50 +163,65 @@ func Encode(g *sg.Graph, conf *sg.Conflicts, m int, opt Options) (*Encoding, err
 		// not a solving path).
 		e.encodePairsExpanded(conf, opt)
 	} else {
-		e.encodePairsTseitin(conf, opt)
-		e.breakSymmetry()
+		sink := formulaSink{e.F}
+		emitPairsTseitin(sink, e.aVar, e.bVar, m, conf, opt)
+		emitSymmetry(sink, e.aVar, e.bVar, m)
 	}
 	return e, nil
 }
 
-// breakSymmetry adds lexicographic ordering between adjacent signal
+// encSink receives the per-problem (pair separation and symmetry)
+// constraints. Two implementations share the emission code: formulaSink
+// appends to a one-shot formula, and the incremental ChainSolver routes
+// the same clauses into the solver's current assumption group.
+type encSink interface {
+	newVar() int
+	add(lits ...sat.Lit)
+}
+
+type formulaSink struct{ f *sat.Formula }
+
+func (s formulaSink) newVar() int         { return s.f.NewVar("") }
+func (s formulaSink) add(lits ...sat.Lit) { s.f.Add(lits...) }
+
+// emitSymmetry adds lexicographic ordering between adjacent signal
 // columns. The m inserted signals are fully interchangeable in every
 // constraint, so without this the solver explores (and on UNSAT
 // instances must refute) all m! permutations of each assignment — joint
 // m ≥ 4 UNSAT proofs become intractable. The standard prefix-equality
 // chain costs 4 clauses per state bit per adjacent pair.
-func (e *Encoding) breakSymmetry() {
-	n := len(e.G.States)
-	for k := 0; k+1 < e.M; k++ {
+func emitSymmetry(sink encSink, aVar, bVar [][]int, m int) {
+	n := len(aVar)
+	for k := 0; k+1 < m; k++ {
 		bits := make([][2]int, 0, 2*n)
 		for s := 0; s < n; s++ {
-			bits = append(bits, [2]int{e.aVar[s][k], e.aVar[s][k+1]})
-			bits = append(bits, [2]int{e.bVar[s][k], e.bVar[s][k+1]})
+			bits = append(bits, [2]int{aVar[s][k], aVar[s][k+1]})
+			bits = append(bits, [2]int{bVar[s][k], bVar[s][k+1]})
 		}
 		prevEq := -1 // -1 means "true"
 		for i, xy := range bits {
 			x, y := xy[0], xy[1]
 			if prevEq < 0 {
-				e.F.Add(sat.NegLit(x), sat.PosLit(y)) // x ≤ y
+				sink.add(sat.NegLit(x), sat.PosLit(y)) // x ≤ y
 			} else {
-				e.F.Add(sat.NegLit(prevEq), sat.NegLit(x), sat.PosLit(y))
+				sink.add(sat.NegLit(prevEq), sat.NegLit(x), sat.PosLit(y))
 			}
 			if i == len(bits)-1 {
 				break
 			}
-			eq := e.F.NewVar(fmt.Sprintf("lex[%d][%d]", k, i))
+			eq := sink.newVar()
 			// eq ← prevEq ∧ (x ↔ y): both directions so the chain
 			// propagates and stays consistent.
 			if prevEq < 0 {
-				e.F.Add(sat.PosLit(eq), sat.PosLit(x), sat.PosLit(y))
-				e.F.Add(sat.PosLit(eq), sat.NegLit(x), sat.NegLit(y))
+				sink.add(sat.PosLit(eq), sat.PosLit(x), sat.PosLit(y))
+				sink.add(sat.PosLit(eq), sat.NegLit(x), sat.NegLit(y))
 			} else {
-				e.F.Add(sat.PosLit(eq), sat.NegLit(prevEq), sat.PosLit(x), sat.PosLit(y))
-				e.F.Add(sat.PosLit(eq), sat.NegLit(prevEq), sat.NegLit(x), sat.NegLit(y))
-				e.F.Add(sat.NegLit(eq), sat.PosLit(prevEq))
+				sink.add(sat.PosLit(eq), sat.NegLit(prevEq), sat.PosLit(x), sat.PosLit(y))
+				sink.add(sat.PosLit(eq), sat.NegLit(prevEq), sat.NegLit(x), sat.NegLit(y))
+				sink.add(sat.NegLit(eq), sat.PosLit(prevEq))
 			}
-			e.F.Add(sat.NegLit(eq), sat.PosLit(x), sat.NegLit(y))
-			e.F.Add(sat.NegLit(eq), sat.NegLit(x), sat.PosLit(y))
+			sink.add(sat.NegLit(eq), sat.PosLit(x), sat.NegLit(y))
+			sink.add(sat.NegLit(eq), sat.NegLit(x), sat.PosLit(y))
 			prevEq = eq
 		}
 	}
@@ -227,22 +253,22 @@ var uscBlockedPairs = [][2]sg.Phase{
 	{sg.PUp, sg.PDown}, {sg.PDown, sg.PUp},
 }
 
-// encodePairsTseitin introduces, per pair and signal, an auxiliary
+// emitPairsTseitin introduces, per pair and signal, an auxiliary
 // variable d_k → (signal k stably separates the pair):
 // d_k → ¬a_A ∧ ¬a_B ∧ (b_A ⊕ b_B). CSC pairs assert ∨_k d_k; USC pairs
 // assert, for every k and blocked phase pair, (∨_k d_k) ∨ ¬blocked.
-func (e *Encoding) encodePairsTseitin(conf *sg.Conflicts, opt Options) {
+func emitPairsTseitin(sink encSink, aVar, bVar [][]int, m int, conf *sg.Conflicts, opt Options) {
 	sepVars := func(p sg.Pair) []sat.Lit {
-		ds := make([]sat.Lit, e.M)
-		for k := 0; k < e.M; k++ {
-			d := e.F.NewVar(fmt.Sprintf("d[%d,%d][%d]", p.A, p.B, k))
+		ds := make([]sat.Lit, m)
+		for k := 0; k < m; k++ {
+			d := sink.newVar()
 			ds[k] = sat.PosLit(d)
-			ai, aj := e.aVar[p.A][k], e.aVar[p.B][k]
-			bi, bj := e.bVar[p.A][k], e.bVar[p.B][k]
-			e.F.Add(sat.NegLit(d), sat.NegLit(ai))
-			e.F.Add(sat.NegLit(d), sat.NegLit(aj))
-			e.F.Add(sat.NegLit(d), sat.PosLit(bi), sat.PosLit(bj))
-			e.F.Add(sat.NegLit(d), sat.NegLit(bi), sat.NegLit(bj))
+			ai, aj := aVar[p.A][k], aVar[p.B][k]
+			bi, bj := bVar[p.A][k], bVar[p.B][k]
+			sink.add(sat.NegLit(d), sat.NegLit(ai))
+			sink.add(sat.NegLit(d), sat.NegLit(aj))
+			sink.add(sat.NegLit(d), sat.PosLit(bi), sat.PosLit(bj))
+			sink.add(sat.NegLit(d), sat.NegLit(bi), sat.NegLit(bj))
 		}
 		return ds
 	}
@@ -253,20 +279,20 @@ func (e *Encoding) encodePairsTseitin(conf *sg.Conflicts, opt Options) {
 		return sat.PosLit(v)
 	}
 	for _, p := range conf.CSC {
-		e.F.Add(sepVars(p)...)
+		sink.add(sepVars(p)...)
 	}
 	if opt.SkipUSC {
 		return
 	}
 	for _, p := range conf.USC {
 		ds := sepVars(p)
-		for k := 0; k < e.M; k++ {
+		for k := 0; k < m; k++ {
 			for _, bp := range uscBlockedPairs {
 				pa, pb := phaseBits(bp[0])
 				qa, qb := phaseBits(bp[1])
-				e.F.Add(append(append([]sat.Lit(nil), ds...),
-					lit(e.aVar[p.A][k], pa), lit(e.bVar[p.A][k], pb),
-					lit(e.aVar[p.B][k], qa), lit(e.bVar[p.B][k], qb))...)
+				sink.add(append(append([]sat.Lit(nil), ds...),
+					lit(aVar[p.A][k], pa), lit(bVar[p.A][k], pb),
+					lit(aVar[p.B][k], qa), lit(bVar[p.B][k], qb))...)
 			}
 		}
 	}

@@ -129,7 +129,7 @@ func (c *WarmChain) Seed(numStates, m int) *sat.Warm {
 			for i, l := range cl {
 				nv := l.Var() // 2s + bit
 				s, bit := nv>>1, nv&1
-				v := s*2*m + 2*k + bit
+				v := 2*(k*numStates+s) + bit // column-major Encode layout
 				inst[i] = sat.Lit(2*v) | sat.Lit(l&1)
 			}
 			w.Clauses = append(w.Clauses, inst)
@@ -162,8 +162,9 @@ func (c *WarmChain) Normalize(numStates, m int, exported [][]sat.Lit) [][]sat.Li
 				ok = false // auxiliary (d/lex) variable
 				break
 			}
-			rem := v % (2 * m)
-			s, k, bit := v/(2*m), rem>>1, rem&1
+			// Invert the column-major layout v = 2(k·n + s) + bit.
+			rem := v % (2 * numStates)
+			s, k, bit := rem>>1, v/(2*numStates), v&1
 			if col < 0 {
 				col = k
 			} else if col != k {

@@ -65,6 +65,9 @@ const (
 	// SATWarmClauses accumulates the learned clauses re-seeded into DPLL
 	// searches along widening/insertion chains.
 	SATWarmClauses
+	// SATAssumptions counts formulas solved as assumption-guarded steps of
+	// a persistent incremental solver instead of fresh re-encodes.
+	SATAssumptions
 
 	numKinds
 )
@@ -89,6 +92,7 @@ var kindNames = [numKinds]string{
 	CacheMisses:     "modcache_misses",
 	CacheInflight:   "modcache_inflight",
 	SATWarmClauses:  "sat_warm_clauses",
+	SATAssumptions:  "sat_assumptions",
 }
 
 // String returns the counter's stable schema name.

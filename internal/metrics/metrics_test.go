@@ -54,7 +54,7 @@ func TestKindNamesStable(t *testing.T) {
 		"walksat_flips", "bdd_nodes", "sg_states", "sg_states_merged",
 		"espresso_expand", "espresso_reduce", "modules",
 		"modcache_hits", "modcache_misses", "modcache_inflight",
-		"sat_warm_clauses",
+		"sat_warm_clauses", "sat_assumptions",
 	}
 	kinds := Kinds()
 	if len(kinds) != len(want) {

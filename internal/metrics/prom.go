@@ -27,6 +27,7 @@ var kindHelp = [numKinds]string{
 	CacheMisses:     "Module solves the cache had to compute.",
 	CacheInflight:   "Solves deduplicated against an in-flight solve.",
 	SATWarmClauses:  "Learned clauses re-seeded into warm-started searches.",
+	SATAssumptions:  "Formulas solved as assumption-guarded incremental steps.",
 }
 
 // WriteProm renders the collector's counters in the Prometheus text

@@ -108,17 +108,25 @@ func (f *Formula) VarName(v int) string {
 // both a literal and its complement is a tautology and is dropped. An
 // empty clause makes the formula trivially unsatisfiable.
 func (f *Formula) Add(lits ...Lit) {
-	seen := make(map[Lit]bool, len(lits))
+	// Clauses are short (edge-compatibility clauses top out at four
+	// literals), so dedup by scanning the kept literals instead of
+	// allocating a set per call.
 	out := make([]Lit, 0, len(lits))
 	for _, l := range lits {
 		if int(l.Var()) >= f.NumVars {
 			panic(fmt.Sprintf("sat: literal %v beyond %d vars", l, f.NumVars))
 		}
-		if seen[l.Neg()] {
-			return // tautology
+		dup := false
+		for _, o := range out {
+			if o == l.Neg() {
+				return // tautology
+			}
+			if o == l {
+				dup = true
+				break
+			}
 		}
-		if !seen[l] {
-			seen[l] = true
+		if !dup {
 			out = append(out, l)
 		}
 	}

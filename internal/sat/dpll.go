@@ -102,6 +102,13 @@ type clause struct {
 	// seed derived from it, or a learned clause whose entire derivation
 	// (conflict clause, reason clauses, level-0 antecedents) is stable.
 	stable bool
+	// guarded: the clause's last literal is a group assumption guard
+	// (incremental solving, see Incremental). The guard is appended
+	// after the core literals and its variable is assumed true at level
+	// 0, so the literal is permanently false and inert in propagation;
+	// only the unit scan must look through it (a one-literal core behaves
+	// as a unit clause, exactly as its unguarded twin would).
+	guarded bool
 }
 
 type solver struct {
@@ -159,7 +166,9 @@ func newSolver(f *Formula) *solver {
 	// watch lists can be carved out of one backing array with exact
 	// capacities instead of growing by repeated append in the hot loop.
 	occ := make([]int32, 2*n)
+	totalLits := 0
 	for _, c := range f.Clauses {
+		totalLits += len(c)
 		w := math.Pow(2, -float64(len(c)))
 		for _, l := range c {
 			if l.Sign() {
@@ -188,8 +197,18 @@ func newSolver(f *Formula) *solver {
 	}
 	s.clauses = make([]*clause, 0, len(f.Clauses))
 	stablePrefix := f.StablePrefix()
+	// Two batch allocations instead of two per clause: propagation swaps
+	// literals in place, so each clause needs its own copy, but the copies
+	// can all live in one backing array (exact capacity: append never
+	// reallocates, so the carved sub-slices stay valid).
+	clBack := make([]clause, len(f.Clauses))
+	litBack := make([]Lit, 0, totalLits)
 	for i, c := range f.Clauses {
-		cl := &clause{lits: append([]Lit(nil), c...), stable: i < stablePrefix}
+		cl := &clBack[i]
+		lo := len(litBack)
+		litBack = append(litBack, c...)
+		cl.lits = litBack[lo:len(litBack):len(litBack)]
+		cl.stable = i < stablePrefix
 		ci := int32(len(s.clauses))
 		s.clauses = append(s.clauses, cl)
 		if len(cl.lits) >= 2 {
@@ -460,7 +479,13 @@ func (s *solver) search(lim Limits) Result {
 	}
 	// Level-0 units.
 	for ci, c := range s.clauses {
-		if len(c.lits) == 1 {
+		u := len(c.lits)
+		if c.guarded {
+			// The trailing guard literal is already false under the level-0
+			// assumption, so the core alone decides unit-ness.
+			u--
+		}
+		if u == 1 {
 			if !s.enqueue(c.lits[0], int32(ci)) {
 				s.res.Status = Unsat
 				return s.res

@@ -1,0 +1,86 @@
+package sg
+
+import "sync"
+
+// bitset is a packed set of state indices: one bit per state in []uint64
+// columns. The synthesis hot paths (code grouping, region flooding,
+// enabled-set scans) use bitsets instead of map[int]bool so membership
+// tests are a shift and a mask, and whole-set operations run a word at a
+// time.
+type bitset []uint64
+
+// newBitset returns a zeroed bitset able to hold n bits, reusing buf's
+// storage when it is large enough.
+func newBitset(buf bitset, n int) bitset {
+	words := (n + 63) / 64
+	if cap(buf) < words {
+		return make(bitset, words)
+	}
+	buf = buf[:words]
+	for i := range buf {
+		buf[i] = 0
+	}
+	return buf
+}
+
+func (b bitset) set(i int)      { b[i>>6] |= 1 << (uint(i) & 63) }
+func (b bitset) get(i int) bool { return b[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+// scratchPool recycles the per-call integer scratch slices of the sg hot
+// paths (quotient union-find arrays, radix-sort buffers). Slices are
+// re-sliced and overwritten on reuse, so a pooled buffer never leaks
+// state between calls and results are identical with or without a hit.
+var scratchPool = sync.Pool{
+	New: func() any { return new(scratch) },
+}
+
+// scratch is one reusable bundle of hot-path buffers. Only buffers whose
+// contents do not escape the call may live here; anything returned to
+// the caller (group members, cover arrays) is allocated fresh.
+type scratch struct {
+	ints  []int
+	ints2 []int
+	u64s  []uint64
+	bits  bitset
+	bits2 bitset
+	dirs  []int8
+}
+
+// intsFor returns s.ints resized to n (contents undefined).
+func (s *scratch) intsFor(n int) []int {
+	if cap(s.ints) < n {
+		s.ints = make([]int, n)
+	}
+	s.ints = s.ints[:n]
+	return s.ints
+}
+
+// ints2For returns s.ints2 resized to n (contents undefined).
+func (s *scratch) ints2For(n int) []int {
+	if cap(s.ints2) < n {
+		s.ints2 = make([]int, n)
+	}
+	s.ints2 = s.ints2[:n]
+	return s.ints2
+}
+
+// u64sFor returns s.u64s resized to n (contents undefined).
+func (s *scratch) u64sFor(n int) []uint64 {
+	if cap(s.u64s) < n {
+		s.u64s = make([]uint64, n)
+	}
+	s.u64s = s.u64s[:n]
+	return s.u64s
+}
+
+// dirsFor returns s.dirs resized to n and filled with fill.
+func (s *scratch) dirsFor(n int, fill int8) []int8 {
+	if cap(s.dirs) < n {
+		s.dirs = make([]int8, n)
+	}
+	s.dirs = s.dirs[:n]
+	for i := range s.dirs {
+		s.dirs[i] = fill
+	}
+	return s.dirs
+}

@@ -2,7 +2,6 @@ package sg
 
 import (
 	"math/bits"
-	"sort"
 
 	"asyncsyn/internal/par"
 )
@@ -31,20 +30,15 @@ type Conflicts struct {
 // N returns the number of CSC conflict pairs (the paper's N_csc).
 func (c *Conflicts) N() int { return len(c.CSC) }
 
-// codeGroups buckets the states of g by full code. The member order of
-// each group and the returned key order are fixed (ascending state,
-// ascending code) regardless of the worker count: only the per-state
-// FullCode computation fans out, the bucketing itself is a serial
-// ordered reduce.
-func codeGroups(g *Graph, workers int) ([]uint64, map[uint64][]int) {
+// fullCodes fills codes with the full code of every state. The serial
+// path runs column-wise (one pass per state-signal column over a packed
+// code array) instead of calling FullCode per state; large graphs fan
+// the per-state computation out over the worker pool. Both orders
+// produce identical codes.
+func fullCodes(g *Graph, codes []uint64, workers int) {
 	n := len(g.States)
-	codes := make([]uint64, n)
 	w := par.Workers(workers)
-	if w <= 1 || n < 256 {
-		for s := 0; s < n; s++ {
-			codes[s] = g.FullCode(s)
-		}
-	} else {
+	if w > 1 && n >= 256 {
 		chunk := (n + 4*w - 1) / (4 * w)
 		nchunks := (n + chunk - 1) / chunk
 		par.ForEachIndexed(nchunks, w, func(ci int) error {
@@ -57,17 +51,122 @@ func codeGroups(g *Graph, workers int) ([]uint64, map[uint64][]int) {
 			}
 			return nil
 		})
+		return
 	}
-	groups := make(map[uint64][]int)
+	active := g.Active
 	for s := 0; s < n; s++ {
-		groups[codes[s]] = append(groups[codes[s]], s)
+		codes[s] = g.States[s].Code & active
 	}
-	keys := make([]uint64, 0, len(groups))
-	for k := range groups {
-		keys = append(keys, k)
+	for k := range g.StateSigs {
+		bit := uint64(1) << (len(g.Base) + k)
+		for s, p := range g.StateSigs[k].Phases {
+			if p.Level() == 1 {
+				codes[s] |= bit
+			}
+		}
 	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+}
+
+// codeGroups buckets the states of g by full code. Returns parallel
+// slices: keys in ascending code order, and groups[i] holding the states
+// with code keys[i] in ascending state order — the same fixed order the
+// old map-based bucketing produced, for any worker count. The grouping
+// is a stable LSD radix sort over the packed codes (byte passes that are
+// constant across all codes are skipped), and every group is a slice of
+// one shared permutation array, so the whole partition costs two flat
+// allocations instead of a hash map.
+func codeGroups(g *Graph, workers int) ([]uint64, [][]int) {
+	n := len(g.States)
+	if n == 0 {
+		return nil, nil
+	}
+	sc := scratchPool.Get().(*scratch)
+	codes := sc.u64sFor(n)
+	fullCodes(g, codes, workers)
+
+	// perm escapes (the returned groups are slices of it); tmp does not.
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	var orAll uint64
+	andAll := ^uint64(0)
+	for _, c := range codes {
+		orAll |= c
+		andAll &= c
+	}
+	diff := orAll ^ andAll
+	tmp := sc.intsFor(n)
+	src, dst := perm, tmp
+	var counts [256]int
+	for b := 0; b < 8; b++ {
+		shift := uint(8 * b)
+		if (diff>>shift)&0xff == 0 {
+			continue
+		}
+		for i := range counts {
+			counts[i] = 0
+		}
+		for _, s := range src {
+			counts[(codes[s]>>shift)&0xff]++
+		}
+		sum := 0
+		for i := 0; i < 256; i++ {
+			c := counts[i]
+			counts[i] = sum
+			sum += c
+		}
+		for _, s := range src {
+			d := (codes[s] >> shift) & 0xff
+			dst[counts[d]] = s
+			counts[d]++
+		}
+		src, dst = dst, src
+	}
+	if &src[0] != &perm[0] {
+		copy(perm, src)
+	}
+
+	distinct := 1
+	for i := 1; i < n; i++ {
+		if codes[perm[i]] != codes[perm[i-1]] {
+			distinct++
+		}
+	}
+	keys := make([]uint64, 0, distinct)
+	groups := make([][]int, 0, distinct)
+	for lo := 0; lo < n; {
+		c := codes[perm[lo]]
+		hi := lo + 1
+		for hi < n && codes[perm[hi]] == c {
+			hi++
+		}
+		keys = append(keys, c)
+		groups = append(groups, perm[lo:hi:hi])
+		lo = hi
+	}
+	scratchPool.Put(sc)
 	return keys, groups
+}
+
+// enabledNonInputsAll computes EnabledNonInputs for every state in one
+// pass over the edge list, filling buf (reused when large enough)
+// instead of walking each state's Out adjacency separately.
+func (g *Graph) enabledNonInputsAll(buf []uint64) []uint64 {
+	n := len(g.States)
+	if cap(buf) < n {
+		buf = make([]uint64, n)
+	}
+	buf = buf[:n]
+	for i := range buf {
+		buf[i] = 0
+	}
+	for _, e := range g.Edges {
+		if e.Sig >= 0 && !g.Base[e.Sig].Input {
+			buf[e.From] |= 1 << e.Sig
+		}
+	}
+	return buf
 }
 
 // Analyze performs full CSC analysis: states are grouped by full code
@@ -81,39 +180,53 @@ func Analyze(g *Graph) *Conflicts { return AnalyzeWorkers(g, 1) }
 // lists concatenated in ascending code order — the exact order the
 // sequential scan produces, for any worker count.
 func AnalyzeWorkers(g *Graph, workers int) *Conflicts {
-	keys, groups := codeGroups(g, workers)
+	_, groups := codeGroups(g, workers)
+	// One shared enabled-mask column, filled by a single edge pass; the
+	// group closures only read it. The backing is pooled: par.Map joins
+	// all workers before returning, so the buffer is quiescent when it
+	// goes back to the pool.
+	sc := scratchPool.Get().(*scratch)
+	enabled := g.enabledNonInputsAll(sc.u64sFor(0))
 
 	type groupRes struct {
 		csc, usc []Pair
 		classes  int
 	}
-	results, _ := par.Map(len(keys), workers, func(ki int) (groupRes, error) {
-		states := groups[keys[ki]]
+	results, _ := par.Map(len(groups), workers, func(ki int) (groupRes, error) {
+		states := groups[ki]
 		var r groupRes
-		// Behaviour classes within the group.
-		classOf := make([]uint64, len(states))
-		classes := make(map[uint64]bool)
-		for i, s := range states {
-			classOf[i] = g.EnabledNonInputs(s)
-			classes[classOf[i]] = true
+		// Distinct behaviour classes within the group: an insertion scan
+		// over the (small) group beats a map allocation per group.
+		for i := 0; i < len(states); i++ {
+			dup := false
+			for j := 0; j < i; j++ {
+				if enabled[states[j]] == enabled[states[i]] {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				r.classes++
+			}
 		}
 		for i := 0; i < len(states); i++ {
 			for j := i + 1; j < len(states); j++ {
 				p := Pair{states[i], states[j]}
-				if classOf[i] != classOf[j] {
+				if enabled[states[i]] != enabled[states[j]] {
 					r.csc = append(r.csc, p)
 				} else {
 					r.usc = append(r.usc, p)
 				}
 			}
 		}
-		r.classes = len(classes)
 		return r, nil
 	})
+	sc.u64s = enabled
+	scratchPool.Put(sc)
 
 	res := &Conflicts{}
 	for ki, r := range results {
-		if n := len(groups[keys[ki]]); n > res.MaxGroup {
+		if n := len(groups[ki]); n > res.MaxGroup {
 			res.MaxGroup = n
 		}
 		res.CSC = append(res.CSC, r.csc...)
@@ -140,14 +253,14 @@ func OutputConflicts(g *Graph, impliedOf func(state int) (has0, has1 bool)) *Con
 // must be safe for concurrent calls (the probes built by Merged.ImpliedOf
 // read a precomputed table and are).
 func OutputConflictsWorkers(g *Graph, impliedOf func(state int) (has0, has1 bool), workers int) *Conflicts {
-	keys, groups := codeGroups(g, workers)
+	_, groups := codeGroups(g, workers)
 
 	type groupRes struct {
 		csc, usc []Pair
 		both     bool // group implies both values → lower bound 1
 	}
-	results, _ := par.Map(len(keys), workers, func(ki int) (groupRes, error) {
-		states := groups[keys[ki]]
+	results, _ := par.Map(len(groups), workers, func(ki int) (groupRes, error) {
+		states := groups[ki]
 		var r groupRes
 		type imp struct{ has0, has1 bool }
 		imps := make([]imp, len(states))
@@ -177,7 +290,7 @@ func OutputConflictsWorkers(g *Graph, impliedOf func(state int) (has0, has1 bool
 
 	res := &Conflicts{}
 	for ki, r := range results {
-		if n := len(groups[keys[ki]]); n > res.MaxGroup {
+		if n := len(groups[ki]); n > res.MaxGroup {
 			res.MaxGroup = n
 		}
 		res.CSC = append(res.CSC, r.csc...)

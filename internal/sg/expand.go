@@ -3,9 +3,30 @@ package sg
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"asyncsyn/internal/stg"
 )
+
+// xstate is an expansion work-list entry: an original state plus the
+// level bits of the inserted state signals.
+type xstate struct {
+	orig int
+	x    uint64
+}
+
+// expandIndexPool recycles the Expand state-interning map, and
+// tableSeenPool the FunctionTable projection map, across calls (one
+// Expand per refinement round, one FunctionTable per output). Maps are
+// cleared on reuse, so a pooled map never leaks state between calls and
+// results are identical with or without a pool hit.
+var expandIndexPool = sync.Pool{
+	New: func() any { return make(map[xstate]int, 1024) },
+}
+
+var tableSeenPool = sync.Pool{
+	New: func() any { return make(map[uint64]uint8, 1024) },
+}
 
 // Expand converts the 4-valued state-signal phase columns into explicit
 // binary signals by inserting their transitions into the state graph
@@ -43,11 +64,9 @@ func (g *Graph) Expand() (*Graph, error) {
 		Active: g.Active | (((uint64(1) << m) - 1) << nb),
 	}
 
-	type xstate struct {
-		orig int
-		x    uint64 // level bits of the state signals
-	}
-	index := make(map[xstate]int)
+	index := expandIndexPool.Get().(map[xstate]int)
+	clear(index)
+	defer expandIndexPool.Put(index)
 	var pool []xstate
 	push := func(s xstate) int {
 		if i, ok := index[s]; ok {
@@ -147,7 +166,9 @@ func (g *Graph) FunctionTable(sig int, supportMask uint64) (*Table, error) {
 	for _, v := range vars {
 		t.Vars = append(t.Vars, g.Base[v].Name)
 	}
-	seen := make(map[uint64]uint8) // projected code → implied value
+	seen := tableSeenPool.Get().(map[uint64]uint8) // projected code → implied value
+	clear(seen)
+	defer tableSeenPool.Put(seen)
 	var onSet, offSet []uint64
 	for s := range g.States {
 		var code uint64

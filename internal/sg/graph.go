@@ -74,6 +74,40 @@ func (g *Graph) addEdge(e Edge) {
 	g.In[e.To] = append(g.In[e.To], len(g.Edges)-1)
 }
 
+// indexEdges (re)builds Out and In from Edges in two counted passes: the
+// per-state lists are carved out of two backing arrays with exact sizes
+// instead of growing by repeated append. Edge indices appear in each
+// list in ascending order — the same order incremental addEdge calls
+// produce.
+func (g *Graph) indexEdges() {
+	n := len(g.States)
+	outDeg := make([]int, n)
+	inDeg := make([]int, n)
+	for _, e := range g.Edges {
+		outDeg[e.From]++
+		inDeg[e.To]++
+	}
+	if g.Out == nil {
+		g.Out = make([][]int, n)
+	}
+	if g.In == nil {
+		g.In = make([][]int, n)
+	}
+	outBack := make([]int, len(g.Edges))
+	inBack := make([]int, len(g.Edges))
+	outOff, inOff := 0, 0
+	for s := 0; s < n; s++ {
+		g.Out[s] = outBack[outOff : outOff : outOff+outDeg[s]]
+		g.In[s] = inBack[inOff : inOff : inOff+inDeg[s]]
+		outOff += outDeg[s]
+		inOff += inDeg[s]
+	}
+	for ei, e := range g.Edges {
+		g.Out[e.From] = append(g.Out[e.From], ei)
+		g.In[e.To] = append(g.In[e.To], ei)
+	}
+}
+
 // FullCode returns the complete binary code of state s: base signal
 // levels (masked by Active) plus the levels of all state signal phases,
 // packed above the base bits.
@@ -175,11 +209,12 @@ func FromSTGContext(ctx context.Context, g *stg.G, opt Options) (*Graph, error) 
 	for i, m := range r.States {
 		sgr.States[i] = State{Marking: m}
 	}
+	sgr.Edges = make([]Edge, 0, len(r.Edges))
 	for _, e := range r.Edges {
 		l := g.Labels[e.Trans]
-		ge := Edge{From: e.From, To: e.To, Sig: l.Sig, Dir: l.Dir}
-		sgr.addEdge(ge)
+		sgr.Edges = append(sgr.Edges, Edge{From: e.From, To: e.To, Sig: l.Sig, Dir: l.Dir})
 	}
+	sgr.indexEdges()
 
 	vals, err := inferValues(g, sgr)
 	if err != nil {

@@ -1,0 +1,71 @@
+package sg
+
+import (
+	"testing"
+
+	"asyncsyn/internal/stg"
+)
+
+// benchExpandGraph builds the expansion benchmark input: a concurrent
+// handshake graph with a synthetic state-signal column, so Expand walks
+// the full xstate product construction.
+func benchExpandGraph(b *testing.B) *Graph {
+	b.Helper()
+	spec, err := stg.Handshakes("", 3, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := FromSTG(spec, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ph := make([]Phase, len(g.States))
+	for s := range ph {
+		switch s % 4 {
+		case 0:
+			ph[s] = P0
+		case 1:
+			ph[s] = PUp
+		case 2:
+			ph[s] = P1
+		default:
+			ph[s] = PDown
+		}
+	}
+	g.StateSigs = append(g.StateSigs, StateSignal{Name: "t0", Phases: ph})
+	return g
+}
+
+// BenchmarkExpand measures the state-signal expansion (the §3.5 product
+// construction), the pipeline's other per-refinement-round hot path next
+// to the quotient.
+func BenchmarkExpand(b *testing.B) {
+	g := benchExpandGraph(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.Expand(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkConflictScan measures the whole-graph CSC conflict analysis:
+// code grouping, enabled-mask columns, and the pairwise scan.
+func BenchmarkConflictScan(b *testing.B) {
+	spec, err := stg.Handshakes("", 3, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := FromSTG(spec, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if c := Analyze(g); c == nil {
+			b.Fatal("nil conflicts")
+		}
+	}
+}

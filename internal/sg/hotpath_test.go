@@ -1,0 +1,220 @@
+package sg
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"asyncsyn/internal/stg"
+)
+
+// legacyCodeGroups is the pre-bitset reference implementation of
+// codeGroups: FullCode per state, hash-map bucketing, sorted keys. The
+// radix-sorted production path must match it bit for bit.
+func legacyCodeGroups(g *Graph) ([]uint64, map[uint64][]int) {
+	n := len(g.States)
+	groups := make(map[uint64][]int)
+	for s := 0; s < n; s++ {
+		c := g.FullCode(s)
+		groups[c] = append(groups[c], s)
+	}
+	keys := make([]uint64, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys, groups
+}
+
+// legacyRegions is the pre-bitset reference implementation of
+// ExcitationRegions: map-based enabled set and visited set, sorted-keys
+// start order.
+func legacyRegions(g *Graph, sig int) []Region {
+	enabled := make(map[int]stg.Dir)
+	for _, e := range g.Edges {
+		if e.Sig == sig {
+			enabled[e.From] = e.Dir
+		}
+	}
+	visited := make(map[int]bool)
+	var regions []Region
+	keys := make([]int, 0, len(enabled))
+	for s := range enabled {
+		keys = append(keys, s)
+	}
+	sort.Ints(keys)
+	for _, start := range keys {
+		if visited[start] {
+			continue
+		}
+		dir := enabled[start]
+		var comp []int
+		stack := []int{start}
+		visited[start] = true
+		for len(stack) > 0 {
+			s := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			comp = append(comp, s)
+			walk := func(other int) {
+				if d, ok := enabled[other]; ok && d == dir && !visited[other] {
+					visited[other] = true
+					stack = append(stack, other)
+				}
+			}
+			for _, ei := range g.Out[s] {
+				walk(g.Edges[ei].To)
+			}
+			for _, ei := range g.In[s] {
+				walk(g.Edges[ei].From)
+			}
+		}
+		sort.Ints(comp)
+		regions = append(regions, Region{Sig: sig, Dir: dir, States: comp})
+	}
+	sort.Slice(regions, func(i, j int) bool { return regions[i].States[0] < regions[j].States[0] })
+	return regions
+}
+
+// propertyGraphs builds the test corpus: random STGs across seeds (the
+// generator mixes all three branch classes — pulse, handshake, double
+// pulse — across this seed range) plus handshake ladders, with a state
+// signal column appended to exercise FullCode's upper bits.
+func propertyGraphs(t *testing.T) []*Graph {
+	t.Helper()
+	var out []*Graph
+	for seed := int64(1); seed <= 40; seed++ {
+		sp, err := stg.Random(seed, stg.RandomOptions{})
+		if err != nil {
+			t.Fatalf("random %d: %v", seed, err)
+		}
+		g, err := FromSTG(sp, Options{})
+		if err != nil {
+			continue // some seeds exceed bounds; plenty remain
+		}
+		out = append(out, g)
+	}
+	for k := 1; k <= 3; k++ {
+		sp, err := stg.Handshakes("", k, 2)
+		if err != nil {
+			t.Fatalf("handshakes %d: %v", k, err)
+		}
+		g, err := FromSTG(sp, Options{})
+		if err != nil {
+			t.Fatalf("sg handshakes %d: %v", k, err)
+		}
+		out = append(out, g)
+	}
+	if len(out) < 20 {
+		t.Fatalf("only %d property graphs generated", len(out))
+	}
+	// Append a synthetic state-signal column to half the graphs so full
+	// codes exercise the bits above the base signals.
+	for i, g := range out {
+		if i%2 == 0 {
+			continue
+		}
+		ph := make([]Phase, len(g.States))
+		for s := range ph {
+			switch s % 4 {
+			case 0:
+				ph[s] = P0
+			case 1:
+				ph[s] = P1
+			case 2:
+				ph[s] = PUp
+			default:
+				ph[s] = PDown
+			}
+		}
+		g.StateSigs = append(g.StateSigs, StateSignal{Name: "t0", Phases: ph})
+	}
+	return out
+}
+
+// TestCodeGroupsMatchesLegacy pins the radix-sorted code grouping and
+// the one-pass enabled-mask column bit-identical to the legacy map-based
+// path on random STGs.
+func TestCodeGroupsMatchesLegacy(t *testing.T) {
+	for gi, g := range propertyGraphs(t) {
+		for _, workers := range []int{1, 4} {
+			keys, groups := codeGroups(g, workers)
+			lkeys, lgroups := legacyCodeGroups(g)
+			if !reflect.DeepEqual(keys, lkeys) {
+				t.Fatalf("graph %d workers %d: keys diverge\n new %v\n old %v", gi, workers, keys, lkeys)
+			}
+			for ki, k := range keys {
+				if !reflect.DeepEqual(groups[ki], lgroups[k]) {
+					t.Fatalf("graph %d workers %d code %b: members diverge\n new %v\n old %v",
+						gi, workers, k, groups[ki], lgroups[k])
+				}
+			}
+		}
+		enabled := g.enabledNonInputsAll(nil)
+		for s := range g.States {
+			if want := g.EnabledNonInputs(s); enabled[s] != want {
+				t.Fatalf("graph %d state %d: enabled mask %b, want %b", gi, s, enabled[s], want)
+			}
+		}
+	}
+}
+
+// TestAnalyzeMatchesLegacyScan pins the full conflict scan (which now
+// runs over the shared enabled-mask column and radix groups) against a
+// direct reconstruction from the legacy grouping, at both worker counts.
+func TestAnalyzeMatchesLegacyScan(t *testing.T) {
+	for gi, g := range propertyGraphs(t) {
+		want := legacyAnalyze(g)
+		for _, workers := range []int{1, 4} {
+			got := AnalyzeWorkers(g, workers)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("graph %d workers %d: conflicts diverge\n new %+v\n old %+v", gi, workers, got, want)
+			}
+		}
+	}
+}
+
+// legacyAnalyze is the pre-bitset sequential conflict scan.
+func legacyAnalyze(g *Graph) *Conflicts {
+	keys, groups := legacyCodeGroups(g)
+	res := &Conflicts{}
+	for _, k := range keys {
+		states := groups[k]
+		if len(states) > res.MaxGroup {
+			res.MaxGroup = len(states)
+		}
+		classOf := make([]uint64, len(states))
+		classes := make(map[uint64]bool)
+		for i, s := range states {
+			classOf[i] = g.EnabledNonInputs(s)
+			classes[classOf[i]] = true
+		}
+		for i := 0; i < len(states); i++ {
+			for j := i + 1; j < len(states); j++ {
+				p := Pair{states[i], states[j]}
+				if classOf[i] != classOf[j] {
+					res.CSC = append(res.CSC, p)
+				} else {
+					res.USC = append(res.USC, p)
+				}
+			}
+		}
+		if lb := ceilLog2(len(classes)); lb > res.LowerBound {
+			res.LowerBound = lb
+		}
+	}
+	return res
+}
+
+// TestRegionsMatchLegacy pins the pooled-bitset region flooding against
+// the legacy map-based implementation on every signal of every graph.
+func TestRegionsMatchLegacy(t *testing.T) {
+	for gi, g := range propertyGraphs(t) {
+		for sig := range g.Base {
+			got := g.ExcitationRegions(sig)
+			want := legacyRegions(g, sig)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("graph %d signal %d: regions diverge\n new %+v\n old %+v", gi, sig, got, want)
+			}
+		}
+	}
+}

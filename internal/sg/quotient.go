@@ -29,8 +29,11 @@ func (g *Graph) Quotient(silencedMask uint64) (m *Merged, ok bool) {
 		return e.Sig < 0 || silencedMask&(1<<e.Sig) != 0
 	}
 
-	// Union-find over ε-connected states.
-	parent := make([]int, len(g.States))
+	// Union-find over ε-connected states. The parent and numbering
+	// arrays are pooled: input-set determination quotients the same
+	// graph dozens of times in a row, and none of this scratch escapes.
+	sc := scratchPool.Get().(*scratch)
+	parent := sc.intsFor(len(g.States))
 	for i := range parent {
 		parent[i] = i
 	}
@@ -62,7 +65,7 @@ func (g *Graph) Quotient(silencedMask uint64) (m *Merged, ok bool) {
 	// the member lists are carved out of one backing array sized by a
 	// counting pass instead of growing per append.
 	n := len(g.States)
-	index := make([]int, n)
+	index := sc.ints2For(n)
 	size := make([]int, 0, n)
 	cover := make([]int, n)
 	for i := range index {
@@ -90,6 +93,7 @@ func (g *Graph) Quotient(silencedMask uint64) (m *Merged, ok bool) {
 		mi := cover[s]
 		members[mi] = append(members[mi], s)
 	}
+	scratchPool.Put(sc)
 
 	active := g.Active &^ silencedMask
 	mg := &Graph{
@@ -149,9 +153,10 @@ func (g *Graph) Quotient(silencedMask uint64) (m *Merged, ok bool) {
 			continue
 		}
 		seen[k] = struct{}{}
-		mg.addEdge(ne)
+		mg.Edges = append(mg.Edges, ne)
 	}
 	edgeSeenPool.Put(seen)
+	mg.indexEdges()
 
 	return &Merged{Graph: mg, Orig: g, Cover: cover, Members: members}, allOK
 }

@@ -20,36 +20,42 @@ type Region struct {
 // the set of states with an enabled sig-transition, split by direction.
 // A well-formed speed-independent specification has one region per
 // transition instance of the signal.
+//
+// The enabled set and the visited set are a pooled direction column and
+// a pooled bitset rather than per-call maps: AllRegionStats floods the
+// same graph once per signal, so the scratch is recycled across calls.
+// Components are discovered by an ascending scan over the direction
+// column — the same start order the old sorted-map-keys walk produced.
 func (g *Graph) ExcitationRegions(sig int) []Region {
-	// States where sig± is enabled.
-	enabled := make(map[int]stg.Dir)
+	n := len(g.States)
+	sc := scratchPool.Get().(*scratch)
+	// enabled[s]: -1 not enabled, else the stg.Dir of the enabled
+	// sig-transition in s.
+	enabled := sc.dirsFor(n, -1)
 	for _, e := range g.Edges {
 		if e.Sig == sig {
-			enabled[e.From] = e.Dir
+			enabled[e.From] = int8(e.Dir)
 		}
 	}
-	visited := make(map[int]bool)
+	visited := newBitset(sc.bits, n)
+	stack := sc.intsFor(0)
+
 	var regions []Region
-	keys := make([]int, 0, len(enabled))
-	for s := range enabled {
-		keys = append(keys, s)
-	}
-	sort.Ints(keys)
-	for _, start := range keys {
-		if visited[start] {
+	for start := 0; start < n; start++ {
+		if enabled[start] < 0 || visited.get(start) {
 			continue
 		}
 		dir := enabled[start]
 		var comp []int
-		stack := []int{start}
-		visited[start] = true
+		stack = append(stack[:0], start)
+		visited.set(start)
 		for len(stack) > 0 {
 			s := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
 			comp = append(comp, s)
 			walk := func(other int) {
-				if d, ok := enabled[other]; ok && d == dir && !visited[other] {
-					visited[other] = true
+				if enabled[other] == dir && !visited.get(other) {
+					visited.set(other)
 					stack = append(stack, other)
 				}
 			}
@@ -61,9 +67,11 @@ func (g *Graph) ExcitationRegions(sig int) []Region {
 			}
 		}
 		sort.Ints(comp)
-		regions = append(regions, Region{Sig: sig, Dir: dir, States: comp})
+		regions = append(regions, Region{Sig: sig, Dir: stg.Dir(dir), States: comp})
 	}
 	sort.Slice(regions, func(i, j int) bool { return regions[i].States[0] < regions[j].States[0] })
+	sc.bits, sc.ints = visited, stack
+	scratchPool.Put(sc)
 	return regions
 }
 
