@@ -338,6 +338,18 @@ type Options struct {
 	// TestIncrementalMatchesFresh) — this exists for measurement and
 	// debugging.
 	DisableIncrementalSAT bool
+	// DisableStreaming reverts the expansion→analysis→verification spine
+	// to the materializing paths: Expand builds the whole expanded state
+	// graph in memory before conflict scanning and logic derivation
+	// consume it, and Verify explores the closed-loop product one scalar
+	// configuration at a time. The default streams the expansion in
+	// topological waves (peak heap bounded by frontier width, not total
+	// state count) and simulates 64 configurations per word. Results are
+	// bit-identical either way — digests, counters and violations are
+	// pinned equal by TestStreamingMatchesLegacy — this exists for
+	// measurement, debugging, and callers that need the materialized
+	// graph (see core.Result.Expanded).
+	DisableStreaming bool
 }
 
 // FormulaStat describes one SAT instance solved during synthesis.
@@ -439,6 +451,10 @@ type Circuit struct {
 	// initialLevels records the reset level of every signal (including
 	// inserted state signals) for closed-loop verification.
 	initialLevels map[string]bool
+	// scalarSim records Options.DisableStreaming at synthesis time so
+	// Verify picks the matching simulation runner (scalar walker under
+	// the legacy materializing mode, bit-sliced otherwise).
+	scalarSim bool
 }
 
 // setStateSignals fixes the single source of truth for the inserted
@@ -558,10 +574,11 @@ func synthesizeModular(ctx context.Context, s *STG, opt Options, cache *SolveCac
 			Cache:         cache,
 			NoIncremental: opt.DisableIncrementalSAT,
 		},
-		StateGraph:  sgOptions(opt),
-		FullSupport: opt.FullSupport,
-		ExactLogic:  opt.ExactMinimize,
-		Workers:     opt.Workers,
+		StateGraph:       sgOptions(opt),
+		FullSupport:      opt.FullSupport,
+		ExactLogic:       opt.ExactMinimize,
+		Workers:          opt.Workers,
+		DisableStreaming: opt.DisableStreaming,
 	})
 	if res == nil {
 		return nil, err
@@ -589,7 +606,8 @@ func synthesizeModular(ctx context.Context, s *STG, opt Options, cache *SolveCac
 	for _, f := range res.Functions {
 		c.Functions = append(c.Functions, newFunction(f))
 	}
-	c.initialLevels = initialLevelsOf(res.Expanded)
+	c.initialLevels = initialLevelsOf(res.View)
+	c.scalarSim = opt.DisableStreaming
 	c, err, _ = finishAborted(c, err, start)
 	return c, err
 }
@@ -604,10 +622,12 @@ func synthesizeWholeGraph(ctx context.Context, s *STG, opt Options, cache *Solve
 		MaxBacktracks: opt.MaxBacktracks,
 		Cache:         cache,
 		NoIncremental: opt.DisableIncrementalSAT,
-	}, ExactLogic: opt.ExactMinimize, Workers: opt.Workers}
+	}, ExactLogic: opt.ExactMinimize, Workers: opt.Workers,
+		DisableStreaming: opt.DisableStreaming}
 
 	var (
 		full     *sg.Graph
+		view     *sg.Stream
 		expanded *sg.Graph
 		inserted int
 	)
@@ -651,20 +671,24 @@ func synthesizeWholeGraph(ctx context.Context, s *STG, opt Options, cache *Solve
 			}
 		}},
 		{Name: "expand", Run: func(ctx context.Context) error {
-			exp, _, fallback, err := core.ExpandToCSC(ctx, full, coreOpt)
+			v, exp, _, fallback, err := core.ExpandToCSC(ctx, full, coreOpt)
 			for _, f := range fallback {
 				c.Formulas = append(c.Formulas, formulaStat("", f))
 			}
 			if err != nil {
 				return err
 			}
-			expanded = exp
-			c.FinalStates = expanded.NumStates()
-			c.FinalSignals = len(expanded.Base)
+			view, expanded = v, exp
+			c.FinalStates = view.NumStates()
+			c.FinalSignals = len(view.Base)
 			return nil
 		}},
 		{Name: "logic", Run: func(ctx context.Context) error {
-			fns, err := core.DeriveLogic(ctx, expanded, full, nil, nil, coreOpt)
+			var src core.LogicSource = view
+			if expanded != nil {
+				src = expanded
+			}
+			fns, err := core.DeriveLogic(ctx, src, full, nil, nil, coreOpt)
 			if err != nil {
 				return err
 			}
@@ -673,7 +697,8 @@ func synthesizeWholeGraph(ctx context.Context, s *STG, opt Options, cache *Solve
 				c.Functions = append(c.Functions, nf)
 				c.Area += nf.Literals()
 			}
-			c.initialLevels = initialLevelsOf(expanded)
+			c.initialLevels = initialLevelsOf(view)
+			c.scalarSim = opt.DisableStreaming
 			return nil
 		}},
 	}
@@ -684,14 +709,15 @@ func synthesizeWholeGraph(ctx context.Context, s *STG, opt Options, cache *Solve
 	return c, err
 }
 
-// initialLevelsOf extracts the reset code of the final state graph.
-func initialLevelsOf(g *sg.Graph) map[string]bool {
-	if g == nil {
+// initialLevelsOf extracts the reset code of the final state space from
+// its column view (nil on aborted runs that never reached expansion).
+func initialLevelsOf(v *sg.Stream) map[string]bool {
+	if v == nil {
 		return nil
 	}
-	levels := make(map[string]bool, len(g.Base))
-	code := g.States[g.Initial].Code
-	for i, b := range g.Base {
+	levels := make(map[string]bool, len(v.Base))
+	code := v.InitialCode()
+	for i, b := range v.Base {
 		levels[b.Name] = code&(1<<i) != 0
 	}
 	return levels

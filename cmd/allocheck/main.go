@@ -8,11 +8,17 @@
 // byte counts move with allocator size classes and struct layout, while
 // allocation counts are a property of the code path.
 //
+// Benchmarks of the streaming paths additionally report a sampled
+// HeapInuse high-water mark as a peak-B metric (b.ReportMetric); those
+// peaks gate against a sibling reference (HEAP_0.json) with the same
+// ratio discipline. A peak-heap failure is the microbenchmark-scale
+// symptom of a streaming path re-materializing its input.
+//
 // Usage:
 //
 //	go test -run xxx -bench . -benchmem ./internal/sg | allocheck -ref ALLOCS_0.json
-//	allocheck -ref ALLOCS_0.json bench-output.txt
-//	allocheck -ref ALLOCS_0.json -write bench-output.txt   # (re)write the reference
+//	allocheck -ref ALLOCS_0.json -heapref HEAP_0.json bench-output.txt
+//	allocheck -ref ALLOCS_0.json -write bench-output.txt   # (re)write both references
 package main
 
 import (
@@ -34,15 +40,20 @@ type Ref struct {
 	AllocsPerOp float64 `json:"allocs_per_op"`
 }
 
-// benchLine matches one -benchmem result line, e.g.
+// benchLine matches one -benchmem result line, with an optional peak-B
+// custom metric (testing prints custom metrics between ns/op and the
+// -benchmem columns), e.g.
 //
-//	BenchmarkExpand-4   6980   151784 ns/op   209011 B/op   1498 allocs/op
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+[\d.]+ ns/op\s+([\d.]+) B/op\s+([\d.]+) allocs/op`)
+//	BenchmarkExpand-4         6980   151784 ns/op                    209011 B/op   1498 allocs/op
+//	BenchmarkExpandStream-4   6980   142001 ns/op   8388608 peak-B   101011 B/op    912 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+[\d.]+ ns/op(?:\s+([\d.eE+]+) peak-B)?\s+([\d.]+) B/op\s+([\d.]+) allocs/op`)
 
 func main() {
 	refPath := flag.String("ref", "ALLOCS_0.json", "committed reference file")
+	heapRefPath := flag.String("heapref", "HEAP_0.json", "committed peak-heap reference for benchmarks reporting peak-B")
 	write := flag.Bool("write", false, "write the parsed results as the new reference instead of comparing")
 	maxRatio := flag.Float64("maxratio", 2.0, "fail when allocs/op exceeds reference×ratio")
+	maxHeapRatio := flag.Float64("maxheapratio", 2.0, "fail when a reported peak-B exceeds its reference×ratio")
 	flag.Parse()
 
 	in := io.Reader(os.Stdin)
@@ -54,7 +65,7 @@ func main() {
 		defer f.Close()
 		in = f
 	}
-	got, err := parse(in)
+	got, peaks, err := parse(in)
 	if err != nil {
 		fatal(err)
 	}
@@ -67,6 +78,12 @@ func main() {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "allocheck: wrote %s (%d benchmarks)\n", *refPath, len(got))
+		if len(peaks) > 0 {
+			if err := writeHeapRef(*heapRefPath, peaks); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "allocheck: wrote %s (%d peak-heap benchmarks)\n", *heapRefPath, len(peaks))
+		}
 		return
 	}
 
@@ -75,14 +92,23 @@ func main() {
 		fatal(err)
 	}
 	failures, warnings := compare(ref, got, *maxRatio)
+	if len(peaks) > 0 {
+		heapRef, err := readHeapRef(*heapRefPath)
+		if err != nil {
+			fatal(err)
+		}
+		hf, hw := compareHeap(heapRef, peaks, *maxHeapRatio)
+		failures = append(failures, hf...)
+		warnings = append(warnings, hw...)
+	}
 	for _, w := range warnings {
 		fmt.Printf("warn: %s\n", w)
 	}
 	for _, f := range failures {
 		fmt.Printf("FAIL: %s\n", f)
 	}
-	fmt.Printf("allocheck: %d benchmarks against %s: %d fail, %d warn\n",
-		len(got), *refPath, len(failures), len(warnings))
+	fmt.Printf("allocheck: %d benchmarks (%d with peak-heap) against %s: %d fail, %d warn\n",
+		len(got), len(peaks), *refPath, len(failures), len(warnings))
 	if len(failures) > 0 {
 		os.Exit(1)
 	}
@@ -97,22 +123,30 @@ func fatal(err error) {
 // suffix stripped (BenchmarkExpand-4 → BenchmarkExpand). Sub-benchmarks
 // keep their slash path. A repeated name (e.g. -count>1) keeps the last
 // measurement.
-func parse(r io.Reader) (map[string]Ref, error) {
+func parse(r io.Reader) (map[string]Ref, map[string]float64, error) {
 	out := make(map[string]Ref)
+	peaks := make(map[string]float64)
 	sc := bufio.NewScanner(r)
 	for sc.Scan() {
 		m := benchLine.FindStringSubmatch(strings.TrimSpace(sc.Text()))
 		if m == nil {
 			continue
 		}
-		bytes, err1 := strconv.ParseFloat(m[2], 64)
-		allocs, err2 := strconv.ParseFloat(m[3], 64)
+		bytes, err1 := strconv.ParseFloat(m[3], 64)
+		allocs, err2 := strconv.ParseFloat(m[4], 64)
 		if err1 != nil || err2 != nil {
-			return nil, fmt.Errorf("bad benchmark line: %s", sc.Text())
+			return nil, nil, fmt.Errorf("bad benchmark line: %s", sc.Text())
 		}
 		out[m[1]] = Ref{BytesPerOp: bytes, AllocsPerOp: allocs}
+		if m[2] != "" {
+			peak, err := strconv.ParseFloat(m[2], 64)
+			if err != nil {
+				return nil, nil, fmt.Errorf("bad peak-B value: %s", sc.Text())
+			}
+			peaks[m[1]] = peak
+		}
 	}
-	return out, sc.Err()
+	return out, peaks, sc.Err()
 }
 
 // compare gates got against ref: an allocs/op ratio above max fails; a
@@ -153,6 +187,39 @@ func compare(ref, got map[string]Ref, max float64) (failures, warnings []string)
 	return failures, warnings
 }
 
+// compareHeap gates the reported peak-B metrics against the heap
+// reference: a peak beyond reference×max fails; a benchmark missing
+// from the reference (or vice versa) warns, like the alloc gate.
+func compareHeap(ref, got map[string]float64, max float64) (failures, warnings []string) {
+	names := make([]string, 0, len(got))
+	for n := range got {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		r, ok := ref[n]
+		if !ok {
+			warnings = append(warnings, fmt.Sprintf("%s: peak-heap not in reference (run allocheck -write to adopt)", n))
+			continue
+		}
+		if r > 0 && got[n] > r*max {
+			failures = append(failures, fmt.Sprintf("%s: peak heap %.1f MiB vs reference %.1f MiB (>%.1f×)",
+				n, got[n]/(1<<20), r/(1<<20), max))
+		}
+	}
+	var missing []string
+	for n := range ref {
+		if _, ok := got[n]; !ok {
+			missing = append(missing, n)
+		}
+	}
+	sort.Strings(missing)
+	for _, n := range missing {
+		warnings = append(warnings, fmt.Sprintf("%s: in peak-heap reference but not measured", n))
+	}
+	return failures, warnings
+}
+
 func readRef(path string) (map[string]Ref, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -168,6 +235,26 @@ func readRef(path string) (map[string]Ref, error) {
 // writeRef emits the reference sorted and indented, so regeneration
 // diffs cleanly.
 func writeRef(path string, ref map[string]Ref) error {
+	data, err := json.MarshalIndent(ref, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func readHeapRef(path string) (map[string]float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var ref map[string]float64
+	if err := json.Unmarshal(data, &ref); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return ref, nil
+}
+
+func writeHeapRef(path string, ref map[string]float64) error {
 	data, err := json.MarshalIndent(ref, "", "  ")
 	if err != nil {
 		return err

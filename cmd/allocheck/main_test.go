@@ -11,6 +11,7 @@ goarch: amd64
 pkg: asyncsyn/internal/sg
 cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
 BenchmarkExpand-4       	    6980	    151784 ns/op	  209011 B/op	    1498 allocs/op
+BenchmarkExpandStream-4 	    8123	    140002 ns/op	  8388608 peak-B	  101011 B/op	     912 allocs/op
 BenchmarkConflictScan   	   56866	     23548 ns/op	   31505 B/op	     150 allocs/op
 BenchmarkSolveChain/incremental-4     	     436	   2794718 ns/op	  614585 B/op	    3422 allocs/op
 PASS
@@ -18,12 +19,13 @@ ok  	asyncsyn/internal/sg	3.827s
 `
 
 func TestParse(t *testing.T) {
-	got, err := parse(strings.NewReader(sampleOutput))
+	got, peaks, err := parse(strings.NewReader(sampleOutput))
 	if err != nil {
 		t.Fatal(err)
 	}
 	want := map[string]Ref{
 		"BenchmarkExpand":                 {BytesPerOp: 209011, AllocsPerOp: 1498},
+		"BenchmarkExpandStream":           {BytesPerOp: 101011, AllocsPerOp: 912},
 		"BenchmarkConflictScan":           {BytesPerOp: 31505, AllocsPerOp: 150},
 		"BenchmarkSolveChain/incremental": {BytesPerOp: 614585, AllocsPerOp: 3422},
 	}
@@ -34,6 +36,27 @@ func TestParse(t *testing.T) {
 		if got[n] != w {
 			t.Errorf("%s: got %+v, want %+v", n, got[n], w)
 		}
+	}
+	if len(peaks) != 1 || peaks["BenchmarkExpandStream"] != 8388608 {
+		t.Fatalf("peaks = %v, want BenchmarkExpandStream:8388608", peaks)
+	}
+}
+
+func TestCompareHeap(t *testing.T) {
+	ref := map[string]float64{
+		"BenchmarkExpandStream": 8 << 20,
+		"BenchmarkGone":         1 << 20,
+	}
+	got := map[string]float64{
+		"BenchmarkExpandStream": 20 << 20, // beyond 2×
+		"BenchmarkNew":          1 << 20,  // unreferenced
+	}
+	failures, warnings := compareHeap(ref, got, 2.0)
+	if len(failures) != 1 || !strings.Contains(failures[0], "BenchmarkExpandStream") {
+		t.Fatalf("failures = %v, want one for BenchmarkExpandStream", failures)
+	}
+	if len(warnings) != 2 {
+		t.Fatalf("warnings = %v, want 2 (unreferenced + unmeasured)", warnings)
 	}
 }
 

@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	bench -out BENCH_1.json             # run everything, write the record
+//	bench -out BENCH_2.json             # run everything, write the record
 //	bench -quick -out q.json            # small rows only, no sweeps
 //	bench -against BENCH_0.json         # run, then diff against a baseline
 //	bench -against old.json new.json    # diff two existing records
@@ -36,6 +36,7 @@ import (
 	"asyncsyn"
 	"asyncsyn/internal/bench"
 	"asyncsyn/internal/benchrec"
+	"asyncsyn/internal/metrics"
 	"asyncsyn/internal/par"
 	"asyncsyn/internal/stg"
 )
@@ -54,16 +55,20 @@ func main() {
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the suite run to this path")
 	memProfile := flag.String("memprofile", "", "write a heap profile (after the suite run) to this path")
 	noIncr := flag.Bool("noincremental", false, "ablation: re-encode every SAT formula instead of incremental solving (results are bit-identical; timings move)")
+	noStream := flag.Bool("nostreaming", false, "ablation: materialize the expanded graph and use the scalar simulator (results are bit-identical; memory and timings move)")
+	scalingPoint := flag.Int("scalingpoint", 0, "run only the modular method at this scaling-sweep point (k) and print its stage breakdown; used by the memory-ceiling CI smoke")
 	flag.Parse()
 
 	err := withProfiles(*cpuProfile, *memProfile, func() error {
 		switch {
+		case *scalingPoint > 0:
+			return doScalingPoint(*scalingPoint, *maxBT, *noStream)
 		case *render != "":
 			return doRender(*render, *doc, *check)
 		case *against != "":
-			return doCompare(*against, flag.Arg(0), *out, *quick, *workers, *maxBT, *cacheDir, *noIncr, *requireHits)
+			return doCompare(*against, flag.Arg(0), *out, *quick, *workers, *maxBT, *cacheDir, *noIncr, *noStream, *requireHits)
 		default:
-			return doRun(*out, *quick, *workers, *maxBT, *cacheDir, *noIncr)
+			return doRun(*out, *quick, *workers, *maxBT, *cacheDir, *noIncr, *noStream)
 		}
 	})
 	if err != nil {
@@ -108,8 +113,45 @@ func withProfiles(cpuPath, memPath string, run func() error) error {
 	return run()
 }
 
-func doRun(out string, quick bool, workers int, maxBT int64, cacheDir string, noIncr bool) error {
-	rec, err := runSuite(quick, workers, maxBT, cacheDir, noIncr)
+// doScalingPoint runs the modular method alone at one point of the
+// scaling sweep and prints the stage breakdown and peak heap. CI runs it
+// under a GOMEMLIMIT ceiling: a materialization regression (peak heap
+// proportional to total expanded states instead of frontier width) blows
+// the ceiling and fails the step long before the full sweep would.
+func doScalingPoint(k int, maxBT int64, noStream bool) error {
+	spec, err := stg.Handshakes("", k, 2)
+	if err != nil {
+		return err
+	}
+	g, err := asyncsyn.ParseSTGString(stg.Format(spec))
+	if err != nil {
+		return err
+	}
+	watch := metrics.WatchHeap(5 * time.Millisecond)
+	c, err := asyncsyn.Synthesize(g, asyncsyn.Options{
+		Method: asyncsyn.Modular, MaxBacktracks: maxBT, Workers: 1,
+		DisableStreaming: noStream, Metrics: asyncsyn.NewMetrics(),
+	})
+	peak := watch.Stop()
+	if err != nil {
+		return fmt.Errorf("scaling k=%d: %w", k, err)
+	}
+	fmt.Printf("scaling k=%d: %d -> %d states, area %d, aborted %v, %.2fs, peak heap %.1f MiB\n",
+		k, c.InitialStates, c.FinalStates, c.Area, c.Aborted, c.CPU.Seconds(), float64(peak)/(1<<20))
+	for _, st := range c.Stages {
+		fmt.Printf("  stage %-10s %8.2fs\n", st.Name, st.Duration.Seconds())
+	}
+	for _, k := range []string{"sg_states", "sg_states_streamed", "sg_peak_frontier"} {
+		fmt.Printf("  counter %-20s %d\n", k, c.Counters[k])
+	}
+	if c.Aborted {
+		return fmt.Errorf("scaling k=%d: aborted (backtrack budget)", k)
+	}
+	return nil
+}
+
+func doRun(out string, quick bool, workers int, maxBT int64, cacheDir string, noIncr, noStream bool) error {
+	rec, err := runSuite(quick, workers, maxBT, cacheDir, noIncr, noStream)
 	if err != nil {
 		return err
 	}
@@ -124,7 +166,7 @@ func doRun(out string, quick bool, workers int, maxBT int64, cacheDir string, no
 	return nil
 }
 
-func doCompare(baseline, freshPath, out string, quick bool, workers int, maxBT int64, cacheDir string, noIncr, requireHits bool) error {
+func doCompare(baseline, freshPath, out string, quick bool, workers int, maxBT int64, cacheDir string, noIncr, noStream, requireHits bool) error {
 	old, err := benchrec.ReadFile(baseline)
 	if err != nil {
 		return err
@@ -135,7 +177,7 @@ func doCompare(baseline, freshPath, out string, quick bool, workers int, maxBT i
 			return err
 		}
 	} else {
-		if fresh, err = runSuite(quick, workers, maxBT, cacheDir, noIncr); err != nil {
+		if fresh, err = runSuite(quick, workers, maxBT, cacheDir, noIncr, noStream); err != nil {
 			return err
 		}
 		if out != "" {
@@ -214,10 +256,10 @@ func doRender(recPath, docPath string, check bool) error {
 
 // runSuite measures the record: every Table-1 row across the three
 // methods, the cache-effectiveness sweep, then (full mode) the clause
-// and scaling sweeps. noIncr ablates the incremental SAT solver on the
-// Table-1 rows (the sweeps keep the default path — they measure their
-// own effects).
-func runSuite(quick bool, workers int, maxBT int64, cacheDir string, noIncr bool) (*benchrec.Record, error) {
+// and scaling sweeps. noIncr ablates the incremental SAT solver and
+// noStream the streaming expansion spine, on the Table-1 rows (the
+// sweeps keep the default paths — they measure their own effects).
+func runSuite(quick bool, workers int, maxBT int64, cacheDir string, noIncr, noStream bool) (*benchrec.Record, error) {
 	names := bench.Names()
 	if quick {
 		var small []string
@@ -265,6 +307,7 @@ func runSuite(quick bool, workers int, maxBT int64, cacheDir string, noIncr bool
 			res, init, initSig := runOne(name, asyncsyn.Options{
 				Method: m.method, MaxBacktracks: maxBT, Workers: inner,
 				CacheDir: cacheDir, DisableIncrementalSAT: noIncr,
+				DisableStreaming: noStream,
 			})
 			*m.dst = res
 			if init > 0 {
@@ -375,7 +418,9 @@ func runOne(name string, opt asyncsyn.Options) (res benchrec.MethodResult, initS
 	opt.Metrics = asyncsyn.NewMetrics()
 	var before runtime.MemStats
 	runtime.ReadMemStats(&before)
+	watch := metrics.WatchHeap(5 * time.Millisecond)
 	c, err := asyncsyn.Synthesize(g, opt)
+	peak := watch.Stop()
 	if err != nil {
 		return benchrec.MethodResult{Error: err.Error()}, 0, 0
 	}
@@ -384,6 +429,7 @@ func runOne(name string, opt asyncsyn.Options) (res benchrec.MethodResult, initS
 	r := flatten(c)
 	r.AllocBytes = after.TotalAlloc - before.TotalAlloc
 	r.Allocs = after.Mallocs - before.Mallocs
+	r.PeakHeapBytes = peak
 	return r, c.InitialStates, c.InitialSignals
 }
 
@@ -473,9 +519,12 @@ func clauseSweep(maxBT int64, workers int) ([]benchrec.ClauseRow, error) {
 // how far it scales is the sweep's whole point — while the direct and
 // lavagno baselines carry a wall-clock budget per point (they exhaust
 // their backtrack budgets by k=3–4 anyway); a budget expiry is recorded
-// as an aborted cell with the elapsed time.
+// as an aborted cell with the elapsed time. Every cell also records its
+// sampled peak heap: the k=6 point only became recordable at all with
+// the frontier-bounded streaming expansion (the materializing path runs
+// the machine out of memory there).
 func scalingSweep(workers int) ([]benchrec.ScalingRow, error) {
-	const points = 5
+	const points = 6
 	const baselineBudget = 2 * time.Minute
 	return par.Map(points, workers, func(i int) (benchrec.ScalingRow, error) {
 		k := i + 1
@@ -502,15 +551,17 @@ func scalingSweep(workers int) ([]benchrec.ScalingRow, error) {
 				opt.Timeout = baselineBudget
 			}
 			start := time.Now()
+			watch := metrics.WatchHeap(5 * time.Millisecond)
 			c, err := asyncsyn.Synthesize(g, opt)
+			peak := watch.Stop()
 			if err != nil {
 				if errors.Is(err, asyncsyn.ErrCanceled) {
-					*m.dst = benchrec.ScalCell{Seconds: time.Since(start).Seconds(), Aborted: true}
+					*m.dst = benchrec.ScalCell{Seconds: time.Since(start).Seconds(), Aborted: true, PeakHeapBytes: peak}
 					continue
 				}
 				return row, fmt.Errorf("scaling k=%d %v: %w", k, m.method, err)
 			}
-			*m.dst = benchrec.ScalCell{Seconds: c.CPU.Seconds(), Area: c.Area, Aborted: c.Aborted}
+			*m.dst = benchrec.ScalCell{Seconds: c.CPU.Seconds(), Area: c.Area, Aborted: c.Aborted, PeakHeapBytes: peak}
 			if c.Aborted {
 				m.dst.Area = 0
 			}

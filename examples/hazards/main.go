@@ -22,7 +22,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := core.Synthesize(context.Background(), spec, core.Options{})
+	// Hazard checking walks the expanded graph's edge structure, which
+	// only the materializing expansion builds.
+	res, err := core.Synthesize(context.Background(), spec, core.Options{DisableStreaming: true})
 	if err != nil {
 		log.Fatal(err)
 	}

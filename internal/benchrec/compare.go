@@ -12,6 +12,15 @@ type CompareOptions struct {
 	// TimeFloor is the minimum baseline seconds for a time comparison
 	// (default 0.05).
 	TimeFloor float64
+	// HeapRatio is the soft-warn threshold for peak-heap regressions:
+	// new > old×HeapRatio warns (default 1.25). Peak heap is sampled and
+	// machine-dependent, so it never gates hard — but a large jump is
+	// the first symptom of a streaming path quietly re-materializing.
+	HeapRatio float64
+	// HeapFloor is the minimum baseline peak (bytes) for a heap
+	// comparison (default 32 MiB); smaller peaks are dominated by the
+	// runtime's own footprint and GC timing.
+	HeapFloor uint64
 }
 
 func (o CompareOptions) withDefaults() CompareOptions {
@@ -20,6 +29,12 @@ func (o CompareOptions) withDefaults() CompareOptions {
 	}
 	if o.TimeFloor == 0 {
 		o.TimeFloor = 0.05
+	}
+	if o.HeapRatio == 0 {
+		o.HeapRatio = 1.25
+	}
+	if o.HeapFloor == 0 {
+		o.HeapFloor = 32 << 20
 	}
 	return o
 }
@@ -148,6 +163,7 @@ func compareMethod(rep *Report, opt CompareOptions, label string, old, new Metho
 	}
 	compareCounters(rep, label, old.Counters, new.Counters)
 	compareTime(rep, opt, label, old.Seconds, new.Seconds)
+	comparePeakHeap(rep, opt, label, old.PeakHeapBytes, new.PeakHeapBytes)
 }
 
 // compareCounters reports drift in the deterministic counters as soft
@@ -175,6 +191,7 @@ func compareScalCell(rep *Report, opt CompareOptions, label string, old, new Sca
 		rep.Hard = append(rep.Hard, fmt.Sprintf("%s: area %d vs %d", label, old.Area, new.Area))
 	}
 	compareTime(rep, opt, label, old.Seconds, new.Seconds)
+	comparePeakHeap(rep, opt, label, old.PeakHeapBytes, new.PeakHeapBytes)
 }
 
 func compareTime(rep *Report, opt CompareOptions, label string, old, new float64) {
@@ -184,6 +201,19 @@ func compareTime(rep *Report, opt CompareOptions, label string, old, new float64
 	if new > old*opt.TimeRatio {
 		rep.Soft = append(rep.Soft, fmt.Sprintf("%s: time %.2fs vs %.2fs (>%.0f%% regression)",
 			label, old, new, (opt.TimeRatio-1)*100))
+	}
+}
+
+// comparePeakHeap soft-warns on peak-heap regressions beyond the heap
+// ratio. Records from before schema 4 (or rows measured without the
+// watcher) carry zero peaks and are skipped.
+func comparePeakHeap(rep *Report, opt CompareOptions, label string, old, new uint64) {
+	if old < opt.HeapFloor || new == 0 {
+		return
+	}
+	if float64(new) > float64(old)*opt.HeapRatio {
+		rep.Soft = append(rep.Soft, fmt.Sprintf("%s: peak heap %.1f MiB vs %.1f MiB (>%.0f%% regression)",
+			label, float64(old)/(1<<20), float64(new)/(1<<20), (opt.HeapRatio-1)*100))
 	}
 }
 

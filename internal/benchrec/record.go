@@ -33,7 +33,15 @@ import (
 // counter, and the bitset/incremental-SAT hot paths, which move timings
 // and allocation profiles but leave digests and deterministic counters
 // unchanged relative to version 2.
-const SchemaVersion = 3
+//
+// Version 4: added per-row peak heap (MethodResult.PeakHeapBytes and
+// ScalCell.PeakHeapBytes — a sampled HeapInuse high-water mark,
+// soft-warned on >25% regression, never hard-gated) and the
+// sg_states_streamed / sg_peak_frontier counters of the streaming
+// expansion spine. Digests and deterministic counters are unchanged
+// relative to version 3 (the streaming and materializing paths are
+// pinned bit-identical); memory profiles move.
+const SchemaVersion = 4
 
 // Env describes the machine and configuration that produced a record.
 type Env struct {
@@ -89,6 +97,14 @@ type MethodResult struct {
 	// other rows' allocations; whole-record totals remain meaningful.
 	AllocBytes uint64 `json:"alloc_bytes,omitempty"`
 	Allocs     uint64 `json:"allocs,omitempty"`
+	// PeakHeapBytes is the run's sampled HeapInuse high-water mark
+	// (metrics.WatchHeap). Machine- and build-facing like AllocBytes, but
+	// unlike it, Compare soft-warns when it regresses beyond the heap
+	// ratio — a peak-heap jump is how a streaming path silently falling
+	// back to materialization would first show up. Concurrent rows
+	// (bench -workers ≠ 1) share one heap, so per-row peaks include the
+	// other rows' footprints.
+	PeakHeapBytes uint64 `json:"peak_heap_bytes,omitempty"`
 }
 
 // Completed reports whether the run finished with a full circuit.
@@ -125,6 +141,10 @@ type ScalCell struct {
 	Seconds float64 `json:"seconds"`
 	Area    int     `json:"area,omitempty"`
 	Aborted bool    `json:"aborted,omitempty"`
+	// PeakHeapBytes is the sampled HeapInuse high-water mark of this
+	// point's run (see MethodResult.PeakHeapBytes); the scaling sweep is
+	// where the frontier-bounded streaming expansion shows up.
+	PeakHeapBytes uint64 `json:"peak_heap_bytes,omitempty"`
 }
 
 // ScalingRow is one point of the parametric handshake sweep.

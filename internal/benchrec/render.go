@@ -215,13 +215,14 @@ func ClausesSection(rec *Record) string {
 func ScalingSection(rec *Record) string {
 	var b strings.Builder
 	b.WriteString("```\n")
-	fmt.Fprintf(&b, "%3s %8s | %11s %8s | %11s %8s | %11s\n",
-		"k", "states", "modular-cpu", "mod-area", "direct-cpu", "dir-area", "lavagno-cpu")
+	fmt.Fprintf(&b, "%3s %8s | %11s %8s %9s | %11s %8s | %11s\n",
+		"k", "states", "modular-cpu", "mod-area", "mod-peak", "direct-cpu", "dir-area", "lavagno-cpu")
 	for _, s := range rec.Scaling {
 		mc, ma := scalCell(s.Modular)
 		dc, da := scalCell(s.Direct)
 		lc, _ := scalCell(s.Lavagno)
-		fmt.Fprintf(&b, "%3d %8d | %11s %8s | %11s %8s | %11s\n", s.K, s.States, mc, ma, dc, da, lc)
+		fmt.Fprintf(&b, "%3d %8d | %11s %8s %9s | %11s %8s | %11s\n",
+			s.K, s.States, mc, ma, peakCell(s.Modular), dc, da, lc)
 	}
 	b.WriteString("```\n")
 	return b.String()
@@ -232,6 +233,15 @@ func scalCell(c ScalCell) (cpu, area string) {
 		return "abort", "-"
 	}
 	return fmt.Sprintf("%.2fs", c.Seconds), fmt.Sprint(c.Area)
+}
+
+// peakCell renders a sampled peak heap in MiB; pre-schema-4 records and
+// unmeasured cells carry zero and render as a dash.
+func peakCell(c ScalCell) string {
+	if c.PeakHeapBytes == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.0fMiB", float64(c.PeakHeapBytes)/(1<<20))
 }
 
 // commas formats n with thousands separators.

@@ -32,11 +32,11 @@ func TestFuzzSynthesize(t *testing.T) {
 		if err != nil {
 			t.Fatalf("seed %d (%s): synthesize: %v", seed, spec.Name, err)
 		}
-		if conf := sg.Analyze(res.Expanded); conf.N() != 0 {
+		if conf := sg.AnalyzeStream(res.View, 1); conf.N() != 0 {
 			t.Fatalf("seed %d: %d conflicts in the final graph", seed, conf.N())
 		}
 		// Oracle: every function value equals the implied value.
-		ex := res.Expanded
+		ex := res.View
 		for _, fn := range res.Functions {
 			sigIdx, ok := ex.SignalIndex(fn.Name)
 			if !ok {
@@ -50,10 +50,10 @@ func TestFuzzSynthesize(t *testing.T) {
 				}
 				varIdx[i] = vi
 			}
-			for s := range ex.States {
+			for s := range ex.Codes {
 				var m uint64
 				for i, vi := range varIdx {
-					if ex.States[s].Code&(1<<vi) != 0 {
+					if ex.Codes[s]&(1<<vi) != 0 {
 						m |= 1 << i
 					}
 				}
@@ -96,11 +96,11 @@ func TestFuzzDirect(t *testing.T) {
 		if err != nil {
 			t.Fatalf("seed %d: direct solve: %v", seed, err)
 		}
-		expanded, _, _, err := ExpandToCSC(context.Background(), full, Options{})
+		view, _, _, _, err := ExpandToCSC(context.Background(), full, Options{})
 		if err != nil {
 			t.Fatalf("seed %d: expansion: %v", seed, err)
 		}
-		if conf := sg.Analyze(expanded); conf.N() != 0 {
+		if conf := sg.AnalyzeStream(view, 1); conf.N() != 0 {
 			t.Fatalf("seed %d: %d conflicts after direct insertion", seed, conf.N())
 		}
 	}

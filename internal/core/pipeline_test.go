@@ -49,12 +49,12 @@ func TestExpandToCSCConflictsPersistIters(t *testing.T) {
 	g := twoPulseGraph(t)
 	// The graph's CSC conflicts are unresolved: with a single round
 	// allowed, no refinement may be attempted and expansion must fail.
-	expanded, iters, fallback, err := ExpandToCSC(context.Background(), g, Options{MaxExpandIters: 1})
+	view, expanded, iters, fallback, err := ExpandToCSC(context.Background(), g, Options{MaxExpandIters: 1})
 	if !errors.Is(err, synerr.ErrConflictsPersist) {
 		t.Fatalf("conflicted graph must fail with ErrConflictsPersist, got %v", err)
 	}
-	if expanded != nil {
-		t.Fatalf("failed expansion returned a graph")
+	if view != nil || expanded != nil {
+		t.Fatalf("failed expansion returned a view or graph")
 	}
 	if iters != 1 {
 		t.Fatalf("iters = %d, want exactly MaxExpandIters (1)", iters)
@@ -72,7 +72,7 @@ func TestExpandToCSCConflictsPersistIters(t *testing.T) {
 // reported iteration count covers the rounds actually run.
 func TestExpandToCSCRefinementResolves(t *testing.T) {
 	g := twoPulseGraph(t)
-	expanded, iters, fallback, err := ExpandToCSC(context.Background(), g, Options{})
+	view, _, iters, fallback, err := ExpandToCSC(context.Background(), g, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +82,7 @@ func TestExpandToCSCRefinementResolves(t *testing.T) {
 	if len(fallback) == 0 {
 		t.Fatalf("refinement solved no formula")
 	}
-	if conf := sg.Analyze(expanded); conf.N() != 0 {
+	if conf := sg.AnalyzeStream(view, 1); conf.N() != 0 {
 		t.Fatalf("%d conflicts survive refinement", conf.N())
 	}
 }

@@ -44,6 +44,15 @@ type Options struct {
 	// every value — parallel stages always reduce in a fixed order
 	// (DESIGN.md §3.8).
 	Workers int
+	// DisableStreaming materializes the expanded state graph (Expand)
+	// instead of streaming it in topological waves (ExpandStream): the
+	// whole graph — states, edges, adjacency — is built in memory before
+	// conflict scanning and logic derivation consume it, and
+	// Result.Expanded carries it out. Results are bit-identical either
+	// way (the streaming view reproduces the materializing path's
+	// interning order, codes and implied values); this exists for
+	// measurement and for callers that need the expanded edge structure.
+	DisableStreaming bool
 }
 
 func (o Options) withDefaults() Options {
@@ -117,9 +126,15 @@ type Result struct {
 	// a failed stage (its Err field is set).
 	Stages []pipeline.StageStat
 
-	// Full is the complete state graph with inserted phase columns;
-	// Expanded is the final binary state graph the logic was derived from.
-	Full     *sg.Graph
+	// Full is the complete state graph with inserted phase columns.
+	Full *sg.Graph
+	// View is the column view of the final binary state graph the logic
+	// was derived from — always populated on success, whether the
+	// expansion streamed (the default) or materialized.
+	View *sg.Stream
+	// Expanded is the materialized final state graph; populated only
+	// under Options.DisableStreaming (the streaming path never builds
+	// it — that is the point).
 	Expanded *sg.Graph
 }
 
@@ -190,19 +205,28 @@ func Synthesize(ctx context.Context, spec *stg.G, opt Options) (*Result, error) 
 			return nil
 		}},
 		{Name: "expand", Run: func(ctx context.Context) error {
-			expanded, iters, fallback, err := ExpandToCSC(ctx, full, opt)
+			view, expanded, iters, fallback, err := ExpandToCSC(ctx, full, opt)
 			res.Fallback = append(res.Fallback, fallback...)
 			res.ExpandIters = iters
 			if err != nil {
 				return err
 			}
+			res.View = view
 			res.Expanded = expanded
-			res.FinalStates = expanded.NumStates()
-			res.FinalSignals = len(expanded.Base)
+			res.FinalStates = view.NumStates()
+			res.FinalSignals = len(view.Base)
 			return nil
 		}},
 		{Name: "logic", Run: func(ctx context.Context) error {
-			fns, err := DeriveLogic(ctx, res.Expanded, full, supports, passSigs, opt)
+			// The materializing path derives logic off the graph it built;
+			// the streaming path only ever has the column view. Both run
+			// the same table extraction (sg's shared tableOver), so the
+			// covers are bit-identical.
+			var src LogicSource = res.View
+			if res.Expanded != nil {
+				src = res.Expanded
+			}
+			fns, err := DeriveLogic(ctx, src, full, supports, passSigs, opt)
 			if err != nil {
 				return err
 			}
@@ -343,12 +367,21 @@ func solveModule(ctx context.Context, full *sg.Graph, is InputSet, opt SATOption
 // small graph the solver), up to opt.MaxExpandIters rounds. g is
 // modified in place when refinement signals are added.
 //
+// By default each round streams the expansion (sg.ExpandStream): only
+// the per-state columns the conflict scan and logic derivation need are
+// retained, never the expanded edge structure, so peak heap scales with
+// the state count times a few words instead of the full graph. Under
+// opt.DisableStreaming the round materializes the graph exactly as the
+// pre-streaming pipeline did and additionally returns it as expanded
+// (nil otherwise); view is populated either way and is bit-identical
+// between the two modes.
+//
 // iters reports the number of expansion rounds actually run; when
 // conflicts survive every round the returned error matches
 // synerr.ErrConflictsPersist and iters equals opt.MaxExpandIters (no
 // refinement is attempted after the final expansion — its result could
 // never be checked).
-func ExpandToCSC(ctx context.Context, g *sg.Graph, opt Options) (expanded *sg.Graph, iters int, fallback []csc.FormulaStats, err error) {
+func ExpandToCSC(ctx context.Context, g *sg.Graph, opt Options) (view *sg.Stream, expanded *sg.Graph, iters int, fallback []csc.FormulaStats, err error) {
 	opt = opt.withDefaults()
 	// Every refinement round solves formulas on the same graph g (only
 	// phase columns are appended between rounds), so one warm chain
@@ -358,39 +391,63 @@ func ExpandToCSC(ctx context.Context, g *sg.Graph, opt Options) (expanded *sg.Gr
 	if !opt.SAT.NoIncremental {
 		opt.SAT.Incr = csc.NewChainSolver()
 	}
+	mc := metrics.From(ctx)
 	for iters = 1; ; iters++ {
-		expanded, err = g.Expand()
-		if err != nil {
-			return nil, iters, fallback, err
-		}
-		metrics.From(ctx).Add(metrics.SGStates, int64(expanded.NumStates()))
-		// The expanded graph is the largest object in the pipeline; its
-		// conflict scan fans out over the code groups.
-		conf := sg.AnalyzeWorkers(expanded, opt.Workers)
-		if conf.N() == 0 {
-			return expanded, iters, fallback, nil
+		var conf *sg.Conflicts
+		if opt.DisableStreaming {
+			expanded, err = g.Expand()
+			if err != nil {
+				return nil, nil, iters, fallback, err
+			}
+			mc.Add(metrics.SGStates, int64(expanded.NumStates()))
+			// The expanded graph is the largest object in the pipeline; its
+			// conflict scan fans out over the code groups.
+			conf = sg.AnalyzeWorkers(expanded, opt.Workers)
+			if conf.N() == 0 {
+				view, err = sg.StreamOf(expanded)
+				return view, expanded, iters, fallback, err
+			}
+		} else {
+			view, err = g.ExpandStream()
+			if err != nil {
+				return nil, nil, iters, fallback, err
+			}
+			mc.Add(metrics.SGStates, int64(view.NumStates()))
+			mc.Add(metrics.SGStatesStreamed, int64(view.NumStates()))
+			mc.Max(metrics.SGPeakFrontier, int64(view.PeakFrontier))
+			conf = sg.AnalyzeStream(view, opt.Workers)
+			if conf.N() == 0 {
+				return view, nil, iters, fallback, nil
+			}
 		}
 		if iters >= opt.MaxExpandIters {
-			return nil, iters, fallback, fmt.Errorf("core: CSC conflicts persist after %d expansion rounds: %w",
+			return nil, nil, iters, fallback, fmt.Errorf("core: CSC conflicts persist after %d expansion rounds: %w",
 				opt.MaxExpandIters, synerr.ErrConflictsPersist)
 		}
-		refined := refinementConflicts(g, expanded, conf)
+		var origin []int
+		if opt.DisableStreaming {
+			origin = expanded.Origin
+		} else {
+			origin = view.Origin
+		}
+		refined := refinementConflicts(g, origin, conf)
 		stats, rerr := solveRefinement(ctx, g, refined, opt, iters)
 		fallback = append(fallback, stats...)
 		if rerr != nil {
-			return nil, iters, fallback, rerr
+			return nil, nil, iters, fallback, rerr
 		}
 	}
 }
 
 // refinementConflicts maps expanded-graph conflict pairs back to g's
-// states and widens the USC side to every pair of g whose expansions
-// could still collide (equal base codes with overlapping state-signal
-// level sets).
-func refinementConflicts(g, expanded *sg.Graph, conf *sg.Conflicts) *sg.Conflicts {
+// states through the origin column (expanded state → originating state
+// of g, from either the materialized graph or the streamed view) and
+// widens the USC side to every pair of g whose expansions could still
+// collide (equal base codes with overlapping state-signal level sets).
+func refinementConflicts(g *sg.Graph, origin []int, conf *sg.Conflicts) *sg.Conflicts {
 	mustSep := make(map[sg.Pair]bool)
 	for _, p := range conf.CSC {
-		a, b := expanded.Origin[p.A], expanded.Origin[p.B]
+		a, b := origin[p.A], origin[p.B]
 		if a > b {
 			a, b = b, a
 		}
@@ -516,29 +573,42 @@ func overlapUSC(g *sg.Graph, cscPairs []sg.Pair) []sg.Pair {
 	return out
 }
 
+// LogicSource is the read surface logic derivation needs from the
+// expanded state space. Both the materialized *sg.Graph and the
+// streamed *sg.Stream implement it; their FunctionTable methods share
+// one extraction core, so the derived covers are bit-identical whichever
+// backs the derivation.
+type LogicSource interface {
+	BaseSignals() []sg.SignalInfo
+	SignalIndex(name string) (int, bool)
+	FunctionTable(sig int, supportMask uint64) (*sg.Table, error)
+}
+
 // DeriveLogic extracts and minimizes the logic of every non-input signal
-// of the expanded graph. Original outputs use their recorded input-set
-// support (plus the state signals, identified by name, kept or created in
-// their pass), falling back to wider supports if the restricted table is
-// ill defined; inserted state signals and any signal without a record use
-// the full support.
+// of the expanded state space (a materialized graph or a streamed view).
+// Original outputs use their recorded input-set support (plus the state
+// signals, identified by name, kept or created in their pass), falling
+// back to wider supports if the restricted table is ill defined;
+// inserted state signals and any signal without a record use the full
+// support.
 //
 // Every signal's cover is independent of the others, so the table
 // extraction and ESPRESSO minimization fan out over the worker pool and
 // the functions are collected in sorted-name order — the same order the
 // sequential loop produced.
-func DeriveLogic(ctx context.Context, expanded, full *sg.Graph, supports map[int]InputSet, passSigs map[int][]string, opt Options) ([]Function, error) {
+func DeriveLogic(ctx context.Context, expanded LogicSource, full *sg.Graph, supports map[int]InputSet, passSigs map[int][]string, opt Options) ([]Function, error) {
 	nb := len(full.Base)
+	base := expanded.BaseSignals()
 	fullMask := uint64(0)
-	for i := range expanded.Base {
+	for i := range base {
 		fullMask |= 1 << i
 	}
 
-	sigs := nonInputsByName(expanded)
+	sigs := nonInputsOf(base)
 	fns, err := par.Map(len(sigs), opt.Workers, func(si int) (Function, error) {
 		sigIdx := sigs[si]
 		var masks []uint64
-		if is, ok := supportFor(expanded, full, sigIdx, supports); ok && !opt.FullSupport {
+		if is, ok := supportFor(full, sigIdx, supports); ok && !opt.FullSupport {
 			restricted := is.Mask | 1<<uint(sigIdx)
 			for _, name := range passSigs[is.Output] {
 				if bi, ok := expanded.SignalIndex(name); ok {
@@ -548,7 +618,7 @@ func DeriveLogic(ctx context.Context, expanded, full *sg.Graph, supports map[int
 			}
 			// Fallback chain: restricted → restricted + all state signals → full.
 			withAll := restricted
-			for k := nb; k < len(expanded.Base); k++ {
+			for k := nb; k < len(base); k++ {
 				withAll |= 1 << k
 			}
 			masks = []uint64{restricted, withAll, fullMask}
@@ -593,7 +663,7 @@ func DeriveLogic(ctx context.Context, expanded, full *sg.Graph, supports map[int
 
 // supportFor maps an expanded-graph signal index back to its recorded
 // input set, when the signal is one of the original outputs.
-func supportFor(expanded, full *sg.Graph, sigIdx int, supports map[int]InputSet) (InputSet, bool) {
+func supportFor(full *sg.Graph, sigIdx int, supports map[int]InputSet) (InputSet, bool) {
 	if sigIdx >= len(full.Base) {
 		return InputSet{}, false
 	}
@@ -624,13 +694,17 @@ func widenAll(g *sg.Graph, o int) InputSet {
 }
 
 // nonInputsByName lists non-input base signal indices sorted by name.
-func nonInputsByName(g *sg.Graph) []int {
+func nonInputsByName(g *sg.Graph) []int { return nonInputsOf(g.Base) }
+
+// nonInputsOf is nonInputsByName over a bare signal list (shared with
+// the streamed view, which has no graph).
+func nonInputsOf(base []sg.SignalInfo) []int {
 	var idx []int
-	for i, b := range g.Base {
+	for i, b := range base {
 		if !b.Input {
 			idx = append(idx, i)
 		}
 	}
-	sort.Slice(idx, func(a, b int) bool { return g.Base[idx[a]].Name < g.Base[idx[b]].Name })
+	sort.Slice(idx, func(a, b int) bool { return base[idx[a]].Name < base[idx[b]].Name })
 	return idx
 }

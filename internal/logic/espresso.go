@@ -3,6 +3,7 @@ package logic
 import (
 	"context"
 	"fmt"
+	"math/bits"
 	"sort"
 
 	"asyncsyn/internal/metrics"
@@ -75,10 +76,15 @@ func MinimizeContext(ctx context.Context, spec Spec, opt Options) (Cover, error)
 	if len(spec.On) == 0 {
 		return Cover{}, nil
 	}
-	off := make(Cover, len(spec.Off))
-	for i, m := range spec.Off {
-		off[i] = FromMinterm(spec.NumVars, m)
-	}
+	// Both care sets are explicit minterm lists, so every pass below works
+	// on bit-sliced column views: one membership bitset per variable over
+	// the minterm index. EXPAND's blocking matrix, the greedy covering
+	// counts, the primality checks, and IRREDUNDANT/REDUCE's
+	// cube→minterm incidence all reduce to word-parallel AND/ANDNOT plus
+	// popcounts — the same counts and tie-breaks as the row-at-a-time
+	// scans, 64 minterms per operation.
+	off := newMintermMatrix(spec.NumVars, spec.Off)
+	on := newMintermMatrix(spec.NumVars, spec.On)
 
 	// Initial cover: one cube per ON minterm, expanded. One scratch
 	// buffer set serves every EXPAND call of this minimization (the
@@ -91,7 +97,7 @@ func MinimizeContext(ctx context.Context, spec Spec, opt Options) (Cover, error)
 	for _, m := range spec.On {
 		cover = append(cover, expand(FromMinterm(spec.NumVars, m), off, 0, sc))
 	}
-	cover = irredundant(cover, spec.On)
+	cover = irredundant(cover, on)
 
 	best := cover
 	bestLits := cover.Literals()
@@ -101,12 +107,12 @@ func MinimizeContext(ctx context.Context, spec Spec, opt Options) (Cover, error)
 		}
 		mc.Add(metrics.EspressoReduce, 1)
 		mc.Add(metrics.EspressoExpand, 1)
-		reduced := reduce(cover, spec.On)
+		reduced := reduce(cover, on)
 		next := make(Cover, len(reduced))
 		for i, c := range reduced {
 			next[i] = expand(c, off, pass, sc)
 		}
-		next = irredundant(next, spec.On)
+		next = irredundant(next, on)
 		lits := next.Literals()
 		if lits >= bestLits {
 			break
@@ -117,25 +123,75 @@ func MinimizeContext(ctx context.Context, spec Spec, opt Options) (Cover, error)
 	return best, nil
 }
 
-// expandScratch holds the EXPAND working set so one allocation batch is
-// reused across every cube of every pass of a minimization. The
-// blocking rows live in one flat slice indexed by rowStart; keep/count
-// are dense per-variable tables (a variable index is always < N).
-type expandScratch struct {
-	lowered  []int
-	rowData  []int // concatenated conflict-var lists
-	rowStart []int // len(rows)+1 offsets into rowData
-	covered  []bool
-	keep     []bool
-	count    []int
+// mintermMatrix is a bit-sliced view of a minterm list: cols[v] is the
+// membership bitset of variable v over the minterm index (bit i set when
+// minterm i has variable v true), full masks the valid index range.
+type mintermMatrix struct {
+	nvars, n, words int
+	ms              []uint64
+	cols            [][]uint64
+	full            []uint64
 }
 
-// expand grows cube c into a prime not intersecting any OFF cube. The
+func newMintermMatrix(nvars int, ms []uint64) *mintermMatrix {
+	w := (len(ms) + 63) / 64
+	m := &mintermMatrix{nvars: nvars, n: len(ms), words: w, ms: ms,
+		cols: make([][]uint64, nvars), full: make([]uint64, w)}
+	flat := make([]uint64, nvars*w)
+	for v := range m.cols {
+		m.cols[v] = flat[v*w : (v+1)*w]
+	}
+	for i, mt := range ms {
+		m.full[i/64] |= 1 << (i % 64)
+		for v := 0; v < nvars; v++ {
+			if mt&(1<<v) != 0 {
+				m.cols[v][i/64] |= 1 << (i % 64)
+			}
+		}
+	}
+	return m
+}
+
+// coverMask fills dst (words long) with the bitset of minterms cube c
+// covers: the conjunction of the matching columns of c's literals.
+func (m *mintermMatrix) coverMask(c Cube, dst []uint64) {
+	copy(dst, m.full)
+	for v := 0; v < m.nvars; v++ {
+		switch c.Var(v) {
+		case VTrue:
+			for w := range dst {
+				dst[w] &= m.cols[v][w]
+			}
+		case VFalse:
+			for w := range dst {
+				dst[w] &^= m.cols[v][w]
+			}
+		}
+	}
+}
+
+// expandScratch holds the EXPAND working set so one allocation batch is
+// reused across every cube of every pass of a minimization: the conflict
+// columns (one OFF bitset per lowered literal, flat at word stride),
+// the covered-rows bitset, and the dense keep table.
+type expandScratch struct {
+	lowered []int
+	srcs    [][]uint64 // per lowered literal, its variable's OFF column
+	flips   []uint64   // per lowered literal, ^0 when the literal is positive
+	covered []uint64
+	cnts    []int
+	keep    []bool
+}
+
+// expand grows cube c into a prime not intersecting any OFF minterm. The
 // variables kept lowered are chosen by greedy column covering of the
-// blocking matrix (each OFF cube must remain excluded by at least one
+// blocking matrix (each OFF minterm must remain excluded by at least one
 // kept literal); `rot` rotates tie-breaking so successive passes explore
-// different primes.
-func expand(c Cube, off Cover, rot int, sc *expandScratch) Cube {
+// different primes. The blocking matrix is held column-wise: conflict
+// column li is the bitset of OFF minterms literal lowered[li] excludes,
+// so covering counts and primality checks are popcounts and word masks
+// rather than per-row scans.
+func expand(c Cube, off *mintermMatrix, rot int, sc *expandScratch) Cube {
 	n := c.N()
 	sc.lowered = sc.lowered[:0]
 	for v := 0; v < n; v++ {
@@ -144,71 +200,110 @@ func expand(c Cube, off Cover, rot int, sc *expandScratch) Cube {
 		}
 	}
 	lowered := sc.lowered
-	// Blocking rows: for each OFF cube, the set of lowered vars excluding it.
-	sc.rowData = sc.rowData[:0]
-	sc.rowStart = sc.rowStart[:0]
-	for _, o := range off {
-		start := len(sc.rowData)
-		sc.rowData = c.AppendConflictVars(o, sc.rowData)
-		if len(sc.rowData) == start {
-			// c intersects OFF — caller bug; keep the cube as is.
+	L, W := len(lowered), off.words
+	// The conflict column of literal li — the OFF minterms it excludes —
+	// is never materialized: word w is (srcs[li][w]^flips[li]) masked to
+	// the valid rows, computed on the fly wherever it is consumed. (A
+	// positive literal excludes the rows where its variable is 0, hence
+	// the full-word flip; the negative literal excludes the column
+	// as stored.)
+	if cap(sc.srcs) < L {
+		sc.srcs = make([][]uint64, L)
+		sc.flips = make([]uint64, L)
+	}
+	srcs, flips := sc.srcs[:L], sc.flips[:L]
+	for li, v := range lowered {
+		srcs[li] = off.cols[v]
+		if c.Var(v) == VTrue {
+			flips[li] = ^uint64(0)
+		} else {
+			flips[li] = 0
+		}
+	}
+	if cap(sc.covered) < W {
+		sc.covered = make([]uint64, W)
+	}
+	covered := sc.covered[:W]
+	// A row no literal excludes intersects c — caller bug, keep the cube.
+	for w := 0; w < W; w++ {
+		acc := uint64(0)
+		for li := 0; li < L; li++ {
+			acc |= srcs[li][w] ^ flips[li]
+		}
+		if off.full[w]&^acc != 0 {
 			return c
 		}
-		sc.rowStart = append(sc.rowStart, start)
+		covered[w] = 0
 	}
-	sc.rowStart = append(sc.rowStart, len(sc.rowData))
-	nrows := len(off)
-	rowVars := func(ri int) []int { return sc.rowData[sc.rowStart[ri]:sc.rowStart[ri+1]] }
 
-	if cap(sc.covered) < nrows {
-		sc.covered = make([]bool, nrows)
-	}
-	covered := sc.covered[:nrows]
-	for i := range covered {
-		covered[i] = false
-	}
 	if cap(sc.keep) < n {
 		sc.keep = make([]bool, n)
-		sc.count = make([]int, n)
 	}
-	keep, count := sc.keep[:n], sc.count[:n]
+	keep := sc.keep[:n]
 	for i := 0; i < n; i++ {
 		keep[i] = false
 	}
+	if cap(sc.cnts) < L {
+		sc.cnts = make([]int, L)
+	}
+	cnts := sc.cnts[:L]
 
-	remaining := nrows
+	remaining := off.n
 	for remaining > 0 {
-		// Count, per variable, the uncovered rows it blocks.
-		for i := 0; i < n; i++ {
-			count[i] = 0
+		// Count uncovered rows per literal, skipping fully covered words —
+		// the totals (and so the greedy choice under the rotated
+		// tie-break) match a per-literal scan exactly.
+		for li := range cnts {
+			cnts[li] = 0
 		}
-		for ri := 0; ri < nrows; ri++ {
-			if covered[ri] {
+		for w := 0; w < W; w++ {
+			cw := off.full[w] &^ covered[w]
+			if cw == 0 {
 				continue
 			}
-			for _, v := range rowVars(ri) {
-				count[v]++
+			for li := 0; li < L; li++ {
+				cnts[li] += bits.OnesCount64((srcs[li][w] ^ flips[li]) & cw)
 			}
 		}
-		bestV, bestC := -1, -1
-		for i := 0; i < len(lowered); i++ {
-			v := lowered[(i+rot)%len(lowered)]
-			if cnt := count[v]; cnt > bestC {
-				bestV, bestC = v, cnt
+		bestLi, bestC := -1, -1
+		for i := 0; i < L; i++ {
+			li := (i + rot) % L
+			if cnt := cnts[li]; cnt > bestC {
+				bestLi, bestC = li, cnt
 			}
 		}
-		keep[bestV] = true
-		for ri := 0; ri < nrows; ri++ {
-			if covered[ri] {
-				continue
-			}
-			for _, v := range rowVars(ri) {
-				if v == bestV {
-					covered[ri] = true
-					remaining--
-					break
+		keep[lowered[bestLi]] = true
+		src, flip := srcs[bestLi], flips[bestLi]
+		remaining = 0
+		for w := 0; w < W; w++ {
+			covered[w] |= (src[w] ^ flip) & off.full[w]
+			remaining += bits.OnesCount64(off.full[w] &^ covered[w])
+		}
+	}
+	// Primality pass: try raising each kept literal individually. The
+	// lowered cube excludes OFF minterm i through the kept literals whose
+	// conflict columns contain i, so raising v preserves exclusion exactly
+	// when v's column is within the union of the other kept columns — the
+	// same verdict the cube-intersection test gave, without rescanning the
+	// OFF set.
+	for li, v := range lowered {
+		if !keep[v] {
+			continue
+		}
+		raisable := true
+		for w := 0; w < W && raisable; w++ {
+			other := uint64(0)
+			for lj, u := range lowered {
+				if u != v && keep[u] {
+					other |= srcs[lj][w] ^ flips[lj]
 				}
 			}
+			if (srcs[li][w]^flips[li])&off.full[w]&^other != 0 {
+				raisable = false
+			}
+		}
+		if raisable {
+			keep[v] = false
 		}
 	}
 	out := c.Clone()
@@ -217,33 +312,35 @@ func expand(c Cube, off Cover, rot int, sc *expandScratch) Cube {
 			out.SetVar(v, VDash)
 		}
 	}
-	// Primality pass: try raising each kept literal individually.
-	for _, v := range lowered {
-		if !keep[v] {
-			continue
-		}
-		saved := out.Var(v)
-		out.SetVar(v, VDash)
-		if off.IntersectsAny(out) {
-			out.SetVar(v, saved)
-		}
-	}
 	return out
 }
 
 // irredundant removes cubes until every remaining cube is needed to cover
 // some ON minterm: essential cubes (sole cover of a minterm) are kept,
 // then the rest are dropped greedily, largest-literal-count first.
-func irredundant(cover Cover, on []uint64) Cover {
-	covers := make([][]int, len(cover)) // cube → ON minterm indices
-	counts := make([]int, len(on))      // minterm → #covering cubes
+//
+// The cube→minterm incidence is deliberately NOT materialized: on dense
+// instances it is quadratic in |cover|·|on| and dominated the whole
+// pipeline's peak heap (a gigabyte on the k=5 scaling point). Each
+// candidate instead recomputes its covered-minterm bitset from the
+// column view into one shared buffer and tests it against the bitset of
+// minterms with at most one cover left. Decisions, and therefore the
+// returned cover, are bit-identical to the materialized form.
+func irredundant(cover Cover, on *mintermMatrix) Cover {
+	W := on.words
+	coverCnt := make([]int, len(cover)) // cube → #covered ON minterms
+	lits := make([]int, len(cover))
+	vc := &vertCounter{W: W} // minterm → #covering cubes, bit-planed
+	mask := make([]uint64, W)
 	for ci, c := range cover {
-		for mi, m := range on {
-			if c.CoversMinterm(m) {
-				covers[ci] = append(covers[ci], mi)
-				counts[mi]++
-			}
+		on.coverMask(c, mask)
+		cnt := 0
+		for _, mw := range mask {
+			cnt += bits.OnesCount64(mw)
 		}
+		coverCnt[ci] = cnt
+		lits[ci] = c.Literals()
+		vc.add(mask)
 	}
 	alive := make([]bool, len(cover))
 	for i := range alive {
@@ -257,28 +354,38 @@ func irredundant(cover Cover, on []uint64) Cover {
 		order[i] = i
 	}
 	sort.SliceStable(order, func(a, b int) bool {
-		la, lb := cover[order[a]].Literals(), cover[order[b]].Literals()
+		la, lb := lits[order[a]], lits[order[b]]
 		if la != lb {
 			return la > lb
 		}
-		ca, cb := len(covers[order[a]]), len(covers[order[b]])
+		ca, cb := coverCnt[order[a]], coverCnt[order[b]]
 		if ca != cb {
 			return ca < cb
 		}
 		return order[a] < order[b]
 	})
+	// atMost marks minterms with a single remaining cover: a cube is
+	// removable exactly when its mask avoids all of them.
+	atMost := make([]uint64, W)
+	for w := 0; w < W; w++ {
+		atMost[w] = on.full[w] &^ vc.atLeast2(w)
+	}
 	for _, ci := range order {
+		on.coverMask(cover[ci], mask)
 		removable := true
-		for _, mi := range covers[ci] {
-			if counts[mi] <= 1 {
+		for w := range mask {
+			if mask[w]&atMost[w] != 0 {
 				removable = false
 				break
 			}
 		}
 		if removable {
 			alive[ci] = false
-			for _, mi := range covers[ci] {
-				counts[mi]--
+			vc.sub(mask)
+			for w, mw := range mask {
+				if mw != 0 {
+					atMost[w] = on.full[w] &^ vc.atLeast2(w)
+				}
 			}
 		}
 	}
@@ -291,19 +398,71 @@ func irredundant(cover Cover, on []uint64) Cover {
 	return out
 }
 
+// vertCounter keeps one small counter per bitset row, stored vertically
+// as bit-planes: planes[p][w] holds bit p of the counts of rows
+// w*64..w*64+63. Adding or subtracting a row mask is a ripple
+// carry/borrow across planes — amortized a couple of word operations per
+// touched word, where per-row updates would cost one indexed
+// read-modify-write per set bit.
+type vertCounter struct {
+	W      int
+	planes [][]uint64
+}
+
+func (vc *vertCounter) add(mask []uint64) {
+	for w, m := range mask {
+		for p := 0; m != 0; p++ {
+			if p == len(vc.planes) {
+				vc.planes = append(vc.planes, make([]uint64, vc.W))
+			}
+			pl := vc.planes[p]
+			carry := pl[w] & m
+			pl[w] ^= m
+			m = carry
+		}
+	}
+}
+
+// sub decrements the rows in mask; counts must be positive there.
+func (vc *vertCounter) sub(mask []uint64) {
+	for w, m := range mask {
+		for p := 0; m != 0; p++ {
+			pl := vc.planes[p]
+			borrow := m &^ pl[w]
+			pl[w] ^= m
+			m = borrow
+		}
+	}
+}
+
+// atLeast2 returns the rows of word w with a count of two or more.
+func (vc *vertCounter) atLeast2(w int) uint64 {
+	var or uint64
+	for p := 1; p < len(vc.planes); p++ {
+		or |= vc.planes[p][w]
+	}
+	return or
+}
+
 // reduce sequentially shrinks each cube to the supercube of the ON
 // minterms that the rest of the (partially reduced) cover does not
 // already cover, giving the following EXPAND a different starting point.
 // Unlike a simultaneous shrink, the sequential form preserves coverage
 // of every ON minterm; cubes left with no private minterms are dropped.
-func reduce(cover Cover, on []uint64) Cover {
-	counts := make([]int, len(on))
-	coversOf := make([][]int, len(cover))
+// It only ever runs on post-IRREDUNDANT covers, so materializing the
+// per-cube cover masks is cheap.
+func reduce(cover Cover, on *mintermMatrix) Cover {
+	W := on.words
+	counts := make([]int32, on.n)
+	masks := make([][]uint64, len(cover))
+	flat := make([]uint64, len(cover)*W)
 	for ci, c := range cover {
-		for mi, m := range on {
-			if c.CoversMinterm(m) {
-				coversOf[ci] = append(coversOf[ci], mi)
-				counts[mi]++
+		m := flat[ci*W : (ci+1)*W]
+		on.coverMask(c, m)
+		masks[ci] = m
+		for w, mw := range m {
+			for ; mw != 0; mw &= mw - 1 {
+				counts[w*64+bits.TrailingZeros64(mw)]++
 			}
 		}
 	}
@@ -311,28 +470,36 @@ func reduce(cover Cover, on []uint64) Cover {
 	for ci, c := range cover {
 		var sup Cube
 		first := true
-		for _, mi := range coversOf[ci] {
-			if counts[mi] == 1 { // only this cube (in its current form) covers it
-				mc := FromMinterm(c.N(), on[mi])
-				if first {
-					sup, first = mc, false
-				} else {
-					sup = sup.Supercube(mc)
+		for w, mw := range masks[ci] {
+			for ; mw != 0; mw &= mw - 1 {
+				mi := w*64 + bits.TrailingZeros64(mw)
+				if counts[mi] == 1 { // only this cube (in its current form) covers it
+					mc := FromMinterm(c.N(), on.ms[mi])
+					if first {
+						sup, first = mc, false
+					} else {
+						sup = sup.Supercube(mc)
+					}
 				}
 			}
 		}
 		if first {
 			// Fully redundant at this point: drop it (its minterms stay
 			// covered by the other cubes' counts).
-			for _, mi := range coversOf[ci] {
-				counts[mi]--
+			for w, mw := range masks[ci] {
+				for ; mw != 0; mw &= mw - 1 {
+					counts[w*64+bits.TrailingZeros64(mw)]--
+				}
 			}
 			continue
 		}
 		// Release the minterms the shrunk cube no longer covers.
-		for _, mi := range coversOf[ci] {
-			if !sup.CoversMinterm(on[mi]) {
-				counts[mi]--
+		for w, mw := range masks[ci] {
+			for ; mw != 0; mw &= mw - 1 {
+				mi := w*64 + bits.TrailingZeros64(mw)
+				if !sup.CoversMinterm(on.ms[mi]) {
+					counts[mi]--
+				}
 			}
 		}
 		out = append(out, sup)

@@ -68,6 +68,14 @@ const (
 	// SATAssumptions counts formulas solved as assumption-guarded steps of
 	// a persistent incremental solver instead of fresh re-encodes.
 	SATAssumptions
+	// SGStatesStreamed counts expanded states emitted by the streaming
+	// wave expansion (states that were never materialized into a graph).
+	SGStatesStreamed
+	// SGPeakFrontier is a high-water mark (recorded with Max, not Add):
+	// the widest BFS wave any streaming expansion of the run reached —
+	// the quantity that bounds streaming peak heap in place of total
+	// state count.
+	SGPeakFrontier
 
 	numKinds
 )
@@ -91,8 +99,10 @@ var kindNames = [numKinds]string{
 	CacheHits:       "modcache_hits",
 	CacheMisses:     "modcache_misses",
 	CacheInflight:   "modcache_inflight",
-	SATWarmClauses:  "sat_warm_clauses",
-	SATAssumptions:  "sat_assumptions",
+	SATWarmClauses:   "sat_warm_clauses",
+	SATAssumptions:   "sat_assumptions",
+	SGStatesStreamed: "sg_states_streamed",
+	SGPeakFrontier:   "sg_peak_frontier",
 }
 
 // String returns the counter's stable schema name.
@@ -128,6 +138,22 @@ func (c *Collector) Add(k Kind, n int64) {
 		return
 	}
 	c.c[k].Add(n)
+}
+
+// Max raises counter k to n when n is larger (a high-water mark, used
+// for SGPeakFrontier). No-op on a nil collector. Snapshot deltas of a
+// Max-maintained counter report the movement of the high-water mark
+// across the window, which is zero unless the window raised it.
+func (c *Collector) Max(k Kind, n int64) {
+	if c == nil || k < 0 || k >= numKinds {
+		return
+	}
+	for {
+		cur := c.c[k].Load()
+		if n <= cur || c.c[k].CompareAndSwap(cur, n) {
+			return
+		}
+	}
 }
 
 // Value returns counter k's current value (0 on a nil collector).

@@ -55,6 +55,7 @@ func TestKindNamesStable(t *testing.T) {
 		"espresso_expand", "espresso_reduce", "modules",
 		"modcache_hits", "modcache_misses", "modcache_inflight",
 		"sat_warm_clauses", "sat_assumptions",
+		"sg_states_streamed", "sg_peak_frontier",
 	}
 	kinds := Kinds()
 	if len(kinds) != len(want) {

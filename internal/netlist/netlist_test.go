@@ -111,11 +111,11 @@ func TestSynthesizedNetlist(t *testing.T) {
 	if n.Literals != res.Area {
 		t.Errorf("netlist literals %d != area %d", n.Literals, res.Area)
 	}
-	ex := res.Expanded
-	for s := range ex.States {
+	ex := res.View
+	for s := range ex.Codes {
 		levels := map[string]bool{}
 		for i, b := range ex.Base {
-			levels[b.Name] = ex.States[s].Code&(1<<i) != 0
+			levels[b.Name] = ex.Codes[s]&(1<<i) != 0
 		}
 		out := n.Eval(levels)
 		for _, f := range res.Functions {

@@ -70,11 +70,7 @@ func fullCodes(g *Graph, codes []uint64, workers int) {
 // codeGroups buckets the states of g by full code. Returns parallel
 // slices: keys in ascending code order, and groups[i] holding the states
 // with code keys[i] in ascending state order — the same fixed order the
-// old map-based bucketing produced, for any worker count. The grouping
-// is a stable LSD radix sort over the packed codes (byte passes that are
-// constant across all codes are skipped), and every group is a slice of
-// one shared permutation array, so the whole partition costs two flat
-// allocations instead of a hash map.
+// old map-based bucketing produced, for any worker count.
 func codeGroups(g *Graph, workers int) ([]uint64, [][]int) {
 	n := len(g.States)
 	if n == 0 {
@@ -83,7 +79,22 @@ func codeGroups(g *Graph, workers int) ([]uint64, [][]int) {
 	sc := scratchPool.Get().(*scratch)
 	codes := sc.u64sFor(n)
 	fullCodes(g, codes, workers)
+	keys, groups := codeGroupsOf(codes, sc)
+	scratchPool.Put(sc)
+	return keys, groups
+}
 
+// codeGroupsOf is the grouping core shared by the materialized path
+// (codeGroups) and the streaming path (AnalyzeStream): a stable LSD
+// radix sort over the packed codes (byte passes that are constant across
+// all codes are skipped), with every group a slice of one shared
+// permutation array, so the whole partition costs two flat allocations
+// instead of a hash map. sc provides the non-escaping sort scratch.
+func codeGroupsOf(codes []uint64, sc *scratch) ([]uint64, [][]int) {
+	n := len(codes)
+	if n == 0 {
+		return nil, nil
+	}
 	// perm escapes (the returned groups are slices of it); tmp does not.
 	perm := make([]int, n)
 	for i := range perm {
@@ -145,7 +156,6 @@ func codeGroups(g *Graph, workers int) ([]uint64, [][]int) {
 		groups = append(groups, perm[lo:hi:hi])
 		lo = hi
 	}
-	scratchPool.Put(sc)
 	return keys, groups
 }
 
@@ -187,7 +197,19 @@ func AnalyzeWorkers(g *Graph, workers int) *Conflicts {
 	// goes back to the pool.
 	sc := scratchPool.Get().(*scratch)
 	enabled := g.enabledNonInputsAll(sc.u64sFor(0))
+	res := analyzeGroups(groups, enabled, workers)
+	sc.u64s = enabled
+	scratchPool.Put(sc)
+	return res
+}
 
+// analyzeGroups is the CSC group scan shared by AnalyzeWorkers (graph
+// states) and AnalyzeStream (streamed columns): groups partition the
+// state indices by equal full code, enabled is the per-state enabled
+// non-input mask. Groups are scanned in parallel and their pair lists
+// concatenated in ascending code order, so the result is identical for
+// any worker count.
+func analyzeGroups(groups [][]int, enabled []uint64, workers int) *Conflicts {
 	type groupRes struct {
 		csc, usc []Pair
 		classes  int
@@ -221,8 +243,6 @@ func AnalyzeWorkers(g *Graph, workers int) *Conflicts {
 		}
 		return r, nil
 	})
-	sc.u64s = enabled
-	scratchPool.Put(sc)
 
 	res := &Conflicts{}
 	for ki, r := range results {

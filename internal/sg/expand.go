@@ -18,14 +18,45 @@ type xstate struct {
 // expandIndexPool recycles the Expand state-interning map, and
 // tableSeenPool the FunctionTable projection map, across calls (one
 // Expand per refinement round, one FunctionTable per output). Maps are
-// cleared on reuse, so a pooled map never leaks state between calls and
-// results are identical with or without a pool hit.
+// cleared BEFORE they go back to the pool (putExpandIndex/putTableSeen),
+// never on Get: a map sitting in the pool holds no stale entries — and
+// therefore no references pinning a dead graph's states live across
+// calls — and every Get (recycled or fresh from New) yields an empty
+// map, so results are identical with or without a pool hit.
 var expandIndexPool = sync.Pool{
 	New: func() any { return make(map[xstate]int, 1024) },
 }
 
 var tableSeenPool = sync.Pool{
 	New: func() any { return make(map[uint64]uint8, 1024) },
+}
+
+// maxPooledMapEntries caps the size of maps returned to the interning
+// pools. A Go map's bucket array never shrinks, so recycling the map of
+// one huge expansion would pin its whole footprint in the pool for the
+// life of the process; oversized maps are dropped for the GC instead.
+const maxPooledMapEntries = 1 << 16
+
+// putExpandIndex returns an interning map to expandIndexPool, clearing
+// it first; oversized maps are dropped. Reports whether the map was
+// pooled.
+func putExpandIndex(m map[xstate]int) bool {
+	if len(m) > maxPooledMapEntries {
+		return false
+	}
+	clear(m)
+	expandIndexPool.Put(m)
+	return true
+}
+
+// putTableSeen is putExpandIndex for the FunctionTable projection map.
+func putTableSeen(m map[uint64]uint8) bool {
+	if len(m) > maxPooledMapEntries {
+		return false
+	}
+	clear(m)
+	tableSeenPool.Put(m)
+	return true
 }
 
 // Expand converts the 4-valued state-signal phase columns into explicit
@@ -65,8 +96,7 @@ func (g *Graph) Expand() (*Graph, error) {
 	}
 
 	index := expandIndexPool.Get().(map[xstate]int)
-	clear(index)
-	defer expandIndexPool.Put(index)
+	defer putExpandIndex(index)
 	var pool []xstate
 	push := func(s xstate) int {
 		if i, ok := index[s]; ok {
@@ -156,32 +186,44 @@ func (g *Graph) FunctionTable(sig int, supportMask uint64) (*Table, error) {
 	if len(g.StateSigs) > 0 {
 		return nil, fmt.Errorf("sg: FunctionTable requires an expanded graph")
 	}
+	return tableOver(g.Base, sig, supportMask, len(g.States),
+		func(s int) uint64 { return g.States[s].Code },
+		func(s int) uint8 { return g.ImpliedValue(s, sig) })
+}
+
+// tableOver is the table-extraction core shared by Graph.FunctionTable
+// and Stream.FunctionTable: states are projected onto the support vars
+// through codeAt, deduplicated by projected code (the first occurrence
+// decides), and classified on/off by impliedAt. Both callers therefore
+// produce bit-identical tables from the same state sequence.
+func tableOver(base []SignalInfo, sig int, supportMask uint64, n int,
+	codeAt func(s int) uint64, impliedAt func(s int) uint8) (*Table, error) {
 	var vars []int
-	for i := range g.Base {
+	for i := range base {
 		if supportMask&(1<<i) != 0 {
 			vars = append(vars, i)
 		}
 	}
-	t := &Table{Signal: g.Base[sig].Name}
+	t := &Table{Signal: base[sig].Name}
 	for _, v := range vars {
-		t.Vars = append(t.Vars, g.Base[v].Name)
+		t.Vars = append(t.Vars, base[v].Name)
 	}
 	seen := tableSeenPool.Get().(map[uint64]uint8) // projected code → implied value
-	clear(seen)
-	defer tableSeenPool.Put(seen)
+	defer putTableSeen(seen)
 	var onSet, offSet []uint64
-	for s := range g.States {
+	for s := 0; s < n; s++ {
 		var code uint64
+		c := codeAt(s)
 		for bi, v := range vars {
-			if g.States[s].Code&(1<<v) != 0 {
+			if c&(1<<v) != 0 {
 				code |= 1 << bi
 			}
 		}
-		iv := g.ImpliedValue(s, sig)
+		iv := impliedAt(s)
 		if prev, ok := seen[code]; ok {
 			if prev != iv {
 				return nil, fmt.Errorf("sg: signal %q ill-defined on support (code %b implies both 0 and 1)",
-					g.Base[sig].Name, code)
+					base[sig].Name, code)
 			}
 			continue
 		}

@@ -343,6 +343,10 @@ func inferValues(g *stg.G, sgr *Graph) ([][]int8, error) {
 }
 
 // SignalIndex finds a base signal by name.
+// BaseSignals returns the base signal list (the core.LogicSource
+// surface shared with Stream).
+func (g *Graph) BaseSignals() []SignalInfo { return g.Base }
+
 func (g *Graph) SignalIndex(name string) (int, bool) {
 	for i, b := range g.Base {
 		if b.Name == name {

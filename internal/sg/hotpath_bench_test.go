@@ -2,7 +2,9 @@ package sg
 
 import (
 	"testing"
+	"time"
 
+	"asyncsyn/internal/metrics"
 	"asyncsyn/internal/stg"
 )
 
@@ -34,6 +36,26 @@ func benchExpandGraph(b *testing.B) *Graph {
 	}
 	g.StateSigs = append(g.StateSigs, StateSignal{Name: "t0", Phases: ph})
 	return g
+}
+
+// BenchmarkExpandStream measures the streaming wave expansion on the
+// same input as BenchmarkExpand. Besides allocs/op it reports the
+// sampled HeapInuse high-water mark (peak-B), which cmd/allocheck gates
+// against the committed HEAP_0.json: a streaming path that quietly
+// re-materializes the expanded graph shows up as a peak-heap jump here
+// long before the scaling sweep would catch it.
+func BenchmarkExpandStream(b *testing.B) {
+	g := benchExpandGraph(b)
+	b.ReportAllocs()
+	watch := metrics.WatchHeap(2 * time.Millisecond)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.ExpandStream(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(watch.Stop()), "peak-B")
 }
 
 // BenchmarkExpand measures the state-signal expansion (the §3.5 product

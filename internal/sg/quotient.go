@@ -32,8 +32,21 @@ func (g *Graph) Quotient(silencedMask uint64) (m *Merged, ok bool) {
 	// Union-find over ε-connected states. The parent and numbering
 	// arrays are pooled: input-set determination quotients the same
 	// graph dozens of times in a row, and none of this scratch escapes.
-	sc := scratchPool.Get().(*scratch)
-	parent := sc.intsFor(len(g.States))
+	// Above the spill threshold the arrays are plain heap allocations
+	// instead — pooled scratch never shrinks, so quotienting one huge
+	// graph would otherwise pin an arena of its size in the pool for the
+	// life of the process.
+	n := len(g.States)
+	var sc *scratch
+	var parent, index []int
+	if n > quotientSpillStates {
+		parent = make([]int, n)
+		index = make([]int, n)
+	} else {
+		sc = scratchPool.Get().(*scratch)
+		parent = sc.intsFor(n)
+		index = sc.ints2For(n)
+	}
 	for i := range parent {
 		parent[i] = i
 	}
@@ -64,8 +77,6 @@ func (g *Graph) Quotient(silencedMask uint64) (m *Merged, ok bool) {
 	// state indices, so a slice (-1 = unnumbered) replaces the map, and
 	// the member lists are carved out of one backing array sized by a
 	// counting pass instead of growing per append.
-	n := len(g.States)
-	index := sc.ints2For(n)
 	size := make([]int, 0, n)
 	cover := make([]int, n)
 	for i := range index {
@@ -93,7 +104,9 @@ func (g *Graph) Quotient(silencedMask uint64) (m *Merged, ok bool) {
 		mi := cover[s]
 		members[mi] = append(members[mi], s)
 	}
-	scratchPool.Put(sc)
+	if sc != nil {
+		scratchPool.Put(sc)
+	}
 
 	active := g.Active &^ silencedMask
 	mg := &Graph{
@@ -136,7 +149,6 @@ func (g *Graph) Quotient(silencedMask uint64) (m *Merged, ok bool) {
 	// and the set itself is pooled across calls: input-set determination
 	// quotients the same graph dozens of times in a row.
 	seen := edgeSeenPool.Get().(map[uint64]struct{})
-	clear(seen)
 	nm := uint64(len(members))
 	mg.Edges = make([]Edge, 0, len(g.Edges))
 	for _, e := range g.Edges {
@@ -155,17 +167,35 @@ func (g *Graph) Quotient(silencedMask uint64) (m *Merged, ok bool) {
 		seen[k] = struct{}{}
 		mg.Edges = append(mg.Edges, ne)
 	}
-	edgeSeenPool.Put(seen)
+	putEdgeSeen(seen)
 	mg.indexEdges()
 
 	return &Merged{Graph: mg, Orig: g, Cover: cover, Members: members}, allOK
 }
 
-// edgeSeenPool recycles the Quotient edge-dedup sets. The map is cleared
-// on reuse, so a pooled set never leaks state between calls and results
-// are identical with or without a pool hit.
+// quotientSpillStates is the spill threshold for the Quotient scratch
+// arenas: graphs above this state count bypass scratchPool entirely so
+// their arenas are released to the GC when the quotient finishes,
+// keeping the pool's resident footprint bounded by typical module sizes
+// rather than the largest expanded graph of the run.
+const quotientSpillStates = 1 << 16
+
+// edgeSeenPool recycles the Quotient edge-dedup sets. Sets are cleared
+// before they go back to the pool (putEdgeSeen) and oversized ones are
+// dropped, so a pooled set never leaks state between calls, results are
+// identical with or without a pool hit, and one huge quotient cannot
+// pin its bucket array in the pool.
 var edgeSeenPool = sync.Pool{
 	New: func() any { return make(map[uint64]struct{}, 256) },
+}
+
+func putEdgeSeen(m map[uint64]struct{}) bool {
+	if len(m) > maxPooledMapEntries {
+		return false
+	}
+	clear(m)
+	edgeSeenPool.Put(m)
+	return true
 }
 
 // ImpliedOf returns the per-merged-state implied-value probe for signal o

@@ -1,0 +1,143 @@
+package sg
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// TestExpandStreamMatchesMaterialized pins the streaming wave expansion
+// bit-identical to the materializing path across the property corpus:
+// same interning order, same codes, same enabled masks, same implied
+// values, same origins — the invariant TestStreamingMatchesLegacy at
+// the facade relies on.
+func TestExpandStreamMatchesMaterialized(t *testing.T) {
+	for gi, g := range propertyGraphs(t) {
+		st, err := g.ExpandStream()
+		if err != nil {
+			t.Fatalf("graph %d: ExpandStream: %v", gi, err)
+		}
+		ex, err := g.Expand()
+		if err != nil {
+			t.Fatalf("graph %d: Expand: %v", gi, err)
+		}
+		want, err := StreamOf(ex)
+		if err != nil {
+			t.Fatalf("graph %d: StreamOf: %v", gi, err)
+		}
+		if !reflect.DeepEqual(st.Base, want.Base) || st.Active != want.Active || st.Initial != want.Initial {
+			t.Fatalf("graph %d: header diverges: base %v/%v active %b/%b initial %d/%d",
+				gi, st.Base, want.Base, st.Active, want.Active, st.Initial, want.Initial)
+		}
+		if !reflect.DeepEqual(st.Codes, want.Codes) {
+			t.Fatalf("graph %d: codes diverge\n stream %v\n materialized %v", gi, st.Codes, want.Codes)
+		}
+		if !reflect.DeepEqual(st.Enabled, want.Enabled) {
+			t.Fatalf("graph %d: enabled masks diverge\n stream %v\n materialized %v", gi, st.Enabled, want.Enabled)
+		}
+		if !reflect.DeepEqual(st.Implied, want.Implied) {
+			t.Fatalf("graph %d: implied masks diverge\n stream %v\n materialized %v", gi, st.Implied, want.Implied)
+		}
+		if !reflect.DeepEqual(st.Origin, want.Origin) {
+			t.Fatalf("graph %d: origins diverge\n stream %v\n materialized %v", gi, st.Origin, want.Origin)
+		}
+		// Per-signal implied values against the graph's per-edge rule.
+		for s := 0; s < ex.NumStates(); s++ {
+			for sig := range st.Base {
+				if got, want := st.ImpliedValue(s, sig), ex.ImpliedValue(s, sig); got != want {
+					t.Fatalf("graph %d state %d sig %d: implied %d, want %d", gi, s, sig, got, want)
+				}
+			}
+		}
+		// Function tables through both LogicSource implementations.
+		for sig, b := range st.Base {
+			if b.Input {
+				continue
+			}
+			for _, mask := range []uint64{st.Active, st.Active & 0b111} {
+				ft, err1 := st.FunctionTable(sig, mask)
+				wt, err2 := ex.FunctionTable(sig, mask)
+				if (err1 == nil) != (err2 == nil) {
+					t.Fatalf("graph %d sig %d mask %b: error mismatch %v / %v", gi, sig, mask, err1, err2)
+				}
+				if err1 == nil && !reflect.DeepEqual(ft, wt) {
+					t.Fatalf("graph %d sig %d mask %b: tables diverge\n stream %+v\n materialized %+v",
+						gi, sig, mask, ft, wt)
+				}
+			}
+		}
+	}
+}
+
+// TestAnalyzeStreamMatchesAnalyzeWorkers pins the streamed conflict scan
+// against the materialized one at both worker counts.
+func TestAnalyzeStreamMatchesAnalyzeWorkers(t *testing.T) {
+	for gi, g := range propertyGraphs(t) {
+		st, err := g.ExpandStream()
+		if err != nil {
+			t.Fatalf("graph %d: ExpandStream: %v", gi, err)
+		}
+		ex, err := g.Expand()
+		if err != nil {
+			t.Fatalf("graph %d: Expand: %v", gi, err)
+		}
+		for _, workers := range []int{1, 4} {
+			got := AnalyzeStream(st, workers)
+			want := AnalyzeWorkers(ex, workers)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("graph %d workers %d: conflicts diverge\n stream %+v\n materialized %+v",
+					gi, workers, got, want)
+			}
+		}
+	}
+}
+
+// TestExpandWavesInvariants checks the frontier iterator's contract:
+// states arrive exactly once in ascending index order, waves are
+// non-decreasing, the peak frontier is the widest wave, and an emit
+// error aborts the traversal and surfaces as-is.
+func TestExpandWavesInvariants(t *testing.T) {
+	for gi, g := range propertyGraphs(t) {
+		var idx, lastWave int
+		width := map[int]int{}
+		waves, peak, err := g.ExpandWaves(func(ws WaveState) error {
+			if ws.Index != idx {
+				t.Fatalf("graph %d: index %d, want %d", gi, ws.Index, idx)
+			}
+			if ws.Wave < lastWave {
+				t.Fatalf("graph %d state %d: wave %d after %d", gi, idx, ws.Wave, lastWave)
+			}
+			lastWave = ws.Wave
+			width[ws.Wave]++
+			idx++
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("graph %d: %v", gi, err)
+		}
+		if len(width) != waves {
+			t.Fatalf("graph %d: emitted %d distinct waves, reported %d", gi, len(width), waves)
+		}
+		maxW := 0
+		for _, w := range width {
+			if w > maxW {
+				maxW = w
+			}
+		}
+		if maxW != peak {
+			t.Fatalf("graph %d: widest wave %d, reported peak %d", gi, maxW, peak)
+		}
+		st, err := g.ExpandStream()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if idx != st.NumStates() {
+			t.Fatalf("graph %d: emitted %d states, stream has %d", gi, idx, st.NumStates())
+		}
+
+		stop := errors.New("stop")
+		if _, _, err := g.ExpandWaves(func(WaveState) error { return stop }); !errors.Is(err, stop) {
+			t.Fatalf("graph %d: emit error not propagated: %v", gi, err)
+		}
+	}
+}

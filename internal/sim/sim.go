@@ -7,6 +7,10 @@
 // enables, and that every enabled output is eventually produced —
 // conformance in both directions, under every interleaving up to a
 // bounded depth (exhaustive) or along random trajectories (Monte Carlo).
+// Exhaustive exploration is bit-sliced: 64 product configurations
+// advance per step, with gate covers evaluated as word-wide AND/OR over
+// per-signal lane columns (see bitset.go); Options.Scalar reverts to
+// the one-configuration-at-a-time depth-first walker.
 package sim
 
 import (
@@ -196,10 +200,18 @@ type Options struct {
 	// states).
 	MaxDepth int
 	// RandomWalks runs Monte-Carlo trajectories instead of exhaustive
-	// search when positive; each walk takes RandomSteps steps.
+	// search when positive; each walk takes RandomSteps steps. Walks are
+	// deterministic in Seed: the same seed replays the same trajectories
+	// and therefore the same violations (TestSeededWalksDeterministic).
 	RandomWalks int
 	RandomSteps int
 	Seed        int64
+	// Scalar reverts exhaustive exploration to the depth-first scalar
+	// walker (one product configuration at a time) instead of the
+	// 64-lane bit-sliced breadth-first runner. Verdicts agree either way
+	// (pinned by TestBitsetMatchesScalar); this exists for measurement
+	// and as the fallback when the product has more than 64 signals.
+	Scalar bool
 }
 
 // Run exhaustively explores the closed-loop product of specification and
@@ -218,9 +230,27 @@ func Run(spec *stg.G, c *Circuit, initialLevels map[string]bool, opt Options) []
 	r.initLevels(initialLevels)
 
 	if opt.RandomWalks > 0 {
-		return r.randomWalks(opt)
+		return canonicalize(r.randomWalks(opt))
 	}
-	return r.exhaustive(opt)
+	if opt.Scalar || len(r.levels) > 64 {
+		return canonicalize(r.exhaustive(opt))
+	}
+	return canonicalize(r.bitExhaustive(opt))
+}
+
+// canonicalize orders violations deterministically (kind, then signal,
+// then trace) so the reported set does not depend on exploration order.
+func canonicalize(v []Violation) []Violation {
+	sort.Slice(v, func(i, j int) bool {
+		if v[i].Kind != v[j].Kind {
+			return v[i].Kind < v[j].Kind
+		}
+		if v[i].Signal != v[j].Signal {
+			return v[i].Signal < v[j].Signal
+		}
+		return strings.Join(v[i].Trace, " ") < strings.Join(v[j].Trace, " ")
+	})
+	return v
 }
 
 func (r *runner) exhaustive(opt Options) []Violation {

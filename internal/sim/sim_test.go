@@ -2,11 +2,14 @@ package sim
 
 import (
 	"context"
+	"reflect"
 	"testing"
+	"time"
 
 	"asyncsyn/internal/bench"
 	"asyncsyn/internal/core"
 	"asyncsyn/internal/logic"
+	"asyncsyn/internal/metrics"
 	"asyncsyn/internal/stg"
 )
 
@@ -78,6 +81,80 @@ func TestRandomWalkAgreesWithExhaustive(t *testing.T) {
 	}
 }
 
+// TestBitsetMatchesScalar pins the bit-sliced breadth-first runner to
+// the scalar depth-first walker: on conforming circuits both return
+// nothing, and on broken circuits both report the same canonical
+// violation at the same product state.
+func TestBitsetMatchesScalar(t *testing.T) {
+	spec, err := stg.ParseString(handshake)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name    string
+		circuit *Circuit
+	}{
+		{"conforming", &Circuit{Gates: []Gate{bufferGate("ack", "req", false)}}},
+		{"inverted", &Circuit{Gates: []Gate{bufferGate("ack", "req", true)}}},
+		// Empty cover: ack never fires, the loop deadlocks after req+.
+		{"stuck", &Circuit{Gates: []Gate{{Name: "ack", Inputs: []string{"req"}, Cover: logic.Cover{}}}}},
+	}
+	levels := map[string]bool{"req": false, "ack": false}
+	for _, tc := range cases {
+		bit := Run(spec, tc.circuit, levels, Options{})
+		sca := Run(spec, tc.circuit, levels, Options{Scalar: true})
+		if !reflect.DeepEqual(bit, sca) {
+			t.Errorf("%s: bitset %v != scalar %v", tc.name, bit, sca)
+		}
+	}
+}
+
+// TestBitsetMatchesScalarSynthesized runs both exhaustive runners over
+// synthesized benchmark circuits (state signals included) and requires
+// identical verdicts.
+func TestBitsetMatchesScalarSynthesized(t *testing.T) {
+	for _, name := range []string{"vbe-ex1", "wrdata", "nousc-ser", "sbuf-read-ctl"} {
+		spec, err := bench.Load(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := core.Synthesize(context.Background(), spec, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, levels := circuitOf(res)
+		bit := Run(spec, c, levels, Options{MaxDepth: 50000})
+		sca := Run(spec, c, levels, Options{MaxDepth: 50000, Scalar: true})
+		if !reflect.DeepEqual(bit, sca) {
+			t.Errorf("%s: bitset %v != scalar %v", name, bit, sca)
+		}
+	}
+}
+
+// TestSeededWalksDeterministic pins the Monte-Carlo runner's
+// determinism: the same seed replays the same trajectories and
+// therefore the same violations.
+func TestSeededWalksDeterministic(t *testing.T) {
+	spec, _ := stg.ParseString(handshake)
+	bad := &Circuit{Gates: []Gate{bufferGate("ack", "req", true)}}
+	opt := Options{RandomWalks: 10, RandomSteps: 60, Seed: 42}
+	first := Run(spec, bad, map[string]bool{}, opt)
+	if len(first) == 0 {
+		t.Fatal("seeded walk missed the broken circuit")
+	}
+	for i := 0; i < 3; i++ {
+		if again := Run(spec, bad, map[string]bool{}, opt); !reflect.DeepEqual(first, again) {
+			t.Fatalf("seed %d run %d: %v != %v", opt.Seed, i, again, first)
+		}
+	}
+	good := &Circuit{Gates: []Gate{bufferGate("ack", "req", false)}}
+	for _, seed := range []int64{0, 1, 99} {
+		if v := Run(spec, good, map[string]bool{}, Options{RandomWalks: 10, RandomSteps: 60, Seed: seed}); len(v) != 0 {
+			t.Fatalf("seed %d flagged a correct circuit: %v", seed, v)
+		}
+	}
+}
+
 // circuitOf adapts a synthesis result for simulation.
 func circuitOf(res *core.Result) (*Circuit, map[string]bool) {
 	c := &Circuit{}
@@ -85,8 +162,8 @@ func circuitOf(res *core.Result) (*Circuit, map[string]bool) {
 		c.Gates = append(c.Gates, Gate{Name: f.Name, Inputs: f.Vars, Cover: f.Cover})
 	}
 	levels := map[string]bool{}
-	init := res.Expanded.States[res.Expanded.Initial].Code
-	for i, b := range res.Expanded.Base {
+	init := res.View.InitialCode()
+	for i, b := range res.View.Base {
 		levels[b.Name] = init&(1<<i) != 0
 	}
 	return c, levels
@@ -114,6 +191,52 @@ func TestConformanceSuite(t *testing.T) {
 				t.Fatalf("conformance violations: %v", v)
 			}
 		})
+	}
+}
+
+// benchCircuit synthesizes a mid-size benchmark once for the simulator
+// benchmarks.
+func benchCircuit(b *testing.B) (*stg.G, *Circuit, map[string]bool) {
+	b.Helper()
+	spec, err := bench.Load("sbuf-read-ctl")
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := core.Synthesize(context.Background(), spec, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, levels := circuitOf(res)
+	return spec, c, levels
+}
+
+// BenchmarkSimBitset measures the 64-lane exhaustive runner on a
+// synthesized circuit. It reports the sampled peak heap (peak-B) for
+// the cmd/allocheck heap gate alongside allocs/op.
+func BenchmarkSimBitset(b *testing.B) {
+	spec, c, levels := benchCircuit(b)
+	b.ReportAllocs()
+	watch := metrics.WatchHeap(2 * time.Millisecond)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if v := Run(spec, c, levels, Options{MaxDepth: 50000}); len(v) != 0 {
+			b.Fatalf("violations: %v", v)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(watch.Stop()), "peak-B")
+}
+
+// BenchmarkSimScalar is the depth-first scalar walker on the same
+// product, for the speedup comparison.
+func BenchmarkSimScalar(b *testing.B) {
+	spec, c, levels := benchCircuit(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if v := Run(spec, c, levels, Options{MaxDepth: 50000, Scalar: true}); len(v) != 0 {
+			b.Fatalf("violations: %v", v)
+		}
 	}
 }
 
