@@ -1,0 +1,178 @@
+// Command doccheck validates the repository's markdown: every
+// relative link must point at an existing file and every anchor
+// (`#section`, in-document or cross-document) must match a heading in
+// its target, using GitHub's heading-slug rules. External http(s) and
+// mailto links are skipped — CI has no network and their rot is not
+// this repo's to gate on.
+//
+// Usage:
+//
+//	doccheck README.md DESIGN.md docs/API.md
+//
+// Exit status 0 when every link resolves, 1 with one line per broken
+// link otherwise. The CI docs job runs it over the operator-facing
+// documents so a renamed section or moved file fails the build
+// instead of rotting quietly.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: doccheck file.md ...")
+		os.Exit(2)
+	}
+	var problems []string
+	for _, path := range os.Args[1:] {
+		ps, err := checkFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "doccheck: %v\n", err)
+			os.Exit(1)
+		}
+		problems = append(problems, ps...)
+	}
+	for _, p := range problems {
+		fmt.Fprintln(os.Stderr, p)
+	}
+	if len(problems) > 0 {
+		fmt.Fprintf(os.Stderr, "doccheck: %d broken link(s)\n", len(problems))
+		os.Exit(1)
+	}
+	fmt.Printf("doccheck: %d file(s) ok\n", len(os.Args)-1)
+}
+
+// linkRE matches inline markdown links [text](target). Images are
+// links too (the leading ! is outside the match and irrelevant here).
+var linkRE = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)(?:\s+"[^"]*")?\)`)
+
+// checkFile returns one problem line per unresolvable link in path.
+func checkFile(path string) ([]string, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var problems []string
+	for i, line := range stripFences(string(b)) {
+		for _, m := range linkRE.FindAllStringSubmatch(line, -1) {
+			target := m[1]
+			if reason := resolve(path, target); reason != "" {
+				problems = append(problems,
+					fmt.Sprintf("%s:%d: link (%s): %s", path, i+1, target, reason))
+			}
+		}
+	}
+	return problems, nil
+}
+
+// resolve reports why target (relative to the document at docPath)
+// does not resolve; "" means it does.
+func resolve(docPath, target string) string {
+	switch {
+	case strings.HasPrefix(target, "http://"),
+		strings.HasPrefix(target, "https://"),
+		strings.HasPrefix(target, "mailto:"):
+		return "" // external; not checked
+	}
+	file, anchor, _ := strings.Cut(target, "#")
+	dest := docPath
+	if file != "" {
+		dest = filepath.Join(filepath.Dir(docPath), file)
+		info, err := os.Stat(dest)
+		if err != nil {
+			return "file does not exist"
+		}
+		if info.IsDir() || anchor == "" {
+			if anchor != "" {
+				return "anchor on a directory"
+			}
+			return ""
+		}
+	}
+	if anchor == "" {
+		return ""
+	}
+	if !strings.HasSuffix(dest, ".md") {
+		return "anchor into a non-markdown file"
+	}
+	anchors, err := headingAnchors(dest)
+	if err != nil {
+		return err.Error()
+	}
+	if !anchors[anchor] {
+		return "no such heading anchor"
+	}
+	return ""
+}
+
+// headingAnchors returns the GitHub-style anchor set of a markdown
+// file: each ATX heading slugified, with -1, -2 ... suffixes for
+// repeats.
+func headingAnchors(path string) (map[string]bool, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	anchors := make(map[string]bool)
+	counts := make(map[string]int)
+	for _, line := range stripFences(string(b)) {
+		if !strings.HasPrefix(line, "#") {
+			continue
+		}
+		text := strings.TrimLeft(line, "#")
+		if text == line || (text != "" && !strings.HasPrefix(text, " ")) {
+			continue // not an ATX heading (e.g. a #hashtag)
+		}
+		slug := slugify(strings.TrimSpace(text))
+		if n := counts[slug]; n > 0 {
+			anchors[fmt.Sprintf("%s-%d", slug, n)] = true
+		} else {
+			anchors[slug] = true
+		}
+		counts[slug]++
+	}
+	return anchors, nil
+}
+
+// slugify applies GitHub's heading-to-anchor rules: strip markdown
+// emphasis/code markers, lowercase, drop everything but letters,
+// digits, spaces and hyphens, then turn spaces into hyphens.
+func slugify(s string) string {
+	s = strings.NewReplacer("`", "", "*", "", "_", "").Replace(s)
+	s = strings.ToLower(s)
+	var b strings.Builder
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '-':
+			b.WriteRune(r)
+		case r == ' ':
+			b.WriteByte('-')
+		}
+	}
+	return b.String()
+}
+
+// stripFences blanks out the interior of ``` fenced code blocks (and
+// the fence lines themselves) so shell comments are not read as
+// headings and code is not scanned for links. Line numbering is
+// preserved.
+func stripFences(doc string) []string {
+	lines := strings.Split(doc, "\n")
+	inFence := false
+	for i, line := range lines {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			lines[i] = ""
+			continue
+		}
+		if inFence {
+			lines[i] = ""
+		}
+	}
+	return lines
+}

@@ -1,0 +1,136 @@
+// Example: run a 3-shard synthesis cluster in-process — shards
+// exchanging cache records peer-to-peer behind a consistent-hashing
+// router — and show signature routing, peer cache warming, and
+// failover, all with bit-identical digests. A real deployment runs
+// cmd/modsynd once per shard plus once with -shards; the handlers are
+// identical.
+//
+//	go run ./examples/cluster
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+
+	"asyncsyn/internal/server"
+)
+
+const shardCount = 3
+
+var benches = []string{"fifo", "nak-pa", "vbe4a", "sbuf-send-ctl", "alloc-outbound"}
+
+func main() {
+	// Start the shards. Each one lists the others as cache peers: on a
+	// solve miss it first asks them for the content-addressed record.
+	// Peer URLs are only dialed on miss, so the two-pass construction
+	// (listeners first, peer wiring after) is not needed — but URLs are
+	// assigned by httptest at start, so shards learn their peers late.
+	shards := make([]*server.Server, shardCount)
+	listeners := make([]*httptest.Server, shardCount)
+	urls := make([]string, shardCount)
+	for i := range shards {
+		// Peers of shard i = every shard that already has a listener.
+		// For the demo a ring of "everyone before me" is enough: shard 0
+		// is the sweep's cold start, later shards can pull from it.
+		s, err := server.New(server.Config{MaxInFlight: 2, Peers: urls[:i]})
+		if err != nil {
+			log.Fatal(err)
+		}
+		shards[i] = s
+		listeners[i] = httptest.NewServer(s.Handler())
+		defer listeners[i].Close()
+		urls[i] = listeners[i].URL
+	}
+
+	rt, err := server.NewRouter(server.RouterConfig{Shards: urls})
+	if err != nil {
+		log.Fatal(err)
+	}
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+
+	// Sweep the benchmarks through the router: each specification's
+	// canonical signature picks its shard, so repeats always land on a
+	// warm cache.
+	fmt.Println("routed sweep:")
+	digests := map[string]string{}
+	for _, name := range benches {
+		resp := synthesize(front.URL, name)
+		digests[name] = resp.Digest
+		fmt.Printf("  %-14s %4d states  digest %s...\n", name, resp.FinalStates, resp.Digest[:12])
+	}
+
+	// The same suite as one batch: per-entry results in request order.
+	var batch server.BatchRequest
+	for _, name := range benches {
+		batch.Requests = append(batch.Requests, server.Request{Bench: name})
+	}
+	b, _ := json.Marshal(batch)
+	httpResp, err := http.Post(front.URL+"/v1/batch", "application/json", bytes.NewReader(b))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var bresp server.BatchResponse
+	if err := json.NewDecoder(httpResp.Body).Decode(&bresp); err != nil {
+		log.Fatal(err)
+	}
+	httpResp.Body.Close()
+	fmt.Println("\nbatched sweep (digests must match the routed sweep):")
+	for i, e := range bresp.Responses {
+		match := "=="
+		if e.Digest != digests[benches[i]] {
+			match = "!! MISMATCH"
+		}
+		fmt.Printf("  %-14s status %d  %s\n", benches[i], e.Status, match)
+	}
+
+	// Kill one shard mid-flight: requests it owned fail over to the
+	// next shard on the ring — same digests, no client-visible error.
+	listeners[1].Close()
+	fmt.Println("\nshard 1 killed; re-running the sweep through the router:")
+	for _, name := range benches {
+		resp := synthesize(front.URL, name)
+		match := "=="
+		if resp.Digest != digests[name] {
+			match = "!! MISMATCH"
+		}
+		fmt.Printf("  %-14s digest %s... %s\n", name, resp.Digest[:12], match)
+	}
+
+	fmt.Println("\npool health after the kill:")
+	h, err := http.Get(front.URL + "/healthz")
+	if err != nil {
+		log.Fatal(err)
+	}
+	var health struct {
+		Shards  map[string]string `json:"shards"`
+		Healthy int               `json:"healthy"`
+	}
+	json.NewDecoder(h.Body).Decode(&health)
+	h.Body.Close()
+	for i, u := range urls {
+		fmt.Printf("  shard %d: %s\n", i, health.Shards[u])
+	}
+	fmt.Printf("  healthy: %d/%d\n", health.Healthy, shardCount)
+}
+
+func synthesize(base, name string) *server.Response {
+	body, _ := json.Marshal(server.Request{Bench: name})
+	httpResp, err := http.Post(base+"/v1/synthesize", "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer httpResp.Body.Close()
+	var resp server.Response
+	if err := json.NewDecoder(httpResp.Body).Decode(&resp); err != nil {
+		log.Fatal(err)
+	}
+	if httpResp.StatusCode != http.StatusOK {
+		log.Fatalf("%s: %s (%s)", name, resp.Error, resp.Class)
+	}
+	return &resp
+}

@@ -76,6 +76,12 @@ const (
 	// the quantity that bounds streaming peak heap in place of total
 	// state count.
 	SGPeakFrontier
+	// CachePeerHits counts module solves answered by a peer node's
+	// cache through the remote tier (cluster cache exchange).
+	CachePeerHits
+	// CachePeerMisses counts remote-tier lookups that found no peer
+	// record and fell through to a local solve.
+	CachePeerMisses
 
 	numKinds
 )
@@ -103,6 +109,8 @@ var kindNames = [numKinds]string{
 	SATAssumptions:   "sat_assumptions",
 	SGStatesStreamed: "sg_states_streamed",
 	SGPeakFrontier:   "sg_peak_frontier",
+	CachePeerHits:    "modcache_peer_hits",
+	CachePeerMisses:  "modcache_peer_misses",
 }
 
 // String returns the counter's stable schema name.

@@ -56,6 +56,7 @@ func TestKindNamesStable(t *testing.T) {
 		"modcache_hits", "modcache_misses", "modcache_inflight",
 		"sat_warm_clauses", "sat_assumptions",
 		"sg_states_streamed", "sg_peak_frontier",
+		"modcache_peer_hits", "modcache_peer_misses",
 	}
 	kinds := Kinds()
 	if len(kinds) != len(want) {

@@ -28,6 +28,10 @@ var kindHelp = [numKinds]string{
 	CacheInflight:   "Solves deduplicated against an in-flight solve.",
 	SATWarmClauses:  "Learned clauses re-seeded into warm-started searches.",
 	SATAssumptions:  "Formulas solved as assumption-guarded incremental steps.",
+	SGStatesStreamed: "Expanded states emitted by the streaming wave expansion.",
+	SGPeakFrontier:   "Widest BFS wave reached by any streaming expansion.",
+	CachePeerHits:    "Module solves answered by a peer node's cache.",
+	CachePeerMisses:  "Remote-tier lookups that found no peer record.",
 }
 
 // WriteProm renders the collector's counters in the Prometheus text

@@ -25,6 +25,18 @@
 // share a single computation (metrics: modcache_inflight), and a
 // producer that fails releases its waiters to retry rather than caching
 // the error.
+//
+// The content-addressed on-disk record is also the cluster wire format:
+// EncodeRecord/DecodeRecord serialize one (key, entry) pair, and
+// RecordDigest names it, so a record written by one node can be served
+// verbatim to another (the daemon's GET/PUT /v1/cache/{key} exchange).
+// A Remote attached with SetRemote becomes a third lookup tier: a local
+// miss pulls from peers before solving, inside the same singleflight
+// guard, so at most one fetch-or-solve runs per key however many
+// requests race. Every imported record is re-validated (schema, digest,
+// key match) — a corrupt or foreign record reads as a miss, never as a
+// wrong answer — which keeps digests bit-identical across every
+// distribution topology: cold, disk-warmed, or peer-warmed.
 package modcache
 
 import (
@@ -111,21 +123,44 @@ type flight struct {
 	err  error
 }
 
+// Remote is a further lookup tier behind the local memory and disk
+// tiers: typically another node's cache reached over HTTP (the
+// daemon's peer cache exchange). Fetch returns the peer's entry for
+// key, or (nil, error) on miss or failure — both read as a local
+// miss and fall through to a solve. Implementations must be safe for
+// concurrent use and must validate what they fetch (DecodeRecord plus
+// a key comparison) so a damaged peer record can never corrupt the
+// local cache.
+type Remote interface {
+	Fetch(ctx context.Context, key Key) (*Entry, error)
+}
+
 // Cache is the solve cache. The zero value is not usable; construct
 // with New or NewDisk. All methods are safe for concurrent use.
 type Cache struct {
 	mu       sync.Mutex
 	entries  map[Key]*Entry
+	byDigest map[string]Key // RecordDigest → key, for Export
 	inflight map[Key]*flight
 	dir      string // "" = memory only
+	remote   Remote // nil = no peer tier
 }
 
 // New returns an empty in-memory cache.
 func New() *Cache {
 	return &Cache{
 		entries:  make(map[Key]*Entry),
+		byDigest: make(map[string]Key),
 		inflight: make(map[Key]*flight),
 	}
+}
+
+// SetRemote attaches (or, with nil, detaches) the peer tier consulted
+// on local misses. Safe to call while the cache is serving.
+func (c *Cache) SetRemote(r Remote) {
+	c.mu.Lock()
+	c.remote = r
+	c.mu.Unlock()
 }
 
 // NewDisk returns a cache backed by content-addressed JSON files under
@@ -159,6 +194,7 @@ func (c *Cache) Do(ctx context.Context, key Key, solve func() (*Entry, error)) (
 		if c.dir != "" {
 			if e := c.loadDisk(key); e != nil {
 				c.entries[key] = e
+				c.byDigest[RecordDigest(key)] = key
 				c.mu.Unlock()
 				mc.Add(metrics.CacheHits, 1)
 				return e.clone(), true, nil
@@ -184,7 +220,27 @@ func (c *Cache) Do(ctx context.Context, key Key, solve func() (*Entry, error)) (
 		}
 		fl := &flight{done: make(chan struct{})}
 		c.inflight[key] = fl
+		remote := c.remote
 		c.mu.Unlock()
+
+		// Peer tier: pull-on-miss, inside the singleflight guard so
+		// concurrent callers never issue duplicate fetches. A fetched
+		// entry is stored and served exactly like a local hit; any
+		// fetch failure falls through to a local solve.
+		if remote != nil {
+			if e, ferr := remote.Fetch(ctx, key); ferr == nil && e != nil {
+				mc.Add(metrics.CachePeerHits, 1)
+				c.mu.Lock()
+				delete(c.inflight, key)
+				stored := e.clone()
+				c.store(key, stored)
+				fl.val = stored
+				c.mu.Unlock()
+				close(fl.done)
+				return e, true, nil
+			}
+			mc.Add(metrics.CachePeerMisses, 1)
+		}
 
 		mc.Add(metrics.CacheMisses, 1)
 		val, solveErr := solve()
@@ -195,17 +251,24 @@ func (c *Cache) Do(ctx context.Context, key Key, solve func() (*Entry, error)) (
 			// Waiters clone from the cached copy, never from val: the
 			// producing caller owns val and may mutate it after return.
 			stored := val.clone()
-			c.entries[key] = stored
+			c.store(key, stored)
 			fl.val = stored
-			if c.dir != "" {
-				c.writeDisk(key, stored)
-			}
 		} else {
 			fl.err = solveErr
 		}
 		c.mu.Unlock()
 		close(fl.done)
 		return val, false, solveErr
+	}
+}
+
+// store inserts e (which must be a private copy the cache owns) under
+// key in every local tier. Call with c.mu held.
+func (c *Cache) store(key Key, e *Entry) {
+	c.entries[key] = e
+	c.byDigest[RecordDigest(key)] = key
+	if c.dir != "" {
+		c.writeDisk(key, e)
 	}
 }
 
@@ -228,11 +291,114 @@ type diskRecord struct {
 	Entry  *Entry `json:"entry"`
 }
 
-// diskPath content-addresses key under c.dir.
-func (c *Cache) diskPath(key Key) string {
+// RecordDigest content-addresses a key: the hex SHA-256 of its
+// canonical JSON encoding. It names the key's record both on disk
+// (<digest>.json under the cache directory) and on the wire (the
+// {key} segment of the daemon's /v1/cache/{key} exchange), so a
+// record travels between nodes under one stable identity.
+func RecordDigest(key Key) string {
 	b, _ := json.Marshal(key)
 	sum := sha256.Sum256(b)
-	return filepath.Join(c.dir, hex.EncodeToString(sum[:])+".json")
+	return hex.EncodeToString(sum[:])
+}
+
+// EncodeRecord serializes one (key, entry) pair in the on-disk /
+// wire record format.
+func EncodeRecord(key Key, e *Entry) ([]byte, error) {
+	if e == nil {
+		return nil, fmt.Errorf("modcache: nil entry")
+	}
+	return json.Marshal(diskRecord{Schema: diskSchema, Key: key, Entry: e})
+}
+
+// DecodeRecord parses and validates a record produced by EncodeRecord
+// (or read from a cache directory): the envelope must parse, carry the
+// current schema version, and hold an entry. Callers that know which
+// key they asked for must additionally compare the returned key (or
+// its RecordDigest) before trusting the entry.
+func DecodeRecord(b []byte) (Key, *Entry, error) {
+	var rec diskRecord
+	if err := json.Unmarshal(b, &rec); err != nil {
+		return Key{}, nil, fmt.Errorf("modcache: bad record: %w", err)
+	}
+	if rec.Schema != diskSchema {
+		return Key{}, nil, fmt.Errorf("modcache: record schema %d, want %d", rec.Schema, diskSchema)
+	}
+	if rec.Entry == nil {
+		return Key{}, nil, fmt.Errorf("modcache: record has no entry")
+	}
+	return rec.Key, rec.Entry, nil
+}
+
+// Export returns the encoded record named by digest, from memory or —
+// on a disk-backed cache — straight from the cache directory, so a
+// node can serve records persisted by earlier processes. The bool is
+// false when no valid record by that name exists.
+func (c *Cache) Export(digest string) ([]byte, bool) {
+	if !validDigest(digest) {
+		return nil, false
+	}
+	c.mu.Lock()
+	key, ok := c.byDigest[digest]
+	var e *Entry
+	if ok {
+		e = c.entries[key]
+	}
+	dir := c.dir
+	c.mu.Unlock()
+	if e != nil {
+		b, err := EncodeRecord(key, e)
+		return b, err == nil
+	}
+	if dir == "" {
+		return nil, false
+	}
+	b, err := os.ReadFile(filepath.Join(dir, digest+".json"))
+	if err != nil {
+		return nil, false
+	}
+	k, _, derr := DecodeRecord(b)
+	if derr != nil || RecordDigest(k) != digest {
+		return nil, false
+	}
+	return b, true
+}
+
+// Import validates an encoded record and stores it in every local
+// tier, returning its digest. An already-present key is left
+// untouched (first write wins — entries for one key are byte-identical
+// by construction, so there is nothing to reconcile).
+func (c *Cache) Import(b []byte) (string, error) {
+	key, e, err := DecodeRecord(b)
+	if err != nil {
+		return "", err
+	}
+	d := RecordDigest(key)
+	c.mu.Lock()
+	if _, ok := c.entries[key]; !ok {
+		c.store(key, e.clone())
+	}
+	c.mu.Unlock()
+	return d, nil
+}
+
+// validDigest guards Export's disk path against traversal: a digest is
+// exactly 64 lowercase hex characters.
+func validDigest(d string) bool {
+	if len(d) != 64 {
+		return false
+	}
+	for _, r := range d {
+		if (r < '0' || r > '9') && (r < 'a' || r > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// diskPath content-addresses key under c.dir.
+func (c *Cache) diskPath(key Key) string {
+	return filepath.Join(c.dir, RecordDigest(key)+".json")
 }
 
 // loadDisk reads and verifies the record for key; nil on any mismatch

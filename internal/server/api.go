@@ -121,6 +121,13 @@ func (s *Server) parseRequest(r *http.Request) (*parsedRequest, error) {
 	if err := dec.Decode(&req); err != nil {
 		return nil, synerr.Parse(fmt.Errorf("request body: %w", err))
 	}
+	return s.resolveRequest(req, r.URL.Query().Get("trace") == "1")
+}
+
+// resolveRequest validates one decoded Request and resolves it to
+// library options; shared by the single and batch endpoints. All
+// failures are ClassParse (400).
+func (s *Server) resolveRequest(req Request, wantTrace bool) (*parsedRequest, error) {
 	src := req.STG
 	switch {
 	case req.STG != "" && req.Bench != "":
@@ -179,7 +186,7 @@ func (s *Server) parseRequest(r *http.Request) (*parsedRequest, error) {
 			FullSupport:   req.FullSupport,
 			ExactMinimize: req.ExactMinimize,
 		},
-		trace: r.URL.Query().Get("trace") == "1",
+		trace: wantTrace,
 		async: req.Async,
 	}
 	p.key = contentKey(src, p.opts, p.trace)

@@ -1,0 +1,118 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"asyncsyn/internal/synerr"
+)
+
+// BatchRequest is the POST /v1/batch body: an STG suite admitted in
+// one HTTP request. Entries are independent Request values (async is
+// ignored — a batch is synchronous by construction; poll jobs
+// individually if you need async).
+type BatchRequest struct {
+	Requests []Request `json:"requests"`
+}
+
+// BatchEntry is one entry's outcome inside a BatchResponse: the same
+// envelope a single POST /v1/synthesize would have returned, plus the
+// HTTP status it would have carried.
+type BatchEntry struct {
+	Status int `json:"status"`
+	Response
+}
+
+// BatchResponse answers POST /v1/batch; Responses aligns with the
+// request's Requests by index.
+type BatchResponse struct {
+	Responses []BatchEntry `json:"responses"`
+}
+
+// handleBatch is POST /v1/batch: parse every entry, admit the valid
+// ones through the normal admission path (a full queue rejects an
+// entry with a per-entry 429 instead of failing the batch), wait for
+// all, and answer per-entry statuses in request order. The batch
+// itself answers 200 unless the body is undecodable (400), too large
+// (400), over the entry cap (400), or the daemon is draining (503).
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	var breq BatchRequest
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, maxBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&breq); err != nil {
+		s.writeJSON(w, http.StatusBadRequest, errorResponse(synerr.Parse(fmt.Errorf("request body: %w", err))), start)
+		return
+	}
+	if len(breq.Requests) == 0 {
+		s.writeJSON(w, http.StatusBadRequest, errorResponse(synerr.Parse(fmt.Errorf(`"requests" must not be empty`))), start)
+		return
+	}
+	if len(breq.Requests) > s.cfg.MaxBatch {
+		s.writeJSON(w, http.StatusBadRequest, errorResponse(synerr.Parse(
+			fmt.Errorf("batch of %d exceeds the %d-entry cap", len(breq.Requests), s.cfg.MaxBatch))), start)
+		return
+	}
+	if s.draining() {
+		s.writeJSON(w, http.StatusServiceUnavailable, &Response{
+			Error: "daemon is draining", Class: "draining",
+		}, start)
+		return
+	}
+
+	wantTrace := r.URL.Query().Get("trace") == "1"
+	type admitted struct {
+		j       *job
+		deduped bool
+	}
+	entries := make([]BatchEntry, len(breq.Requests))
+	jobs := make([]admitted, len(breq.Requests))
+	rejected := false
+	for i, req := range breq.Requests {
+		p, err := s.resolveRequest(req, wantTrace)
+		if err != nil {
+			class := synerr.ClassOf(err)
+			entries[i] = BatchEntry{Status: class.HTTPStatus(), Response: *errorResponse(err)}
+			continue
+		}
+		p.async = false
+		j, deduped, status := s.admit(p)
+		switch status {
+		case http.StatusTooManyRequests:
+			rejected = true
+			entries[i] = BatchEntry{Status: status, Response: Response{
+				Error: "synthesis queue full", Class: "overload",
+			}}
+		case http.StatusServiceUnavailable:
+			entries[i] = BatchEntry{Status: status, Response: Response{
+				Error: "daemon is draining", Class: "draining",
+			}}
+		default:
+			jobs[i] = admitted{j: j, deduped: deduped}
+		}
+	}
+
+	for i, a := range jobs {
+		if a.j == nil {
+			continue
+		}
+		resp, status, err := a.j.wait(r.Context())
+		if err != nil {
+			// The client went away; remaining shared runs continue for
+			// the cache. Nothing useful can be written.
+			s.record(synerr.StatusClientClosed, start)
+			return
+		}
+		out := *resp
+		out.Deduped = out.Deduped || a.deduped
+		entries[i] = BatchEntry{Status: status, Response: out}
+	}
+
+	if rejected {
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.cfg.RetryAfter)))
+	}
+	s.writeJSON(w, http.StatusOK, &BatchResponse{Responses: entries}, start)
+}

@@ -1,0 +1,77 @@
+package server
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// ring is a consistent-hash ring over a fixed shard pool. Each shard
+// owns `replicas` virtual points on a 64-bit circle; a key routes to
+// the shard owning the first point clockwise of the key's hash.
+// Consistent hashing keeps the mapping stable as the pool changes:
+// removing one shard remaps only the keys that shard owned, so the
+// other shards' caches keep their specialization. The ring is
+// immutable after construction and safe for concurrent readers.
+type ring struct {
+	shards []string
+	points []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash  uint64
+	shard int // index into shards
+}
+
+// ringHash is the ring's position function: the first 8 bytes of
+// SHA-256, big-endian. A cryptographic hash keeps virtual points
+// uniformly spread without tuning.
+func ringHash(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// newRing builds the ring; replicas <= 0 defaults to 128 virtual
+// points per shard.
+func newRing(shards []string, replicas int) *ring {
+	if replicas <= 0 {
+		replicas = 128
+	}
+	r := &ring{shards: shards}
+	for i, s := range shards {
+		for v := 0; v < replicas; v++ {
+			r.points = append(r.points, ringPoint{
+				hash:  ringHash(fmt.Sprintf("%s#%d", s, v)),
+				shard: i,
+			})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		p, q := r.points[a], r.points[b]
+		if p.hash != q.hash {
+			return p.hash < q.hash
+		}
+		return p.shard < q.shard
+	})
+	return r
+}
+
+// sequence returns the shard indices for key in failover order: the
+// owner first, then each remaining shard in the order its first
+// virtual point is met walking clockwise. Every shard appears exactly
+// once, so a router retrying down the sequence visits the whole pool.
+func (r *ring) sequence(key string) []int {
+	h := ringHash(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]int, 0, len(r.shards))
+	seen := make([]bool, len(r.shards))
+	for i := 0; i < len(r.points) && len(out) < len(r.shards); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.shard] {
+			seen[p.shard] = true
+			out = append(out, p.shard)
+		}
+	}
+	return out
+}

@@ -1,0 +1,100 @@
+package server
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// TestRingSequence pins the failover-order contract: deterministic,
+// covers every shard exactly once, owner first.
+func TestRingSequence(t *testing.T) {
+	shards := []string{"http://a:1", "http://b:1", "http://c:1", "http://d:1"}
+	r := newRing(shards, 0)
+	for i := 0; i < 50; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		seq := r.sequence(key)
+		if !reflect.DeepEqual(seq, r.sequence(key)) {
+			t.Fatalf("sequence(%q) not deterministic", key)
+		}
+		if len(seq) != len(shards) {
+			t.Fatalf("sequence(%q) = %v: want every shard once", key, seq)
+		}
+		sorted := append([]int(nil), seq...)
+		sort.Ints(sorted)
+		for j, s := range sorted {
+			if s != j {
+				t.Fatalf("sequence(%q) = %v: not a permutation", key, seq)
+			}
+		}
+	}
+}
+
+// TestRingSpread pins that virtual points spread ownership: with the
+// default replica count no shard of a 3-pool owns everything and none
+// starves across a modest key population.
+func TestRingSpread(t *testing.T) {
+	r := newRing([]string{"http://a:1", "http://b:1", "http://c:1"}, 0)
+	owned := make(map[int]int)
+	const keys = 300
+	for i := 0; i < keys; i++ {
+		owned[r.sequence(fmt.Sprintf("key-%d", i))[0]]++
+	}
+	for s := 0; s < 3; s++ {
+		if owned[s] == 0 {
+			t.Fatalf("shard %d owns no keys: %v", s, owned)
+		}
+		if owned[s] == keys {
+			t.Fatalf("shard %d owns every key: %v", s, owned)
+		}
+	}
+}
+
+// TestRingStability pins the consistent-hashing property the cluster's
+// cache specialization depends on: removing one shard leaves every key
+// not owned by it on its original owner.
+func TestRingStability(t *testing.T) {
+	shards := []string{"http://a:1", "http://b:1", "http://c:1", "http://d:1"}
+	full := newRing(shards, 0)
+	reduced := newRing(shards[:3], 0) // drop d
+
+	moved, kept := 0, 0
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		before := full.sequence(key)[0]
+		after := reduced.sequence(key)[0]
+		if before == 3 {
+			moved++ // d's keys must land somewhere else; any owner is fine
+			continue
+		}
+		if after != before {
+			t.Fatalf("key %q moved %d -> %d though its owner survived", key, before, after)
+		}
+		kept++
+	}
+	if moved == 0 || kept == 0 {
+		t.Fatalf("degenerate distribution: moved=%d kept=%d", moved, kept)
+	}
+}
+
+// TestRingFailoverNeighbor pins that the second sequence position is
+// exactly where keys of a removed shard land: the router's retry walk
+// and a shrunk ring agree.
+func TestRingFailoverNeighbor(t *testing.T) {
+	shards := []string{"http://a:1", "http://b:1", "http://c:1"}
+	full := newRing(shards, 0)
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		seq := full.sequence(key)
+		if seq[0] != 2 {
+			continue
+		}
+		// Remove shard c: the reduced ring's owner must be the full
+		// ring's first failover candidate.
+		reduced := newRing(shards[:2], 0)
+		if got, want := reduced.sequence(key)[0], seq[1]; got != want {
+			t.Fatalf("key %q: reduced owner %d != failover candidate %d", key, got, want)
+		}
+	}
+}

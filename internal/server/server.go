@@ -25,6 +25,27 @@
 //     answered 503), drains admitted jobs through their contexts, and
 //     only cancels them when the drain deadline expires.
 //
+// Beyond the single daemon, the package scales the service out to an
+// N-node cluster:
+//
+//   - Batch admission. POST /v1/batch admits a whole STG suite in one
+//     request and fans the entries across the in-flight slots,
+//     returning per-entry statuses in request order.
+//   - Peer cache exchange. GET/PUT /v1/cache/{key} serve and accept
+//     the content-addressed modcache record format, and a node
+//     configured with Config.Peers pulls missing records from its
+//     siblings (modcache.Remote) before solving locally.
+//   - Router mode. NewRouter builds a stateless front that
+//     consistent-hashes each request by the canonical problem
+//     signature (the parsed STG's canonical rendering) onto a shard
+//     pool, fails over around dead shards along the hash ring, fans
+//     batches out shard-wise, and exposes per-shard health and
+//     latency on /metrics. Because routing is signature-based, each
+//     shard's solve cache specializes on its slice of the problem
+//     space. Digest parity across every topology — one node or N,
+//     cold, disk-warmed or peer-warmed, with or without failover —
+//     is pinned by the cluster tests.
+//
 // Failure classification is shared with cmd/modsyn through
 // synerr.ClassOf: parse errors answer 400, expired deadlines 408,
 // budget/unsolvable outcomes 422, client-canceled requests 499, and
@@ -74,6 +95,16 @@ type Config struct {
 	// MaxJobs bounds the finished jobs retained for GET /v1/jobs/{id}
 	// (default 256; oldest finished jobs are evicted first).
 	MaxJobs int
+	// Peers lists sibling shard base URLs (e.g. "http://host:8713")
+	// whose caches this node may pull from on a local solve-cache miss
+	// (the /v1/cache exchange). Requires the cache to be enabled.
+	Peers []string
+	// PeerTimeout bounds one peer cache fetch (default 2s). A fetch
+	// that misses, fails, or times out falls through to a local solve.
+	PeerTimeout time.Duration
+	// MaxBatch bounds the entries of one POST /v1/batch request
+	// (default 256).
+	MaxBatch int
 }
 
 func (c Config) withDefaults() Config {
@@ -96,6 +127,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxJobs <= 0 {
 		c.MaxJobs = 256
+	}
+	if c.PeerTimeout <= 0 {
+		c.PeerTimeout = 2 * time.Second
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 256
 	}
 	return c
 }
@@ -162,17 +199,52 @@ func New(cfg Config) (*Server, error) {
 			s.cache = asyncsyn.NewSolveCache()
 		}
 	}
+	if len(cfg.Peers) > 0 {
+		if s.cache == nil {
+			return nil, fmt.Errorf("server: peers configured with the cache disabled")
+		}
+		peers, err := normalizePeers(cfg.Peers)
+		if err != nil {
+			return nil, err
+		}
+		s.cache.SetRemote(newPeerClient(peers, cfg.PeerTimeout))
+	}
 	return s, nil
+}
+
+// shardRoutes is the single source of truth for the shard daemon's
+// route table: Handler registers exactly these patterns and Routes
+// reports them, so the docs/API.md coverage test (TestAPIDocCoversRoutes)
+// can diff documentation against registration.
+var shardRoutes = []struct {
+	pattern string
+	handler func(*Server) http.HandlerFunc
+}{
+	{"POST /v1/synthesize", func(s *Server) http.HandlerFunc { return s.handleSynthesize }},
+	{"POST /v1/batch", func(s *Server) http.HandlerFunc { return s.handleBatch }},
+	{"GET /v1/jobs/{id}", func(s *Server) http.HandlerFunc { return s.handleJob }},
+	{"GET /v1/benchmarks", func(s *Server) http.HandlerFunc { return s.handleBenchmarks }},
+	{"GET /v1/cache/{key}", func(s *Server) http.HandlerFunc { return s.handleCacheGet }},
+	{"PUT /v1/cache/{key}", func(s *Server) http.HandlerFunc { return s.handleCachePut }},
+	{"GET /metrics", func(s *Server) http.HandlerFunc { return s.handleMetrics }},
+	{"GET /healthz", func(s *Server) http.HandlerFunc { return s.handleHealthz }},
+}
+
+// Routes returns every "METHOD /path" pattern the shard daemon serves.
+func Routes() []string {
+	out := make([]string, len(shardRoutes))
+	for i, r := range shardRoutes {
+		out[i] = r.pattern
+	}
+	return out
 }
 
 // Handler returns the daemon's route table.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/synthesize", s.handleSynthesize)
-	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
-	mux.HandleFunc("GET /v1/benchmarks", s.handleBenchmarks)
-	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	for _, r := range shardRoutes {
+		mux.HandleFunc(r.pattern, r.handler(s))
+	}
 	return mux
 }
 

@@ -7,11 +7,18 @@
 #   2. overload under -maxinflight 1 -queuedepth 0 answers 429 with a
 #      Retry-After header;
 #   3. SIGTERM drains a pending job (its waiter still gets 200) and
-#      the process exits 0.
+#      the process exits 0;
+#   4. router mode: two peer-connected shards behind -shards answer
+#      with the same digests as phase 1, peers exchange cache records,
+#      and killing a shard fails over without a client-visible error.
+#
+# MODSYND_PORT picks the base port (default 8713); the router phase
+# uses the two ports above it.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-ADDR=127.0.0.1:8713
+PORT=${MODSYND_PORT:-8713}
+ADDR=127.0.0.1:$PORT
 URL="http://$ADDR"
 BIN=$(mktemp -d)/modsynd
 CACHEDIR=$(mktemp -d)
@@ -20,17 +27,18 @@ trap 'kill $(jobs -p) 2>/dev/null || true; rm -rf "$CACHEDIR" "$WORK" "$(dirname
 
 go build -o "$BIN" ./cmd/modsynd
 
-wait_healthy() {
+wait_healthy() { # wait_healthy [url]
+  local url=${1:-$URL}
   for _ in $(seq 1 50); do
-    if curl -fsS "$URL/healthz" >/dev/null 2>&1; then return 0; fi
+    if curl -fsS "$url/healthz" >/dev/null 2>&1; then return 0; fi
     sleep 0.2
   done
-  echo "daemon did not become healthy" >&2
+  echo "daemon at $url did not become healthy" >&2
   return 1
 }
 
-metric() { # metric <name> — print the value of an unlabelled metric
-  curl -fsS "$URL/metrics" | awk -v m="$1" '$1 == m { print $2 }'
+metric() { # metric <name> [url] — print the value of an unlabelled metric
+  curl -fsS "${2:-$URL}/metrics" | awk -v m="$1" '$1 == m { print $2 }'
 }
 
 # The quick benchmark set: the Table 1 rows the bench suite's -quick
@@ -95,5 +103,53 @@ wait "$BLOCKER" || { echo "blocked request failed during drain" >&2; exit 1; }
 grep -q '"digest"' "$WORK/blocker.json" || { echo "drained job returned no result" >&2; exit 1; }
 wait "$DAEMON" || { echo "daemon exited non-zero after drain" >&2; exit 1; }
 echo "ok: pending job drained to completion, daemon exited 0"
+
+echo "=== phase 4: router mode + peer cache exchange + failover"
+S1=127.0.0.1:$((PORT + 1))
+S2=127.0.0.1:$((PORT + 2))
+"$BIN" -addr "$S1" -peers "$S2" &
+SHARD1=$!
+"$BIN" -addr "$S2" -peers "$S1" &
+SHARD2=$!
+"$BIN" -addr "$ADDR" -shards "$S1,$S2" &
+ROUTER=$!
+wait_healthy "http://$S1"
+wait_healthy "http://$S2"
+wait_healthy
+
+for b in $QUICK; do
+  code=$(curl -s -o "$WORK/$b.routed.json" -w '%{http_code}' \
+    -X POST "$URL/v1/synthesize" -d "{\"bench\":\"$b\"}")
+  [ "$code" = 200 ] || { echo "$b (routed): status $code" >&2; exit 1; }
+  direct=$(grep -o '"digest": *"[^"]*"' "$WORK/$b.cold.json")
+  routed=$(grep -o '"digest": *"[^"]*"' "$WORK/$b.routed.json")
+  [ "$direct" = "$routed" ] || { echo "$b: router digest drift $direct -> $routed" >&2; exit 1; }
+done
+reqs=$(metric modsynd_router_requests_total)
+[ "${reqs:-0}" -ge "$(echo $QUICK | wc -w)" ] || { echo "router saw $reqs requests" >&2; exit 1; }
+
+# Peer exchange: re-asking each shard directly for the whole suite
+# must pull any records it does not own from its peer, never resolve.
+for b in $QUICK; do
+  curl -fsS -o /dev/null -X POST "http://$S1/v1/synthesize" -d "{\"bench\":\"$b\"}"
+done
+peer1=$(metric asyncsyn_modcache_peer_hits "http://$S1")
+[ "${peer1:-0}" -gt 0 ] || { echo "shard 1 reported modcache_peer_hits=$peer1" >&2; exit 1; }
+
+# Failover: kill shard 2; the full suite must still answer 200 with
+# the same digests through the router.
+kill -TERM "$SHARD2" && wait "$SHARD2" || true
+for b in $QUICK; do
+  code=$(curl -s -o "$WORK/$b.failover.json" -w '%{http_code}' \
+    -X POST "$URL/v1/synthesize" -d "{\"bench\":\"$b\"}")
+  [ "$code" = 200 ] || { echo "$b (failover): status $code" >&2; exit 1; }
+  direct=$(grep -o '"digest": *"[^"]*"' "$WORK/$b.cold.json")
+  failover=$(grep -o '"digest": *"[^"]*"' "$WORK/$b.failover.json")
+  [ "$direct" = "$failover" ] || { echo "$b: failover digest drift" >&2; exit 1; }
+done
+echo "ok: router parity, peer_hits=$peer1, failover survived a dead shard"
+
+kill -TERM "$ROUTER" "$SHARD1" 2>/dev/null
+wait "$ROUTER" "$SHARD1" 2>/dev/null || true
 
 echo "server smoke passed"
