@@ -56,19 +56,20 @@ func main() {
 	memProfile := flag.String("memprofile", "", "write a heap profile (after the suite run) to this path")
 	noIncr := flag.Bool("noincremental", false, "ablation: re-encode every SAT formula instead of incremental solving (results are bit-identical; timings move)")
 	noStream := flag.Bool("nostreaming", false, "ablation: materialize the expanded graph and use the scalar simulator (results are bit-identical; memory and timings move)")
+	noSpec := flag.Bool("nospeculation", false, "ablation: disable the speculative partition-parallel module scheduler (results are bit-identical; timings move)")
 	scalingPoint := flag.Int("scalingpoint", 0, "run only the modular method at this scaling-sweep point (k) and print its stage breakdown; used by the memory-ceiling CI smoke")
 	flag.Parse()
 
 	err := withProfiles(*cpuProfile, *memProfile, func() error {
 		switch {
 		case *scalingPoint > 0:
-			return doScalingPoint(*scalingPoint, *maxBT, *noStream)
+			return doScalingPoint(*scalingPoint, *maxBT, *noStream, *noSpec)
 		case *render != "":
 			return doRender(*render, *doc, *check)
 		case *against != "":
-			return doCompare(*against, flag.Arg(0), *out, *quick, *workers, *maxBT, *cacheDir, *noIncr, *noStream, *requireHits)
+			return doCompare(*against, flag.Arg(0), *out, *quick, *workers, *maxBT, *cacheDir, *noIncr, *noStream, *noSpec, *requireHits)
 		default:
-			return doRun(*out, *quick, *workers, *maxBT, *cacheDir, *noIncr, *noStream)
+			return doRun(*out, *quick, *workers, *maxBT, *cacheDir, *noIncr, *noStream, *noSpec)
 		}
 	})
 	if err != nil {
@@ -117,8 +118,11 @@ func withProfiles(cpuPath, memPath string, run func() error) error {
 // scaling sweep and prints the stage breakdown and peak heap. CI runs it
 // under a GOMEMLIMIT ceiling: a materialization regression (peak heap
 // proportional to total expanded states instead of frontier width) blows
-// the ceiling and fails the step long before the full sweep would.
-func doScalingPoint(k int, maxBT int64, noStream bool) error {
+// the ceiling and fails the step long before the full sweep would. The
+// default arm runs at Workers=4 so the speculative module scheduler's
+// lane snapshots are inside the ceiling too; -nospeculation keeps the
+// Workers but ablates the scheduler, isolating its footprint.
+func doScalingPoint(k int, maxBT int64, noStream, noSpec bool) error {
 	spec, err := stg.Handshakes("", k, 2)
 	if err != nil {
 		return err
@@ -127,10 +131,12 @@ func doScalingPoint(k int, maxBT int64, noStream bool) error {
 	if err != nil {
 		return err
 	}
+	m := asyncsyn.NewMetrics()
 	watch := metrics.WatchHeap(5 * time.Millisecond)
 	c, err := asyncsyn.Synthesize(g, asyncsyn.Options{
-		Method: asyncsyn.Modular, MaxBacktracks: maxBT, Workers: 1,
-		DisableStreaming: noStream, Metrics: asyncsyn.NewMetrics(),
+		Method: asyncsyn.Modular, MaxBacktracks: maxBT, Workers: 4,
+		DisableStreaming: noStream, DisableSpeculation: noSpec,
+		Metrics: m,
 	})
 	peak := watch.Stop()
 	if err != nil {
@@ -144,14 +150,20 @@ func doScalingPoint(k int, maxBT int64, noStream bool) error {
 	for _, k := range []string{"sg_states", "sg_states_streamed", "sg_peak_frontier"} {
 		fmt.Printf("  counter %-20s %d\n", k, c.Counters[k])
 	}
+	// Scheduling-dependent, so filtered from c.Counters; read them off
+	// the raw collector to show whether speculation engaged.
+	raw := m.Map()
+	for _, k := range []string{"modspec_commits", "modspec_aborts", "modspec_resolves"} {
+		fmt.Printf("  counter %-20s %d\n", k, raw[k])
+	}
 	if c.Aborted {
 		return fmt.Errorf("scaling k=%d: aborted (backtrack budget)", k)
 	}
 	return nil
 }
 
-func doRun(out string, quick bool, workers int, maxBT int64, cacheDir string, noIncr, noStream bool) error {
-	rec, err := runSuite(quick, workers, maxBT, cacheDir, noIncr, noStream)
+func doRun(out string, quick bool, workers int, maxBT int64, cacheDir string, noIncr, noStream, noSpec bool) error {
+	rec, err := runSuite(quick, workers, maxBT, cacheDir, noIncr, noStream, noSpec)
 	if err != nil {
 		return err
 	}
@@ -166,7 +178,7 @@ func doRun(out string, quick bool, workers int, maxBT int64, cacheDir string, no
 	return nil
 }
 
-func doCompare(baseline, freshPath, out string, quick bool, workers int, maxBT int64, cacheDir string, noIncr, noStream, requireHits bool) error {
+func doCompare(baseline, freshPath, out string, quick bool, workers int, maxBT int64, cacheDir string, noIncr, noStream, noSpec, requireHits bool) error {
 	old, err := benchrec.ReadFile(baseline)
 	if err != nil {
 		return err
@@ -177,7 +189,7 @@ func doCompare(baseline, freshPath, out string, quick bool, workers int, maxBT i
 			return err
 		}
 	} else {
-		if fresh, err = runSuite(quick, workers, maxBT, cacheDir, noIncr, noStream); err != nil {
+		if fresh, err = runSuite(quick, workers, maxBT, cacheDir, noIncr, noStream, noSpec); err != nil {
 			return err
 		}
 		if out != "" {
@@ -259,7 +271,7 @@ func doRender(recPath, docPath string, check bool) error {
 // and scaling sweeps. noIncr ablates the incremental SAT solver and
 // noStream the streaming expansion spine, on the Table-1 rows (the
 // sweeps keep the default paths — they measure their own effects).
-func runSuite(quick bool, workers int, maxBT int64, cacheDir string, noIncr, noStream bool) (*benchrec.Record, error) {
+func runSuite(quick bool, workers int, maxBT int64, cacheDir string, noIncr, noStream, noSpec bool) (*benchrec.Record, error) {
 	names := bench.Names()
 	if quick {
 		var small []string
@@ -283,6 +295,7 @@ func runSuite(quick bool, workers int, maxBT int64, cacheDir string, noIncr, noS
 			Workers:       workers,
 			MaxBacktracks: maxBT,
 			Quick:         quick,
+			NoSpeculation: noSpec,
 		},
 	}
 
@@ -307,7 +320,7 @@ func runSuite(quick bool, workers int, maxBT int64, cacheDir string, noIncr, noS
 			res, init, initSig := runOne(name, asyncsyn.Options{
 				Method: m.method, MaxBacktracks: maxBT, Workers: inner,
 				CacheDir: cacheDir, DisableIncrementalSAT: noIncr,
-				DisableStreaming: noStream,
+				DisableStreaming: noStream, DisableSpeculation: noSpec,
 			})
 			*m.dst = res
 			if init > 0 {
@@ -330,7 +343,7 @@ func runSuite(quick bool, workers int, maxBT int64, cacheDir string, noIncr, noS
 		if rec.Clauses, err = clauseSweep(maxBT, workers); err != nil {
 			return nil, err
 		}
-		if rec.Scaling, err = scalingSweep(workers); err != nil {
+		if rec.Scaling, err = scalingSweep(workers, noSpec); err != nil {
 			return nil, err
 		}
 	}
@@ -519,13 +532,20 @@ func clauseSweep(maxBT int64, workers int) ([]benchrec.ClauseRow, error) {
 // how far it scales is the sweep's whole point — while the direct and
 // lavagno baselines carry a wall-clock budget per point (they exhaust
 // their backtrack budgets by k=3–4 anyway); a budget expiry is recorded
-// as an aborted cell with the elapsed time. Every cell also records its
-// sampled peak heap: the k=6 point only became recordable at all with
-// the frontier-bounded streaming expansion (the materializing path runs
-// the machine out of memory there).
-func scalingSweep(workers int) ([]benchrec.ScalingRow, error) {
-	const points = 6
+// as an aborted cell with the elapsed time. The k=7 attempt is the one
+// exception: even the modular method gets a wall-clock cap there, so a
+// record can be produced on hosts where the ~156k-state point does not
+// finish. Every cell also records its sampled peak heap (the k=6 point
+// only became recordable with the frontier-bounded streaming expansion)
+// and, for the modular cells, the module-stage seconds. When the
+// sequential modular cell completes and noSpec is off, the point is
+// re-run with the speculative module scheduler at Workers=4
+// (ScalingRow.ModularSpec) — the speedup the scheduler buys on the
+// stage it parallelizes.
+func scalingSweep(workers int, noSpec bool) ([]benchrec.ScalingRow, error) {
+	const points = 7
 	const baselineBudget = 2 * time.Minute
+	const attemptBudget = 10 * time.Minute
 	return par.Map(points, workers, func(i int) (benchrec.ScalingRow, error) {
 		k := i + 1
 		row := benchrec.ScalingRow{K: k}
@@ -534,6 +554,34 @@ func scalingSweep(workers int) ([]benchrec.ScalingRow, error) {
 			return row, err
 		}
 		src := stg.Format(spec)
+		runCell := func(opt asyncsyn.Options) (benchrec.ScalCell, int, error) {
+			// The sweep exists to push past the library's conservative
+			// default state cap; k=7 alone is ~156k states.
+			opt.MaxStates = 1 << 20
+			g, err := asyncsyn.ParseSTGString(src)
+			if err != nil {
+				return benchrec.ScalCell{}, 0, err
+			}
+			start := time.Now()
+			watch := metrics.WatchHeap(5 * time.Millisecond)
+			c, err := asyncsyn.Synthesize(g, opt)
+			peak := watch.Stop()
+			if err != nil {
+				if errors.Is(err, asyncsyn.ErrCanceled) || errors.Is(err, asyncsyn.ErrStateLimit) {
+					// Budget expiry or a point past the sweep's state cap:
+					// both are honest "this method stopped here" cells,
+					// not record-killing failures.
+					return benchrec.ScalCell{Seconds: time.Since(start).Seconds(), Aborted: true, PeakHeapBytes: peak}, 0, nil
+				}
+				return benchrec.ScalCell{}, 0, err
+			}
+			cell := benchrec.ScalCell{Seconds: c.CPU.Seconds(), Area: c.Area, Aborted: c.Aborted,
+				PeakHeapBytes: peak, ModuleSeconds: stageSeconds(c, "modules")}
+			if c.Aborted {
+				cell.Area = 0
+			}
+			return cell, c.InitialStates, nil
+		}
 		for _, m := range []struct {
 			method asyncsyn.Method
 			dst    *benchrec.ScalCell
@@ -542,32 +590,31 @@ func scalingSweep(workers int) ([]benchrec.ScalingRow, error) {
 			{asyncsyn.Direct, &row.Direct},
 			{asyncsyn.Lavagno, &row.Lavagno},
 		} {
-			g, err := asyncsyn.ParseSTGString(src)
-			if err != nil {
-				return row, err
-			}
 			opt := asyncsyn.Options{Method: m.method, MaxBacktracks: 300000, Workers: 1}
 			if m.method != asyncsyn.Modular {
 				opt.Timeout = baselineBudget
+			} else if k >= 7 {
+				opt.Timeout = attemptBudget
 			}
-			start := time.Now()
-			watch := metrics.WatchHeap(5 * time.Millisecond)
-			c, err := asyncsyn.Synthesize(g, opt)
-			peak := watch.Stop()
+			cell, init, err := runCell(opt)
 			if err != nil {
-				if errors.Is(err, asyncsyn.ErrCanceled) {
-					*m.dst = benchrec.ScalCell{Seconds: time.Since(start).Seconds(), Aborted: true, PeakHeapBytes: peak}
-					continue
-				}
 				return row, fmt.Errorf("scaling k=%d %v: %w", k, m.method, err)
 			}
-			*m.dst = benchrec.ScalCell{Seconds: c.CPU.Seconds(), Area: c.Area, Aborted: c.Aborted, PeakHeapBytes: peak}
-			if c.Aborted {
-				m.dst.Area = 0
+			*m.dst = cell
+			if row.States == 0 && init > 0 {
+				row.States = init
 			}
-			if row.States == 0 {
-				row.States = c.InitialStates
+		}
+		if !noSpec && !row.Modular.Aborted && row.Modular.Area > 0 {
+			opt := asyncsyn.Options{Method: asyncsyn.Modular, MaxBacktracks: 300000, Workers: 4}
+			if k >= 7 {
+				opt.Timeout = attemptBudget
 			}
+			cell, _, err := runCell(opt)
+			if err != nil {
+				return row, fmt.Errorf("scaling k=%d modular-spec: %w", k, err)
+			}
+			row.ModularSpec = &cell
 		}
 		fmt.Fprintf(os.Stderr, "bench: scaling k=%d (%d states) done\n", k, row.States)
 		return row, nil

@@ -43,9 +43,10 @@ func testRecord() *Record {
 		},
 		Scaling: []ScalingRow{
 			{K: 3, States: 252,
-				Modular: ScalCell{Seconds: 0.068, Area: 45},
-				Direct:  ScalCell{Seconds: 1.438, Area: 42},
-				Lavagno: ScalCell{Aborted: true, Seconds: 2.0}},
+				Modular:     ScalCell{Seconds: 0.068, Area: 45, ModuleSeconds: 0.05},
+				Direct:      ScalCell{Seconds: 1.438, Area: 42},
+				Lavagno:     ScalCell{Aborted: true, Seconds: 2.0},
+				ModularSpec: &ScalCell{Seconds: 0.04, Area: 45, ModuleSeconds: 0.02}},
 		},
 	}
 }

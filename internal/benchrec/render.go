@@ -211,21 +211,40 @@ func ClausesSection(rec *Record) string {
 	return b.String()
 }
 
-// ScalingSection renders the parametric handshake sweep.
+// ScalingSection renders the parametric handshake sweep. The spec
+// columns are the schema-5 speculative re-run of the modular method
+// (module-stage time sequential vs speculative at Workers=4); records
+// without ModularSpec cells render dashes there.
 func ScalingSection(rec *Record) string {
 	var b strings.Builder
 	b.WriteString("```\n")
-	fmt.Fprintf(&b, "%3s %8s | %11s %8s %9s | %11s %8s | %11s\n",
-		"k", "states", "modular-cpu", "mod-area", "mod-peak", "direct-cpu", "dir-area", "lavagno-cpu")
+	fmt.Fprintf(&b, "%3s %8s | %11s %9s %8s %9s | %9s %9s | %11s %8s | %11s\n",
+		"k", "states", "modular-cpu", "mod-stage", "mod-area", "mod-peak",
+		"spec-cpu", "spec-stage", "direct-cpu", "dir-area", "lavagno-cpu")
 	for _, s := range rec.Scaling {
 		mc, ma := scalCell(s.Modular)
 		dc, da := scalCell(s.Direct)
 		lc, _ := scalCell(s.Lavagno)
-		fmt.Fprintf(&b, "%3d %8d | %11s %8s %9s | %11s %8s | %11s\n",
-			s.K, s.States, mc, ma, peakCell(s.Modular), dc, da, lc)
+		sc, ss := "-", "-"
+		if s.ModularSpec != nil {
+			sc, _ = scalCell(*s.ModularSpec)
+			ss = stageCell(*s.ModularSpec)
+		}
+		fmt.Fprintf(&b, "%3d %8d | %11s %9s %8s %9s | %9s %9s | %11s %8s | %11s\n",
+			s.K, s.States, mc, stageCell(s.Modular), ma, peakCell(s.Modular),
+			sc, ss, dc, da, lc)
 	}
 	b.WriteString("```\n")
 	return b.String()
+}
+
+// stageCell renders a cell's module-stage time; pre-schema-5 records
+// and aborted cells carry zero and render as a dash.
+func stageCell(c ScalCell) string {
+	if c.ModuleSeconds == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.2fs", c.ModuleSeconds)
 }
 
 func scalCell(c ScalCell) (cpu, area string) {

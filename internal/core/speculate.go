@@ -1,0 +1,301 @@
+package core
+
+// Speculative partition-parallel module solving (DESIGN.md §3.15).
+//
+// The paper's modular decomposition makes every output's partition an
+// independent synthesis problem, but the sequential loop in runModules
+// exists for a reason: a module's solve may insert state signals into
+// the full graph, and every later module sees them — in its full-code
+// groupings, its outputStats baseline, its greedy input-set silencing,
+// and its quotient's ε-class joins. Parallelism here must therefore be
+// optimistic: workers solve modules speculatively against cheap
+// copy-on-write snapshots of the state-signal columns, and a
+// deterministic committer applies results strictly in the canonical
+// most-conflicted-first order, keeping a speculation only when the
+// graph (and cache) state it solved against is still exactly what the
+// sequential run would have seen at that point.
+//
+// The commit predicate is the epoch check: a lane's result commits iff
+// no committed predecessor inserted any state signal since the lane's
+// snapshot. Conceptually this is conflict detection by dependency
+// mask — a speculation is invalidated when a predecessor's insertions
+// intersect its input set — with the lane's dependency mask taken
+// conservatively as the graph's full Active mask, because an inserted
+// column changes the full-code grouping every later module's analysis
+// starts from (no narrower static mask is sound; see §3.15). The
+// common case — a predecessor that inserted nothing — commits all
+// speculation, which is exactly the paper's observation that the
+// first (most conflicted) module's signals resolve most of the
+// remaining conflicts for free.
+//
+// Wasted work is bounded by eager abort: every speculative attempt
+// runs under its own cancelable context, registered with its snapshot
+// epoch, and whenever a commit or inline re-solve inserts signals the
+// committer cancels every in-flight attempt whose epoch is now stale.
+// The SAT engines poll their context, so a doomed solve stops within
+// one poll interval and the worker retries against a fresh snapshot —
+// without this, a worker can grind a hopeless epoch-0 solve (which
+// must resolve its partition's entire conflict set by itself, instead
+// of inheriting the predecessors' insertions) while the commit front
+// waits on it. In the insertion-heavy worst case the stage degrades
+// to roughly sequential cost plus cancellation latency; in the
+// no-insertion common case no attempt is ever canceled.
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"asyncsyn/internal/csc"
+	"asyncsyn/internal/metrics"
+	"asyncsyn/internal/modcache"
+	"asyncsyn/internal/par"
+	"asyncsyn/internal/sg"
+	"asyncsyn/internal/stg"
+	"asyncsyn/internal/trace"
+)
+
+// useSpeculation decides whether the module stage runs the speculative
+// scheduler. A configured cache must be the concrete shared
+// implementation (so per-lane overlays can be layered over it); an
+// unknown Store implementation falls back to the sequential loop
+// rather than risking out-of-order cache writes.
+func useSpeculation(opt Options, nouts int) bool {
+	if opt.DisableSpeculation || nouts < 2 || par.Workers(opt.Workers) < 2 {
+		return false
+	}
+	if opt.SAT.Cache != nil {
+		if _, ok := modcache.BaseOf(opt.SAT.Cache); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// laneResult is one speculative module solve, staged for the committer:
+// everything the sequential loop body would have produced, computed
+// against the lane's private snapshot, plus the side effects held back
+// until commit (counters, trace events, cache writes).
+type laneResult struct {
+	snap    *sg.Graph // private snapshot; appended signals live in snap.StateSigs[base:]
+	base    int       // epoch: len(full.StateSigs) at snapshot time
+	is      InputSet
+	pr      *PartitionResult
+	widened bool
+	err     error
+	overlay  *modcache.Overlay // lane's cache view; nil when the run has no cache
+	counters metrics.Snapshot  // staged lane counters, merged on commit
+	rec      *trace.Recording  // staged trace events, replayed on commit
+}
+
+// specSched is the shared state of one speculative module stage: the
+// live graph, and the registry of in-flight attempts (their epochs and
+// cancel functions) that lets epoch advances abort doomed solves. mu
+// serializes every access to the live graph's mutable state
+// (full.StateSigs) during the stage — snapshot creation and epoch
+// reads on the worker side, committed appends and inline re-solves on
+// the committer side. Lane solves themselves run lock-free on their
+// snapshots.
+type specSched struct {
+	mu      sync.Mutex
+	full    *sg.Graph
+	cancels []context.CancelFunc // in-flight attempt cancels, by lane index
+	bases   []int                // in-flight attempt epochs, by lane index
+}
+
+// snapshot registers a fresh attempt for lane i: a copy-on-write
+// snapshot of the live graph, its epoch, and a cancelable context the
+// committer can abort if the epoch moves before the attempt finishes.
+func (s *specSched) snapshot(ctx context.Context, i int) (*sg.Graph, int, context.Context) {
+	actx, acancel := context.WithCancel(ctx)
+	s.mu.Lock()
+	snap, base := s.full.Snapshot(), len(s.full.StateSigs)
+	s.cancels[i], s.bases[i] = acancel, base
+	s.mu.Unlock()
+	return snap, base, actx
+}
+
+// finish deregisters lane i's attempt (releasing its context) and
+// reports whether its epoch is still current — i.e. whether the result
+// is, at this instant, exactly what a sequential run would compute.
+func (s *specSched) finish(i, base int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if c := s.cancels[i]; c != nil {
+		s.cancels[i] = nil
+		c()
+	}
+	return base == len(s.full.StateSigs)
+}
+
+// advanceLocked cancels every in-flight attempt whose snapshot predates
+// the live epoch. Callers hold mu and have just appended to
+// full.StateSigs (a commit that inserted signals, or an inline
+// re-solve).
+func (s *specSched) advanceLocked() {
+	n := len(s.full.StateSigs)
+	for j, c := range s.cancels {
+		if c != nil && s.bases[j] < n {
+			s.cancels[j] = nil
+			c()
+		}
+	}
+}
+
+// runModulesSpeculative is the parallel counterpart of runModules'
+// sequential loop. Workers claim outputs from the canonical order and
+// solve them speculatively; the calling goroutine is the committer,
+// processing results strictly in that same order. A result commits
+// as-is when its snapshot epoch still matches the live graph and its
+// cache overlay revalidates; otherwise the output is re-solved inline
+// on the live graph — the exact sequential code path — so the final
+// reports, inserted signal names, counters and digests are
+// bit-identical to the sequential loop for every worker count and
+// schedule.
+func runModulesSpeculative(ctx context.Context, full *sg.Graph, spec *stg.G, opt Options, res *Result,
+	outs []int, supports map[int]InputSet, passSigs map[int][]string) error {
+	parentMC := metrics.From(ctx)
+	var shared *modcache.Cache
+	if opt.SAT.Cache != nil {
+		shared, _ = modcache.BaseOf(opt.SAT.Cache) // non-nil: useSpeculation checked
+	}
+	workers := par.Workers(opt.Workers)
+	if workers > len(outs) {
+		workers = len(outs)
+	}
+
+	sched := &specSched{
+		full:    full,
+		cancels: make([]context.CancelFunc, len(outs)),
+		bases:   make([]int, len(outs)),
+	}
+
+	lctx, cancel := context.WithCancel(ctx)
+	slots := make([]chan laneResult, len(outs))
+	for i := range slots {
+		slots[i] = make(chan laneResult, 1) // buffered: workers never block on delivery
+	}
+	var next atomic.Int64
+	wait := par.Spawn(workers, func(int) {
+		// Each worker owns a pooled warm chain and incremental solver,
+		// Reset before every module so warm/incremental SAT keeps
+		// working per lane while staying indistinguishable from the
+		// fresh-per-module construction of the sequential path.
+		chain := csc.NewWarmChain()
+		incr := csc.NewChainSolver()
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= len(outs) {
+				return
+			}
+			slots[i] <- speculate(lctx, sched, spec, opt, outs[i], i, shared, chain, incr, parentMC)
+		}
+	})
+	defer func() {
+		// Cancel before waiting: an error return leaves workers
+		// mid-solve, and the lane context is what unblocks them.
+		cancel()
+		wait()
+	}()
+
+	for i, o := range outs {
+		r := <-slots[i]
+		name := full.Base[o].Name
+		sched.mu.Lock()
+		if r.base == len(full.StateSigs) && r.overlay.Commit() {
+			// Fresh: the lane solved against exactly the state the
+			// sequential run would have seen here, and its cache view
+			// revalidated, so its result — including the inserted
+			// signal names, which PartitionSAT numbered from the
+			// shared prefix length — commits verbatim.
+			full.StateSigs = append(full.StateSigs, r.snap.StateSigs[r.base:]...)
+			if len(full.StateSigs) > r.base {
+				sched.advanceLocked()
+			}
+			sched.mu.Unlock()
+			parentMC.Merge(r.counters)
+			parentMC.Add(metrics.ModspecCommits, 1)
+			r.rec.Replay()
+			recordModulePass(full, o, r.base, r.is, r.pr, r.widened, supports, passSigs, res)
+			if r.err != nil {
+				// Same contract as the sequential loop: the erroring
+				// output's report is recorded, then the stage stops.
+				return fmt.Errorf("output %q: %w", name, r.err)
+			}
+			continue
+		}
+		// Stale at the commit front (a predecessor inserted signals
+		// after the lane's final freshness check, or the lane's cache
+		// view failed revalidation): discard the speculation and
+		// re-solve inline on the live graph — the exact sequential
+		// path, under the real collector, tracer and shared cache. The
+		// lock is held across the solve because it appends to
+		// full.StateSigs; snapshot-taking workers wait, which is
+		// harmless — any snapshot taken mid-resolve would be stale by
+		// its end anyway.
+		parentMC.Add(metrics.ModspecAborts, 1)
+		parentMC.Add(metrics.ModspecResolves, 1)
+		before := len(full.StateSigs)
+		octx := trace.WithOutput(ctx, name)
+		is, pr, widened, err := solveModule(octx, full, DetermineInputSet(full, spec, o), opt.SAT)
+		sched.advanceLocked()
+		sched.mu.Unlock()
+		recordModulePass(full, o, before, is, pr, widened, supports, passSigs, res)
+		if err != nil {
+			return fmt.Errorf("output %q: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// speculate solves one output against a fresh snapshot, retrying with a
+// newer snapshot whenever the live graph moved while it solved —
+// usually because the committer canceled the attempt on an epoch
+// advance, occasionally because a commit landed in the narrow window
+// after the final freshness check. All side effects are staged:
+// counters in a private collector, trace events in a recording, cache
+// reads and writes in an overlay, and inserted signals in the
+// snapshot's private StateSigs tail.
+func speculate(ctx context.Context, sched *specSched, spec *stg.G, opt Options, o, i int,
+	shared *modcache.Cache, chain *csc.WarmChain, incr *csc.ChainSolver,
+	parentMC *metrics.Collector) laneResult {
+	for {
+		snap, base, actx := sched.snapshot(ctx, i)
+
+		lane := metrics.New()
+		lanectx := metrics.With(actx, lane)
+		lanectx = trace.WithOutput(lanectx, snap.Base[o].Name)
+		lanectx, rec := trace.Record(lanectx)
+
+		sopt := opt.SAT
+		sopt.Workers = 1 // the lanes are the parallelism; inner fan-out would oversubscribe
+		chain.Reset()
+		sopt.Chain = chain
+		if !sopt.NoIncremental {
+			incr.Reset()
+			sopt.Incr = incr
+		}
+		var overlay *modcache.Overlay
+		if shared != nil {
+			overlay = modcache.NewOverlay(shared)
+			sopt.Cache = overlay
+		}
+
+		is, pr, widened, err := solveModule(lanectx, snap, DetermineInputSet(snap, spec, o), sopt)
+		r := laneResult{snap: snap, base: base, is: is, pr: pr, widened: widened, err: err,
+			overlay: overlay, counters: lane.Snapshot(), rec: rec}
+		if sched.finish(i, base) || ctx.Err() != nil {
+			// Fresh (deliver the result — including a genuine solve
+			// error, which the committer surfaces only if it commits),
+			// or the whole stage is shutting down.
+			return r
+		}
+		// A committed predecessor inserted state signals this lane did
+		// not see; the attempt was (or is about to be) canceled. Retry
+		// against a fresh snapshot — the epoch can only advance a
+		// bounded number of times (once per inserted signal), so this
+		// terminates.
+		parentMC.Add(metrics.ModspecAborts, 1)
+	}
+}

@@ -1,0 +1,105 @@
+package core
+
+// Contract of speculative partition-parallel module solving (DESIGN.md
+// §3.15): for any worker count and schedule, the module stage produces
+// exactly the sequential loop's outputs — same OutputReport sequence,
+// same inserted state-signal names, same supports and pass signals.
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"testing"
+
+	"asyncsyn/internal/bench"
+	"asyncsyn/internal/sg"
+)
+
+// moduleStageFingerprint flattens everything runModules produces.
+func moduleStageFingerprint(full *sg.Graph, supports map[int]InputSet, passSigs map[int][]string, res *Result) string {
+	s := fmt.Sprintf("inserted=%d\n", res.Inserted)
+	for _, ss := range full.StateSigs {
+		s += "sig " + ss.Name + "\n"
+	}
+	for _, r := range res.Outputs {
+		s += fmt.Sprintf("out %s in=%v sigs=%v merged=%d/%d ncsc=%d lb=%d new=%d widened=%v formulas=%d\n",
+			r.Output, r.InputSet, r.StateSigs, r.MergedStates, r.MergedEdges, r.Ncsc, r.Lb, r.NewSignals, r.Widened, len(r.Formulas))
+	}
+	keys := make([]int, 0, len(supports))
+	for o := range supports {
+		keys = append(keys, o)
+	}
+	sort.Ints(keys)
+	for _, o := range keys {
+		is := supports[o]
+		s += fmt.Sprintf("support %d mask=%x silenced=%x kept=%v pass=%v\n", o, is.Mask, is.Silenced, is.StateSigs, passSigs[o])
+	}
+	return s
+}
+
+func runModuleStage(t testing.TB, name string, opt Options) string {
+	t.Helper()
+	spec, err := bench.Load(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := sg.FromSTG(spec, sg.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt = opt.withDefaults()
+	res := &Result{Name: spec.Name}
+	supports, passSigs, err := runModules(context.Background(), full, spec, opt, res)
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	return moduleStageFingerprint(full, supports, passSigs, res)
+}
+
+// TestRunModulesSpeculativeParity pins the speculative scheduler
+// bit-identical to the sequential loop at the module-stage level, for
+// worker counts around and above the output count.
+func TestRunModulesSpeculativeParity(t *testing.T) {
+	for _, name := range []string{"fifo", "sbuf-read-ctl", "nak-pa", "mmu1"} {
+		t.Run(name, func(t *testing.T) {
+			want := runModuleStage(t, name, Options{Workers: 1})
+			for _, w := range []int{2, 4, 8} {
+				if got := runModuleStage(t, name, Options{Workers: w}); got != want {
+					t.Errorf("Workers=%d diverges from sequential:\n--- got ---\n%s--- want ---\n%s", w, got, want)
+				}
+				got := runModuleStage(t, name, Options{Workers: w, DisableSpeculation: true})
+				if got != want {
+					t.Errorf("Workers=%d DisableSpeculation diverges:\n--- got ---\n%s--- want ---\n%s", w, got, want)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRunModules measures the module-solve stage — the dominant
+// cost between the k=6 sweep and million-state graphs — speculative
+// versus sequential. The graph build is inside the loop (runModules
+// mutates the graph), so treat deltas, not absolutes, as the signal;
+// the allocs/op of both variants are gated by cmd/allocheck.
+func BenchmarkRunModules(b *testing.B) {
+	spec, err := bench.Load("mmu1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(b *testing.B, opt Options) {
+		opt = opt.withDefaults()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			full, err := sg.FromSTG(spec, sg.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			res := &Result{Name: spec.Name}
+			if _, _, err := runModules(context.Background(), full, spec, opt, res); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("speculative-w4", func(b *testing.B) { run(b, Options{Workers: 4}) })
+	b.Run("sequential", func(b *testing.B) { run(b, Options{Workers: 4, DisableSpeculation: true}) })
+}

@@ -32,6 +32,9 @@ var kindHelp = [numKinds]string{
 	SGPeakFrontier:   "Widest BFS wave reached by any streaming expansion.",
 	CachePeerHits:    "Module solves answered by a peer node's cache.",
 	CachePeerMisses:  "Remote-tier lookups that found no peer record.",
+	ModspecCommits:   "Speculative module solves committed as computed.",
+	ModspecAborts:    "Speculative module solves discarded as stale.",
+	ModspecResolves:  "Modules re-solved inline after a stale speculation.",
 }
 
 // WriteProm renders the collector's counters in the Prometheus text

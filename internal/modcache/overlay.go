@@ -1,0 +1,119 @@
+package modcache
+
+import (
+	"context"
+
+	"asyncsyn/internal/metrics"
+)
+
+// Overlay is a speculative, lane-private view of a shared Cache. A
+// speculative module solve must behave exactly as the sequential run
+// would have — same hits, same misses, same counters — but it cannot
+// write into the shared cache, because its writes would land out of
+// canonical order and change what later (canonically earlier!) modules
+// observe. The overlay therefore:
+//
+//   - answers reads from its own private entries first, then from the
+//     shared cache's local tiers (memory and disk, via peek — no
+//     counters, no singleflight), then from the shared remote tier;
+//   - records every shared-tier miss, in order, for commit-time
+//     revalidation;
+//   - stores solved (and peer-fetched) entries privately, in solve
+//     order.
+//
+// At the lane's deterministic commit point, Commit revalidates each
+// recorded miss against the shared cache: if any key has appeared
+// since, the sequential run would have hit where this lane missed (its
+// counters, warm absorptions, and solve work differ), so the whole
+// lane result is reported as a conflict and the caller re-solves
+// inline; otherwise the private entries merge into the shared cache in
+// solve order, exactly as the sequential run would have stored them.
+// Note the shared cache only ever gains entries from pre-existing state
+// and canonically earlier commits, so every hit an overlay observes is
+// one the sequential run would also have taken — only misses can be
+// invalidated, and those are exactly what Commit revalidates.
+//
+// Lanes deliberately bypass the shared singleflight: two lanes solving
+// the same key concurrently each solve it privately (the sequential run
+// would have solved it once and hit the second time — which is exactly
+// what revalidation detects, forcing the later lane to re-solve
+// inline). An Overlay is not safe for concurrent use; it belongs to
+// one speculative lane.
+type Overlay struct {
+	shared *Cache
+	priv   map[Key]*Entry
+	order  []Key // private stores, in solve order
+	misses []Key // shared-tier misses, for commit-time revalidation
+}
+
+// NewOverlay returns an empty overlay over the shared cache.
+func NewOverlay(shared *Cache) *Overlay {
+	return &Overlay{shared: shared, priv: make(map[Key]*Entry)}
+}
+
+// Do implements Store with the overlay semantics above. Counter
+// placement mirrors Cache.Do exactly: a private or shared-tier hit is
+// a CacheHits, a peer fetch is CachePeerHits (served as a hit, no
+// CacheHits) or CachePeerMisses, and a local solve is CacheMisses.
+// Errors are never stored.
+func (o *Overlay) Do(ctx context.Context, key Key, solve func() (*Entry, error)) (*Entry, bool, error) {
+	mc := metrics.From(ctx)
+	if e, ok := o.priv[key]; ok {
+		mc.Add(metrics.CacheHits, 1)
+		return e.clone(), true, nil
+	}
+	if e := o.shared.peek(key); e != nil {
+		mc.Add(metrics.CacheHits, 1)
+		return e, true, nil
+	}
+	o.misses = append(o.misses, key)
+	if remote := o.shared.remoteTier(); remote != nil {
+		if e, ferr := remote.Fetch(ctx, key); ferr == nil && e != nil {
+			o.put(key, e.clone())
+			mc.Add(metrics.CachePeerHits, 1)
+			return e, true, nil
+		}
+		mc.Add(metrics.CachePeerMisses, 1)
+	}
+	mc.Add(metrics.CacheMisses, 1)
+	val, err := solve()
+	if err != nil {
+		return val, false, err
+	}
+	o.put(key, val.clone())
+	return val, false, nil
+}
+
+func (o *Overlay) put(key Key, e *Entry) {
+	o.priv[key] = e
+	o.order = append(o.order, key)
+}
+
+// Commit revalidates the overlay against the shared cache and, when
+// clean, merges the private entries into it in solve order (first
+// write wins). It returns false — merging nothing — when any recorded
+// miss has since become resolvable from the shared tiers: the lane's
+// observed cache behavior no longer matches what the sequential order
+// would have produced, and the caller must discard the lane and
+// re-solve inline. Only the deterministic commit loop may call Commit,
+// and it must do so in canonical order; the overlay is spent
+// afterwards. Nil-safe (a nil overlay commits trivially).
+func (o *Overlay) Commit() bool {
+	if o == nil {
+		return true
+	}
+	for _, key := range o.misses {
+		if o.shared.contains(key) {
+			return false
+		}
+	}
+	for _, key := range o.order {
+		o.shared.putIfAbsent(key, o.priv[key])
+	}
+	return true
+}
+
+var (
+	_ Store = (*Cache)(nil)
+	_ Store = (*Overlay)(nil)
+)

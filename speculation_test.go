@@ -1,0 +1,117 @@
+package asyncsyn
+
+// Speculation contract at the facade (DESIGN.md §3.15): the speculative
+// partition-parallel module scheduler is an invisible optimisation.
+// Every externally visible artifact — module reports, inserted signal
+// names, function covers, digests, and the deterministic counters — is
+// bit-identical across worker counts and across the speculation /
+// no-speculation ablation. The only trace it leaves is in the raw
+// collector (modspec_* counters), which Circuit.Counters filters out.
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"asyncsyn/internal/metrics"
+	"asyncsyn/internal/stg"
+)
+
+// TestSpeculationParity pins bit-identical results for speculative runs
+// at several worker counts against the sequential baseline, plus the
+// DisableSpeculation ablation, on the Table-1 benchmarks.
+func TestSpeculationParity(t *testing.T) {
+	names := []string{"vbe4a", "nak-pa", "sbuf-ram-write"}
+	if !testing.Short() {
+		names = append(names, "mmu1")
+	}
+	for _, name := range names {
+		t.Run(name, func(t *testing.T) {
+			seq := synthWorkers(t, name, Options{Workers: 1, Metrics: NewMetrics()})
+			want := fingerprint(seq) + counterFingerprint(seq)
+			wantDigest := seq.Digest()
+			variants := []Options{
+				{Workers: 4},
+				{Workers: 8},
+				{Workers: 4, DisableSpeculation: true},
+			}
+			for _, opt := range variants {
+				opt.Metrics = NewMetrics()
+				c := synthWorkers(t, name, opt)
+				label := fmt.Sprintf("Workers=%d nospec=%v", opt.Workers, opt.DisableSpeculation)
+				if got := fingerprint(c) + counterFingerprint(c); got != want {
+					t.Errorf("%s diverges from sequential:\n--- got ---\n%s--- want ---\n%s", label, got, want)
+				}
+				if got := c.Digest(); got != wantDigest {
+					t.Errorf("%s digest = %s, want %s", label, got, wantDigest)
+				}
+				// The scheduling-dependent modspec counters must never
+				// leak into the deterministic Circuit.Counters view.
+				for k := range c.Counters {
+					if strings.HasPrefix(k, "modspec_") {
+						t.Errorf("%s: scheduling-dependent counter %q in Circuit.Counters", label, k)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSpeculationCounters checks the raw collector's accounting: every
+// module either committed as speculated or was re-solved inline, and
+// sequential or ablated runs never speculate at all.
+func TestSpeculationCounters(t *testing.T) {
+	m := NewMetrics()
+	c := synthWorkers(t, "nak-pa", Options{Workers: 4, Metrics: m})
+	commits := m.Value(metrics.ModspecCommits)
+	resolves := m.Value(metrics.ModspecResolves)
+	if got, want := commits+resolves, int64(len(c.Modules)); got != want {
+		t.Errorf("commits(%d)+resolves(%d) = %d, want modules = %d", commits, resolves, got, want)
+	}
+	if commits == 0 {
+		t.Error("speculative run committed nothing — scheduler not engaged")
+	}
+
+	for _, opt := range []Options{{Workers: 1}, {Workers: 4, DisableSpeculation: true}} {
+		m := NewMetrics()
+		opt.Metrics = m
+		synthWorkers(t, "nak-pa", opt)
+		for _, k := range []metrics.Kind{metrics.ModspecCommits, metrics.ModspecAborts, metrics.ModspecResolves} {
+			if v := m.Value(k); v != 0 {
+				t.Errorf("Workers=%d nospec=%v: %s = %d, want 0", opt.Workers, opt.DisableSpeculation, k, v)
+			}
+		}
+	}
+}
+
+// TestSpeculationRandomSTGParity extends the parity contract beyond the
+// curated benchmarks: seeded random STGs, round-tripped through the
+// text format, synthesized at Workers 1 and 8.
+func TestSpeculationRandomSTGParity(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		spec, err := stg.Random(seed, stg.RandomOptions{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		g, err := ParseSTGString(stg.Format(spec))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		seq, err := Synthesize(g, Options{Workers: 1, Metrics: NewMetrics()})
+		if err != nil {
+			t.Logf("seed %d: sequential synthesis failed (%v), skipping", seed, err)
+			continue
+		}
+		par, err := Synthesize(g, Options{Workers: 8, Metrics: NewMetrics()})
+		if err != nil {
+			t.Errorf("seed %d: parallel synthesis failed where sequential succeeded: %v", seed, err)
+			continue
+		}
+		if got, want := fingerprint(par)+counterFingerprint(par), fingerprint(seq)+counterFingerprint(seq); got != want {
+			t.Errorf("seed %d: Workers=8 diverges from Workers=1:\n--- got ---\n%s--- want ---\n%s", seed, got, want)
+		}
+		if par.Digest() != seq.Digest() {
+			t.Errorf("seed %d: digest %s != %s", seed, par.Digest(), seq.Digest())
+		}
+	}
+}
