@@ -10,6 +10,8 @@
 //	bench -out BENCH_2.json             # run everything, write the record
 //	bench -quick -out q.json            # small rows only, no sweeps
 //	bench -against BENCH_0.json         # run, then diff against a baseline
+//	bench -against baselines/           # ... against the highest-numbered
+//	                                    #     BENCH_*.json in the directory
 //	bench -against old.json new.json    # diff two existing records
 //	bench -render BENCH_0.json          # regenerate EXPERIMENTS.md sections
 //	bench -render BENCH_0.json -check   # verify the doc is in sync
@@ -28,8 +30,11 @@ import (
 	"fmt"
 	"os"
 	"os/exec"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -44,7 +49,7 @@ import (
 func main() {
 	out := flag.String("out", "", "write the record as JSON to this path (default: stdout when running)")
 	quick := flag.Bool("quick", false, "run only the small rows (paper initial states ≤ 100) and skip the clause/scaling sweeps")
-	against := flag.String("against", "", "baseline record to compare with; fresh record is an optional positional arg, else the suite runs")
+	against := flag.String("against", "", "baseline record to compare with (a directory selects its highest-numbered BENCH_*.json); fresh record is an optional positional arg, else the suite runs")
 	render := flag.String("render", "", "regenerate the generated sections of -doc from this record instead of running")
 	doc := flag.String("doc", "EXPERIMENTS.md", "document whose generated sections -render rewrites")
 	check := flag.Bool("check", false, "with -render: verify the doc is already in sync instead of rewriting it")
@@ -179,6 +184,10 @@ func doRun(out string, quick bool, workers int, maxBT int64, cacheDir string, no
 }
 
 func doCompare(baseline, freshPath, out string, quick bool, workers int, maxBT int64, cacheDir string, noIncr, noStream, noSpec, requireHits bool) error {
+	baseline, err := resolveBaseline(baseline)
+	if err != nil {
+		return err
+	}
 	old, err := benchrec.ReadFile(baseline)
 	if err != nil {
 		return err
@@ -218,6 +227,47 @@ func doCompare(baseline, freshPath, out string, quick bool, workers int, maxBT i
 		fmt.Printf("bench: fresh record shows %d solve-cache hits\n", hits)
 	}
 	return nil
+}
+
+// resolveBaseline turns a -against directory into its highest-numbered
+// BENCH_*.json record — the conventional "latest committed baseline" —
+// so CI can point at the baselines directory without editing the
+// workflow every time a new record lands. Numbers compare numerically
+// (BENCH_10 beats BENCH_9); ties and unnumbered records fall back to
+// lexical order. A file path passes through untouched.
+func resolveBaseline(path string) (string, error) {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return "", err
+	}
+	if !fi.IsDir() {
+		return path, nil
+	}
+	matches, err := filepath.Glob(filepath.Join(path, "BENCH_*.json"))
+	if err != nil {
+		return "", err
+	}
+	if len(matches) == 0 {
+		return "", fmt.Errorf("-against %s: no BENCH_*.json records in directory", path)
+	}
+	num := func(p string) int {
+		base := strings.TrimSuffix(strings.TrimPrefix(filepath.Base(p), "BENCH_"), ".json")
+		n, err := strconv.Atoi(base)
+		if err != nil {
+			return -1
+		}
+		return n
+	}
+	sort.Slice(matches, func(i, j int) bool {
+		ni, nj := num(matches[i]), num(matches[j])
+		if ni != nj {
+			return ni < nj
+		}
+		return matches[i] < matches[j]
+	})
+	best := matches[len(matches)-1]
+	fmt.Fprintf(os.Stderr, "bench: -against %s resolved to %s\n", path, best)
+	return best, nil
 }
 
 // cacheHits totals every modcache_hits counter in a record, across the

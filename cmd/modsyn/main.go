@@ -7,6 +7,17 @@
 //	       [-workers N] [-timeout D] [-trace file] [-cachedir dir] [-nocache]
 //	       [-expandxor] [-fullsupport] [-v] file.g
 //	modsyn -bench name        # synthesize an embedded benchmark
+//	modsyn -project dir/      # incremental suite mode over a directory
+//	       [-rundb dir] [-recheck]
+//
+// Project suite mode walks the .g files of a directory against a
+// persistent run database (internal/rundb; default <dir>/.rundb, or
+// -rundb to share one): entries whose content/options hash matches a
+// banked record are skipped without a single solve, everything else is
+// re-synthesized and recorded. -recheck re-synthesizes banked entries
+// too and hard-fails if any digest diverges from the bank — the
+// incremental contract is that an unchanged key reproduces a
+// bit-identical circuit.
 //
 // -workers N bounds the worker pool for the pipeline's parallel stages
 // (0 = GOMAXPROCS, 1 = sequential); the synthesized circuit is
@@ -28,13 +39,16 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"asyncsyn"
 	"asyncsyn/internal/bench"
+	"asyncsyn/internal/rundb"
 	"asyncsyn/internal/synerr"
 )
 
@@ -56,6 +70,9 @@ func main() {
 	noCache := flag.Bool("nocache", false, "disable the module solve cache entirely")
 	timeout := flag.Duration("timeout", 0, "wall-clock bound for the run (0 = none; e.g. 30s)")
 	tracePath := flag.String("trace", "", "write JSON-lines trace events (stage and formula) to this file (\"-\" = stderr)")
+	project := flag.String("project", "", "incremental suite mode: synthesize every .g file under this directory, skipping entries banked in the run database")
+	runDBDir := flag.String("rundb", "", "run database directory for -project (default <project>/.rundb)")
+	recheck := flag.Bool("recheck", false, "with -project: re-synthesize banked entries too and hard-fail on digest divergence")
 	flag.Parse()
 
 	opt := asyncsyn.Options{
@@ -87,6 +104,14 @@ func main() {
 	}
 	if opt.Engine, err = asyncsyn.ParseEngine(*engine); err != nil {
 		fatalClass(synerr.ClassParse, "%v", err)
+	}
+
+	if *project != "" {
+		if flag.NArg() != 0 || *benchName != "" {
+			fatalClass(synerr.ClassParse, "-project is exclusive with a file argument or -bench")
+		}
+		runProject(*project, *runDBDir, opt, *recheck)
+		return
 	}
 
 	var g *asyncsyn.STG
@@ -180,6 +205,33 @@ func main() {
 			fmt.Printf("  %-10s m=%d  %5d vars %7d clauses  %s  %s  %v\n",
 				out, f.Signals, f.Vars, f.Clauses, f.Status, eng, f.Time)
 		}
+	}
+}
+
+// runProject drives the incremental suite mode and prints the
+// per-entry report plus the summary line CI greps
+// ("project: N entries, S skipped, R resynthesized").
+func runProject(dir, dbDir string, opt asyncsyn.Options, recheck bool) {
+	if dbDir == "" {
+		dbDir = filepath.Join(dir, ".rundb")
+	}
+	db, err := rundb.Open(dbDir)
+	if err != nil {
+		fatalErr("rundb", err)
+	}
+	fmt.Printf("project %s  (rundb %s, method %s)\n", dir, dbDir, opt.Method)
+	res, err := rundb.RunProject(context.Background(), db, dir, opt, recheck, func(format string, args ...any) {
+		fmt.Printf(format+"\n", args...)
+	})
+	if res != nil {
+		fmt.Printf("project: %d entries, %d skipped, %d resynthesized\n",
+			len(res.Entries), res.Skipped, res.Resynthesized)
+	}
+	if errors.Is(err, rundb.ErrDivergence) {
+		fatalClass(synerr.ClassInternal, "%v", err)
+	}
+	if err != nil {
+		fatalErr("project", err)
 	}
 }
 

@@ -6,10 +6,10 @@
 //
 // Usage:
 //
-//	modsynd [-addr host:port] [-cachedir dir] [-maxinflight N]
-//	        [-queuedepth N] [-timeout D] [-maxtimeout D] [-workers N]
-//	        [-retryafter D] [-nocache] [-peers host1,host2,...]
-//	        [-peertimeout D]
+//	modsynd [-addr host:port] [-cachedir dir] [-rundb dir]
+//	        [-maxinflight N] [-queuedepth N] [-timeout D] [-maxtimeout D]
+//	        [-workers N] [-retryafter D] [-nocache]
+//	        [-peers host1,host2,...] [-peertimeout D]
 //	modsynd -shards host1,host2,... [-addr host:port]
 //	        [-shardtimeout D] [-replicas N]
 //
@@ -20,6 +20,9 @@
 //	                      "async": true returns a job id immediately)
 //	POST /v1/batch        synthesize an STG suite in one admission
 //	GET  /v1/jobs/{id}    poll an async job
+//	GET  /v1/runs         run history from the -rundb database
+//	                      (?signature=, ?model=, ?offset=, ?limit=)
+//	GET  /v1/runs/{id}    one full run record
 //	GET  /v1/benchmarks   list the embedded benchmark names
 //	GET  /v1/cache/{key}  serve a solve-cache record to a peer
 //	PUT  /v1/cache/{key}  accept a solve-cache record from a peer
@@ -27,8 +30,8 @@
 //	GET  /healthz         liveness (503 while draining)
 //
 // Router mode serves the same /v1/synthesize, /v1/batch, /v1/jobs,
-// /v1/benchmarks surface plus pool-level /metrics and /healthz; the
-// cache exchange stays shard-to-shard. Requests are forwarded to the
+// /v1/runs, /v1/benchmarks surface plus pool-level /metrics and
+// /healthz; the cache exchange stays shard-to-shard. Requests are forwarded to the
 // shard owning the specification's signature on a consistent-hash
 // ring, with failover to the next ring position when a shard is down,
 // draining, or overloaded.
@@ -59,6 +62,7 @@ import (
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8713", "listen address")
 	cacheDir := flag.String("cachedir", "", "back the shared solve cache with on-disk records under this directory")
+	runDBDir := flag.String("rundb", "", "record every completed synthesis in a run database under this directory and serve history on /v1/runs")
 	noCache := flag.Bool("nocache", false, "disable the shared solve cache")
 	maxInflight := flag.Int("maxinflight", 0, "max concurrently running synthesis jobs (0 = GOMAXPROCS)")
 	queueDepth := flag.Int("queuedepth", -1, "max admitted jobs waiting for a slot (0 = reject when busy; -1 = default 64)")
@@ -91,6 +95,7 @@ func main() {
 		Workers:        *workers,
 		CacheDir:       *cacheDir,
 		DisableCache:   *noCache,
+		RunDBDir:       *runDBDir,
 		Peers:          splitList(*peers),
 		PeerTimeout:    *peerTimeout,
 	}
@@ -109,7 +114,7 @@ func main() {
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
-	log.Printf("modsynd: listening on %s (cachedir=%q peers=%q)", *addr, *cacheDir, *peers)
+	log.Printf("modsynd: listening on %s (cachedir=%q rundb=%q peers=%q)", *addr, *cacheDir, *runDBDir, *peers)
 
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)

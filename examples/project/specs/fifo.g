@@ -1,0 +1,17 @@
+# Reconstruction of fifo: a one-place FIFO controller coupling an input
+# handshake (ri/ai) to an output handshake (ro/ao); the output handshake
+# overlaps the release phase of the input handshake.
+.model fifo
+.inputs ri ao
+.outputs ai ro
+.graph
+ri+ ai+
+ai+ ri-
+ri- ai- ro+
+ai- ri+
+ro+ ao+
+ao+ ro-
+ro- ao-
+ao- ai+
+.marking { <ai-,ri+> <ao-,ai+> }
+.end

@@ -1,0 +1,35 @@
+# Reconstruction of nak-pa: positive/negative acknowledge protocol; two
+# concurrent data-latch handshakes run for the first attempt and again
+# for the retry, separated by strobe and NAK pulses.
+.model nak-pa
+.inputs req d1 d2
+.outputs lat1 lat2 stb ack nak y
+.graph
+req+ lat1+ lat2+
+lat1+ d1+
+d1+ lat1-
+lat1- d1-
+lat2+ d2+
+d2+ lat2-
+lat2- d2-
+d1- stb+
+d2- stb+
+stb+ y+
+y+ stb-
+stb- lat1+/2 lat2+/2
+lat1+/2 d1+/2
+d1+/2 lat1-/2
+lat1-/2 d1-/2
+lat2+/2 d2+/2
+d2+/2 lat2-/2
+lat2-/2 d2-/2
+d1-/2 nak+
+d2-/2 nak+
+nak+ y-
+y- nak-
+nak- ack+
+ack+ req-
+req- ack-
+ack- req+
+.marking { <ack-,req+> }
+.end

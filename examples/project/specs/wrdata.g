@@ -1,0 +1,24 @@
+# Reconstruction of wrdata: two write rounds whose internal strobes fire
+# in opposite orders, re-using codes with different enabled outputs.
+.model wrdata
+.inputs r
+.outputs a x y
+.graph
+r+ x+
+x+ y+
+y+ a+
+a+ r-
+r- x-
+x- y-
+y- a-
+a- r+/2
+r+/2 y+/2
+y+/2 x+/2
+x+/2 a+/2
+a+/2 r-/2
+r-/2 x-/2
+x-/2 y-/2
+y-/2 a-/2
+a-/2 r+
+.marking { <a-/2,r+> }
+.end

@@ -12,6 +12,7 @@ import (
 
 	"asyncsyn"
 	"asyncsyn/internal/bench"
+	"asyncsyn/internal/rundb"
 	"asyncsyn/internal/synerr"
 	"asyncsyn/internal/trace"
 )
@@ -89,6 +90,16 @@ type Response struct {
 
 	CPUMS  float64 `json:"cpu_ms,omitempty"`
 	Digest string  `json:"digest,omitempty"`
+	// Signature is the canonical problem signature: the hex SHA-256 of
+	// the canonical rendering of the parsed STG (the cluster routing
+	// key and the rundb content hash). Clients correlate synthesize and
+	// job responses with GET /v1/runs?signature=... through it without
+	// re-deriving anything.
+	Signature string `json:"signature,omitempty"`
+	// Run is the id of the run-history record this synthesis produced
+	// (GET /v1/runs/{id}); present only when the daemon has a run
+	// database configured.
+	Run string `json:"run,omitempty"`
 	// Deduped reports that this response was served by joining an
 	// identical concurrent request's run.
 	Deduped bool `json:"deduped,omitempty"`
@@ -107,6 +118,9 @@ type Response struct {
 type parsedRequest struct {
 	key   string // content hash of (STG text, options, trace)
 	stg   *asyncsyn.STG
+	canon string // canonical rendering (stg.Format of the parse)
+	sig   string // canonical problem signature (rundb.Signature of canon)
+	bench string // embedded benchmark name, when the request used one
 	opts  asyncsyn.Options
 	trace bool
 	async bool
@@ -175,7 +189,9 @@ func (s *Server) resolveRequest(req Request, wantTrace bool) (*parsedRequest, er
 	}
 
 	p := &parsedRequest{
-		stg: g,
+		stg:   g,
+		canon: g.Format(),
+		bench: req.Bench,
 		opts: asyncsyn.Options{
 			Method:        method,
 			Engine:        engine,
@@ -190,6 +206,7 @@ func (s *Server) resolveRequest(req Request, wantTrace bool) (*parsedRequest, er
 		async: req.Async,
 	}
 	p.key = contentKey(src, p.opts, p.trace)
+	p.sig = rundb.Signature(p.canon)
 	return p, nil
 }
 
@@ -218,13 +235,36 @@ func (s *Server) synthesize(ctx context.Context, j *job) (*Response, int) {
 	}
 	c, err := asyncsyn.SynthesizeContext(ctx, j.stg, opts)
 	resp, status := buildResponse(c, err)
+	resp.Signature = j.sig
 	if buf != nil {
 		resp.Trace = buf.Events()
+	}
+	if s.rundb != nil && c != nil && err == nil {
+		resp.Run = s.recordRun(c, j)
 	}
 	return resp, status
 }
 
-// buildResponse maps a facade outcome to the wire: errors classify
+// recordRun banks one completed synthesis in the run database and
+// returns the record id (empty when the write failed — history is
+// best-effort, the response is not). A digest that diverged from the
+/// banked record under an unchanged key is a determinism regression:
+// it stays flagged on the record and bumps the divergence counter so
+// a scrape catches it the moment it appears.
+func (s *Server) recordRun(c *asyncsyn.Circuit, j *job) string {
+	rec := rundb.RecordOf(c, j.canon, rundb.OptionsOf(j.opts))
+	rec.Bench = j.bench
+	if _, err := s.rundb.Record(rec); err != nil {
+		return ""
+	}
+	s.stats.runsRecorded.Add(1)
+	if rec.Divergent {
+		s.stats.runDivergences.Add(1)
+	}
+	return rec.ID
+}
+
+/// buildResponse maps a facade outcome to the wire: errors classify
 // through synerr.ClassOf; a budget abort (Circuit.Aborted) answers 422
 // with the partial statistics, mirroring the paper's Table 1 rows that
 // print aborted runs.
@@ -308,6 +348,7 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 	if req.async {
 		s.writeJSON(w, http.StatusAccepted, &Response{
 			Job: j.id, Status: j.getState().String(), Deduped: deduped,
+			Signature: j.sig,
 		}, start)
 		return
 	}
@@ -338,7 +379,7 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if st := j.getState(); st != jobDone {
-		s.writeJSON(w, http.StatusAccepted, &Response{Job: j.id, Status: st.String()}, start)
+		s.writeJSON(w, http.StatusAccepted, &Response{Job: j.id, Status: st.String(), Signature: j.sig}, start)
 		return
 	}
 	resp, status := j.outcome()

@@ -35,6 +35,9 @@ type job struct {
 	key string // content hash of (STG text, options)
 
 	stg   *asyncsyn.STG
+	canon string // canonical STG rendering (run-database content key)
+	sig   string // canonical problem signature (reported on responses)
+	bench string // embedded benchmark name, when the request used one
 	opts  asyncsyn.Options
 	trace bool
 
@@ -110,9 +113,12 @@ func (s *Server) admit(req *parsedRequest) (j *job, deduped bool, httpStatus int
 
 	s.seq++
 	j = &job{
-		id:   fmt.Sprintf("j%06d-%s", s.seq, req.key[:8]),
-		key:  req.key,
+		id:    fmt.Sprintf("j%06d-%s", s.seq, req.key[:8]),
+		key:   req.key,
 		stg:   req.stg,
+		canon: req.canon,
+		sig:   req.sig,
+		bench: req.bench,
 		opts:  req.opts,
 		trace: req.trace,
 		done:  make(chan struct{}),

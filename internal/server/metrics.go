@@ -34,6 +34,9 @@ type stats struct {
 	rejected atomic.Int64 // requests answered 429
 	deduped  atomic.Int64 // requests that joined an identical in-flight job
 
+	runsRecorded   atomic.Int64 // completed runs banked in the run database
+	runDivergences atomic.Int64 // banked runs whose digest moved under an unchanged key
+
 	byStatus [len(statusCodes) + 1]atomic.Int64
 	latency  [len(latencyBounds) + 1]atomic.Int64 // +Inf bucket last
 	latCount atomic.Int64
@@ -85,6 +88,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("modsynd_admitted_total", "Jobs admitted (run or queued).", st.admitted.Load())
 	counter("modsynd_rejected_total", "Requests rejected with 429 (queue full).", st.rejected.Load())
 	counter("modsynd_deduped_total", "Requests that joined an identical in-flight job.", st.deduped.Load())
+	counter("modsynd_runs_recorded_total", "Completed runs banked in the run database.", st.runsRecorded.Load())
+	counter("modsynd_run_divergences_total", "Banked runs whose digest changed under an unchanged key.", st.runDivergences.Load())
 
 	fmt.Fprintf(w, "# HELP modsynd_requests_total Finished HTTP requests by status code.\n")
 	fmt.Fprintf(w, "# TYPE modsynd_requests_total counter\n")

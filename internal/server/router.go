@@ -7,12 +7,15 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"asyncsyn"
 	"asyncsyn/internal/bench"
+	"asyncsyn/internal/rundb"
 	"asyncsyn/internal/synerr"
 )
 
@@ -97,6 +100,8 @@ var routerRoutes = []struct {
 	{"POST /v1/synthesize", func(rt *Router) http.HandlerFunc { return rt.handleSynthesize }},
 	{"POST /v1/batch", func(rt *Router) http.HandlerFunc { return rt.handleBatch }},
 	{"GET /v1/jobs/{id}", func(rt *Router) http.HandlerFunc { return rt.handleJob }},
+	{"GET /v1/runs", func(rt *Router) http.HandlerFunc { return rt.handleRuns }},
+	{"GET /v1/runs/{id}", func(rt *Router) http.HandlerFunc { return rt.handleRun }},
 	{"GET /v1/benchmarks", func(rt *Router) http.HandlerFunc { return rt.handleBenchmarks }},
 	{"GET /metrics", func(rt *Router) http.HandlerFunc { return rt.handleMetrics }},
 	{"GET /healthz", func(rt *Router) http.HandlerFunc { return rt.handleHealthz }},
@@ -297,6 +302,149 @@ func (rt *Router) handleJob(w http.ResponseWriter, r *http.Request) {
 	}
 	if best == nil {
 		rt.writeJSON(w, http.StatusNotFound, &Response{Error: "no such job", Class: "not_found"}, start)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Modsynd-Shard", rt.shards[best.shard])
+	w.WriteHeader(best.status)
+	w.Write(best.body)
+	rt.stats.record(best.status, start)
+}
+
+// handleRuns fans GET /v1/runs out to every shard and merges the
+// pages: run history is shard-local (each shard records the jobs it
+// executed), so the cluster view is the union. Each shard is asked for
+// the window [0, offset+limit) of its own newest-first history; the
+// merged result is re-sorted newest first and the requested window
+// sliced locally. Total is the sum of the shard totals. Shards without
+// a run database (or down) contribute nothing; if no shard has one,
+// the 503 is relayed.
+func (rt *Router) handleRuns(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	q := r.URL.Query()
+	offset, err := queryInt(q.Get("offset"), 0)
+	if err != nil {
+		rt.writeError(w, synerr.Parse(fmt.Errorf("offset: %w", err)), start)
+		return
+	}
+	limit, err := queryInt(q.Get("limit"), 0)
+	if err != nil {
+		rt.writeError(w, synerr.Parse(fmt.Errorf("limit: %w", err)), start)
+		return
+	}
+	if limit <= 0 {
+		limit = rundb.DefaultLimit
+	}
+	if limit > rundb.MaxLimit {
+		limit = rundb.MaxLimit
+	}
+
+	// Rewrite the window for the shard fan-out: to assemble the global
+	// page [offset, offset+limit) we need each shard's newest
+	// offset+limit records.
+	sq := r.URL.Query()
+	sq.Set("offset", "0")
+	sq.Set("limit", strconv.Itoa(min(offset+limit, rundb.MaxLimit)))
+	path := "/v1/runs?" + sq.Encode()
+
+	type result struct {
+		page RunsResponse
+		ok   bool
+	}
+	results := make([]result, len(rt.shards))
+	var wg sync.WaitGroup
+	for i := range rt.shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			status, body, err := rt.tryShard(r.Context(), i, http.MethodGet, path, nil)
+			if err != nil || status != http.StatusOK {
+				return
+			}
+			if json.Unmarshal(body, &results[i].page) == nil {
+				results[i].ok = true
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	total, answered := 0, 0
+	var merged []RunSummary
+	for _, res := range results {
+		if !res.ok {
+			continue
+		}
+		answered++
+		total += res.page.Total
+		merged = append(merged, res.page.Runs...)
+	}
+	if answered == 0 {
+		rt.writeJSON(w, http.StatusServiceUnavailable, &Response{
+			Error: "run database disabled on every shard", Class: "rundb_disabled",
+		}, start)
+		return
+	}
+	sort.SliceStable(merged, func(i, j int) bool {
+		if merged[i].UnixMS != merged[j].UnixMS {
+			return merged[i].UnixMS > merged[j].UnixMS
+		}
+		return merged[i].ID > merged[j].ID
+	})
+	if offset > len(merged) {
+		merged = nil
+	} else {
+		merged = merged[offset:]
+	}
+	if len(merged) > limit {
+		merged = merged[:limit]
+	}
+	if merged == nil {
+		merged = []RunSummary{}
+	}
+	rt.writeJSON(w, http.StatusOK, &RunsResponse{
+		Total: total, Offset: offset, Limit: limit, Runs: merged,
+	}, start)
+}
+
+// handleRun broadcasts GET /v1/runs/{id} to the pool — run ids are
+// shard-local like job ids, so the router asks everyone and relays
+// the first answer that is neither 404 nor rundb-disabled 503.
+func (rt *Router) handleRun(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	path := "/v1/runs/" + r.PathValue("id")
+	type result struct {
+		status int
+		body   []byte
+		shard  int
+	}
+	results := make(chan result, len(rt.shards))
+	var wg sync.WaitGroup
+	for i := range rt.shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			status, body, err := rt.tryShard(r.Context(), i, http.MethodGet, path, nil)
+			if err != nil {
+				return
+			}
+			results <- result{status, body, i}
+		}(i)
+	}
+	wg.Wait()
+	close(results)
+	var best *result
+	for res := range results {
+		res := res
+		if res.status != http.StatusNotFound && res.status != http.StatusServiceUnavailable {
+			best = &res
+			break
+		}
+		if best == nil || (best.status == http.StatusServiceUnavailable && res.status == http.StatusNotFound) {
+			best = &res
+		}
+	}
+	if best == nil {
+		rt.writeJSON(w, http.StatusNotFound, &Response{Error: "no such run", Class: "not_found"}, start)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")

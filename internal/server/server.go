@@ -61,6 +61,7 @@ import (
 	"time"
 
 	"asyncsyn"
+	"asyncsyn/internal/rundb"
 )
 
 // Config tunes the daemon. The zero value is usable: every field has a
@@ -105,6 +106,12 @@ type Config struct {
 	// MaxBatch bounds the entries of one POST /v1/batch request
 	// (default 256).
 	MaxBatch int
+	// RunDBDir, when non-empty, opens a persistent run database
+	// (internal/rundb) under this directory: every completed synthesis
+	// is recorded, and history is served by GET /v1/runs and
+	// GET /v1/runs/{id}. Cross-run digest divergence under an unchanged
+	// key is flagged on the record and counted on /metrics.
+	RunDBDir string
 }
 
 func (c Config) withDefaults() Config {
@@ -144,6 +151,8 @@ type Server struct {
 	cache     *asyncsyn.SolveCache
 	collector *asyncsyn.Metrics
 	stats     *stats
+	// rundb is the persistent run history (nil unless Config.RunDBDir).
+	rundb *rundb.DB
 
 	// slots is the running-job semaphore: holding a token = in flight.
 	slots chan struct{}
@@ -199,6 +208,13 @@ func New(cfg Config) (*Server, error) {
 			s.cache = asyncsyn.NewSolveCache()
 		}
 	}
+	if cfg.RunDBDir != "" {
+		db, err := rundb.Open(cfg.RunDBDir)
+		if err != nil {
+			return nil, err
+		}
+		s.rundb = db
+	}
 	if len(cfg.Peers) > 0 {
 		if s.cache == nil {
 			return nil, fmt.Errorf("server: peers configured with the cache disabled")
@@ -223,6 +239,8 @@ var shardRoutes = []struct {
 	{"POST /v1/synthesize", func(s *Server) http.HandlerFunc { return s.handleSynthesize }},
 	{"POST /v1/batch", func(s *Server) http.HandlerFunc { return s.handleBatch }},
 	{"GET /v1/jobs/{id}", func(s *Server) http.HandlerFunc { return s.handleJob }},
+	{"GET /v1/runs", func(s *Server) http.HandlerFunc { return s.handleRuns }},
+	{"GET /v1/runs/{id}", func(s *Server) http.HandlerFunc { return s.handleRun }},
 	{"GET /v1/benchmarks", func(s *Server) http.HandlerFunc { return s.handleBenchmarks }},
 	{"GET /v1/cache/{key}", func(s *Server) http.HandlerFunc { return s.handleCacheGet }},
 	{"PUT /v1/cache/{key}", func(s *Server) http.HandlerFunc { return s.handleCachePut }},
@@ -286,6 +304,9 @@ func (s *Server) Cache() *asyncsyn.SolveCache { return s.cache }
 
 // Metrics exposes the shared synthesis counter collector.
 func (s *Server) Metrics() *asyncsyn.Metrics { return s.collector }
+
+// RunDB exposes the persistent run database (nil when disabled).
+func (s *Server) RunDB() *rundb.DB { return s.rundb }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.draining() {

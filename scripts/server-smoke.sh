@@ -3,14 +3,17 @@
 # CI server-smoke job and runnable locally. It pins the serving
 # contract the unit tests can't see from inside the process:
 #   1. a warm daemon answers the quick benchmark set with stable
-#      digests and modcache_hits > 0 on /metrics;
+#      digests and modcache_hits > 0 on /metrics, and with -rundb it
+#      records every completed run and serves the history (filtered,
+#      paginated, fetchable by id) on /v1/runs;
 #   2. overload under -maxinflight 1 -queuedepth 0 answers 429 with a
 #      Retry-After header;
 #   3. SIGTERM drains a pending job (its waiter still gets 200) and
 #      the process exits 0;
 #   4. router mode: two peer-connected shards behind -shards answer
 #      with the same digests as phase 1, peers exchange cache records,
-#      and killing a shard fails over without a client-visible error.
+#      /v1/runs merges the shard-local histories, and killing a shard
+#      fails over without a client-visible error.
 #
 # MODSYND_PORT picks the base port (default 8713); the router phase
 # uses the two ports above it.
@@ -22,8 +25,9 @@ ADDR=127.0.0.1:$PORT
 URL="http://$ADDR"
 BIN=$(mktemp -d)/modsynd
 CACHEDIR=$(mktemp -d)
+RUNDB=$(mktemp -d)
 WORK=$(mktemp -d)
-trap 'kill $(jobs -p) 2>/dev/null || true; rm -rf "$CACHEDIR" "$WORK" "$(dirname "$BIN")"' EXIT
+trap 'kill $(jobs -p) 2>/dev/null || true; rm -rf "$CACHEDIR" "$RUNDB" "$WORK" "$(dirname "$BIN")"' EXIT
 
 go build -o "$BIN" ./cmd/modsynd
 
@@ -47,8 +51,8 @@ QUICK="mmu1 sbuf-ram-write vbe4a nak-pa pe-rcv-ifc-fc ram-read-sbuf
 alex-nonfc sbuf-send-pkt2 sbuf-send-ctl atod pa alloc-outbound wrdata
 fifo sbuf-read-ctl nouse vbe-ex2 nousc-ser sendr-done vbe-ex1"
 
-echo "=== phase 1: warm cache + digest stability"
-"$BIN" -addr "$ADDR" -cachedir "$CACHEDIR" &
+echo "=== phase 1: warm cache + digest stability + run history"
+"$BIN" -addr "$ADDR" -cachedir "$CACHEDIR" -rundb "$RUNDB" &
 DAEMON=$!
 wait_healthy
 
@@ -69,6 +73,24 @@ done
 hits=$(metric asyncsyn_modcache_hits)
 [ "${hits:-0}" -gt 0 ] || { echo "warm run reported modcache_hits=$hits" >&2; exit 1; }
 echo "ok: $(echo $QUICK | wc -w) benchmarks x2, digests stable, modcache_hits=$hits"
+
+# Run history: every completed synthesis above was recorded. The suite
+# ran twice, so the history holds 2x the quick set; a one-entry page
+# windows it; a recorded run resolves by id with the same digest the
+# response carried; the recording counter agrees; and no run diverged.
+nquick=$(echo $QUICK | wc -w)
+total=$(curl -fsS "$URL/v1/runs" | grep -o '"total": *[0-9]*' | grep -o '[0-9]*')
+[ "${total:-0}" -eq $((nquick * 2)) ] || { echo "/v1/runs total=$total, want $((nquick * 2))" >&2; exit 1; }
+curl -fsS "$URL/v1/runs?limit=1" > "$WORK/runs-page.json"
+[ "$(grep -c '"id"' "$WORK/runs-page.json")" = 1 ] || { echo "limit=1 page not one entry" >&2; exit 1; }
+runid=$(grep -o '"id": *"[^"]*"' "$WORK/runs-page.json" | head -1 | sed 's/.*"\(r[^"]*\)"/\1/')
+curl -fsS "$URL/v1/runs/$runid" > "$WORK/run-rec.json"
+grep -q '"digest"' "$WORK/run-rec.json" || { echo "run $runid has no digest" >&2; exit 1; }
+recorded=$(metric modsynd_runs_recorded_total)
+[ "${recorded:-0}" -eq $((nquick * 2)) ] || { echo "runs_recorded_total=$recorded" >&2; exit 1; }
+div=$(metric modsynd_run_divergences_total)
+[ "${div:-1}" -eq 0 ] || { echo "run_divergences_total=$div, want 0" >&2; exit 1; }
+echo "ok: /v1/runs total=$total, paginated, $runid fetchable, divergences=0"
 
 kill -TERM "$DAEMON"
 wait "$DAEMON" || { echo "daemon exited non-zero after idle SIGTERM" >&2; exit 1; }
@@ -104,12 +126,12 @@ grep -q '"digest"' "$WORK/blocker.json" || { echo "drained job returned no resul
 wait "$DAEMON" || { echo "daemon exited non-zero after drain" >&2; exit 1; }
 echo "ok: pending job drained to completion, daemon exited 0"
 
-echo "=== phase 4: router mode + peer cache exchange + failover"
+echo "=== phase 4: router mode + peer cache exchange + run merge + failover"
 S1=127.0.0.1:$((PORT + 1))
 S2=127.0.0.1:$((PORT + 2))
-"$BIN" -addr "$S1" -peers "$S2" &
+"$BIN" -addr "$S1" -peers "$S2" -rundb "$RUNDB/shard1" &
 SHARD1=$!
-"$BIN" -addr "$S2" -peers "$S1" &
+"$BIN" -addr "$S2" -peers "$S1" -rundb "$RUNDB/shard2" &
 SHARD2=$!
 "$BIN" -addr "$ADDR" -shards "$S1,$S2" &
 ROUTER=$!
@@ -127,6 +149,15 @@ for b in $QUICK; do
 done
 reqs=$(metric modsynd_router_requests_total)
 [ "${reqs:-0}" -ge "$(echo $QUICK | wc -w)" ] || { echo "router saw $reqs requests" >&2; exit 1; }
+
+# Run merge: history is shard-local; the router's /v1/runs must union
+# both shards' records — one per benchmark routed above — and resolve
+# any recorded id by broadcast.
+rtotal=$(curl -fsS "$URL/v1/runs?limit=$nquick" | grep -o '"total": *[0-9]*' | grep -o '[0-9]*')
+[ "${rtotal:-0}" -eq "$nquick" ] || { echo "router /v1/runs total=$rtotal, want $nquick" >&2; exit 1; }
+rid=$(curl -fsS "$URL/v1/runs?limit=1" | grep -o '"id": *"[^"]*"' | head -1 | sed 's/.*"\(r[^"]*\)"/\1/')
+curl -fsS "$URL/v1/runs/$rid" | grep -q '"digest"' || { echo "router /v1/runs/$rid failed" >&2; exit 1; }
+echo "ok: router merged $rtotal shard-local runs, $rid fetchable by broadcast"
 
 # Peer exchange: re-asking each shard directly for the whole suite
 # must pull any records it does not own from its peer, never resolve.
